@@ -1,0 +1,114 @@
+"""Entropy-backend ablation: arithmetic (range) coder vs rANS.
+
+Both backends code the same symbol streams under the same quantized
+probability tables, so compressed sizes must agree to within a few
+bytes of coder termination overhead; throughput is where they differ.
+Streams are the realistic ones the pipeline produces: near-Gaussian
+quantized latent residuals at several scales plus a heavily skewed
+correction-coefficient distribution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.entropy import (decode_symbols, decode_symbols_rans,
+                           encode_symbols, encode_symbols_rans)
+from repro.entropy.coder import pmf_to_cumulative
+
+from .conftest import save_json
+
+
+def _gaussian_stream(seed: int, n: int = 20000, alphabet: int = 33,
+                     n_ctx: int = 8):
+    """Quantized-Gaussian symbols with per-context scales (latent-like)."""
+    rng = np.random.default_rng(seed)
+    centers = np.arange(alphabet) - alphabet // 2
+    scales = np.linspace(0.6, 4.0, n_ctx)
+    pmf = np.exp(-0.5 * (centers[None, :] / scales[:, None]) ** 2)
+    tables = pmf_to_cumulative(pmf)
+    contexts = rng.integers(0, n_ctx, size=n)
+    symbols = np.empty(n, dtype=np.int64)
+    for c in range(n_ctx):
+        sel = contexts == c
+        p = pmf[c] / pmf[c].sum()
+        symbols[sel] = rng.choice(alphabet, size=int(sel.sum()), p=p)
+    return symbols, tables, contexts
+
+
+def _entropy_bits(symbols, tables, contexts) -> float:
+    freqs = np.diff(tables, axis=1).astype(np.float64)
+    p = freqs / freqs.sum(axis=1, keepdims=True)
+    return float(-np.log2(p[contexts, symbols]).sum())
+
+
+def test_ablation_entropy_backends(benchmark):
+    symbols, tables, contexts = _gaussian_stream(0)
+    h_bytes = _entropy_bits(symbols, tables, contexts) / 8.0
+
+    t0 = time.perf_counter()
+    a_stream = encode_symbols(symbols, tables, contexts)
+    t_arith_enc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    r_stream = encode_symbols_rans(symbols, tables, contexts)
+    t_rans_enc = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    a_out = decode_symbols(a_stream, tables, contexts)
+    t_arith_dec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    r_out = decode_symbols_rans(r_stream, tables, contexts)
+    t_rans_dec = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(a_out, symbols)
+    np.testing.assert_array_equal(r_out, symbols)
+
+    print(f"\nAblation (entropy backend), {symbols.size} symbols, "
+          f"entropy {h_bytes:.0f} B:")
+    print(f"  arithmetic: {len(a_stream)} B, "
+          f"enc {t_arith_enc * 1e3:.0f} ms / dec {t_arith_dec * 1e3:.0f} ms")
+    print(f"  rANS:       {len(r_stream)} B, "
+          f"enc {t_rans_enc * 1e3:.0f} ms / dec {t_rans_dec * 1e3:.0f} ms")
+    save_json("ablation_entropy", {
+        "entropy_bytes": h_bytes,
+        "arithmetic_bytes": len(a_stream),
+        "rans_bytes": len(r_stream),
+        "arith_enc_s": t_arith_enc, "arith_dec_s": t_arith_dec,
+        "rans_enc_s": t_rans_enc, "rans_dec_s": t_rans_dec,
+    })
+
+    # both land within 1% + termination slack of the entropy
+    assert len(a_stream) <= h_bytes * 1.01 + 16
+    assert len(r_stream) <= h_bytes * 1.01 + 16
+    # and within 2% + slack of each other
+    assert abs(len(a_stream) - len(r_stream)) <= 0.02 * len(a_stream) + 16
+
+    benchmark(lambda: encode_symbols_rans(symbols, tables, contexts))
+
+
+def test_ablation_entropy_skewed(benchmark):
+    """Correction-coefficient regime: most-probable-symbol dominated."""
+    rng = np.random.default_rng(1)
+    n = 30000
+    symbols = rng.choice(5, size=n,
+                         p=[0.9, 0.05, 0.03, 0.015, 0.005]).astype(np.int64)
+    pmf = np.bincount(symbols, minlength=5)[None, :].astype(np.float64)
+    tables = pmf_to_cumulative(pmf)
+    contexts = np.zeros(n, dtype=np.int64)
+    h_bytes = _entropy_bits(symbols, tables, contexts) / 8.0
+
+    a_stream = encode_symbols(symbols, tables, contexts)
+    r_stream = encode_symbols_rans(symbols, tables, contexts)
+    np.testing.assert_array_equal(
+        decode_symbols_rans(r_stream, tables, contexts), symbols)
+
+    print(f"\nSkewed stream: entropy {h_bytes:.0f} B, "
+          f"arithmetic {len(a_stream)} B, rANS {len(r_stream)} B "
+          f"(raw would be {n // 8 * 3} B at 3 bits/symbol)")
+    assert len(r_stream) <= h_bytes * 1.02 + 16
+    assert len(a_stream) <= h_bytes * 1.02 + 16
+
+    benchmark(lambda: decode_symbols_rans(r_stream, tables, contexts))

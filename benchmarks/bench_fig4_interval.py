@@ -1,0 +1,82 @@
+"""Fig. 4 — interpolation-interval ablation on E3SM (Sec. 4.5).
+
+Trains identical models with keyframe intervals 2-5 and reports the
+per-frame NRMSE profile (left panel) and the NRMSE-vs-ratio points
+(right panel).  Asserts the paper's findings: smaller intervals give
+lower reconstruction error, larger intervals give higher unbounded
+compression ratio, and keyframe positions beat generated positions.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import tiny
+from repro.pipeline.compressor import window_starts
+
+from .conftest import WINDOW, dataset_frames, save_json, train_ours
+
+INTERVALS = (2, 3, 5)
+
+
+@pytest.fixture(scope="module")
+def interval_models():
+    frames = dataset_frames("e3sm")
+    cfg = tiny()
+    models = {}
+    for interval in INTERVALS:
+        cfg_i = replace(cfg, pipeline=replace(
+            cfg.pipeline, keyframe_interval=interval))
+        _, comp = train_ours(frames, seed=0, config=cfg_i)
+        models[interval] = comp
+    return frames, models
+
+
+def test_fig4_interval_ablation(interval_models, benchmark):
+    frames, models = interval_models
+    rng_ = float(frames.max() - frames.min())
+    start = window_starts(frames.shape[0], WINDOW)[0]
+
+    results = {}
+    for interval, comp in models.items():
+        res = comp.compress(frames)
+        per_frame = [
+            float(np.sqrt(((frames[start + i]
+                            - res.reconstruction[start + i]) ** 2).mean()))
+            / rng_ for i in range(WINDOW)]
+        results[interval] = {
+            "per_frame_nrmse": per_frame,
+            "mean_nrmse": float(res.achieved_nrmse),
+            "ratio": float(res.ratio),
+            "cond_idx": comp.spec().cond_idx.tolist(),
+        }
+
+    print("\nFig. 4: interval ablation on E3SM")
+    print(f"{'interval':>9} | {'#key':>4} | {'NRMSE':>8} | {'ratio':>7}")
+    for interval in INTERVALS:
+        r = results[interval]
+        print(f"{interval:>9} | {len(r['cond_idx']):>4} | "
+              f"{r['mean_nrmse']:8.4f} | {r['ratio']:7.1f}")
+    save_json("fig4_interval", {str(k): v for k, v in results.items()})
+
+    # smaller interval => more keyframes => lower error
+    errs = [results[i]["mean_nrmse"] for i in INTERVALS]
+    assert errs[0] == min(errs), results
+
+    # larger interval => fewer keyframes => higher unbounded ratio
+    ratios = [results[i]["ratio"] for i in INTERVALS]
+    assert ratios[-1] == max(ratios), results
+
+    # keyframe positions beat generated positions
+    for i in INTERVALS:
+        r = results[i]
+        key = [r["per_frame_nrmse"][j] for j in range(WINDOW)
+               if j in r["cond_idx"]]
+        gen = [r["per_frame_nrmse"][j] for j in range(WINDOW)
+               if j not in r["cond_idx"]]
+        if gen:
+            assert np.mean(key) <= np.mean(gen), i
+
+    benchmark.pedantic(lambda: models[3].compress(frames), rounds=1,
+                       iterations=1)

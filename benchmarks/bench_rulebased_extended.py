@@ -1,0 +1,138 @@
+"""Extended rule-based comparison (beyond the paper's SZ3/ZFP rows).
+
+The paper's related work (Sec. 2) surveys six rule-based families —
+SZ (prediction), ZFP (block transform), TTHRESH (HOSVD), MGARD
+(multilevel), DPCM (temporal prediction) and FAZ (modular
+wavelet+prediction).  Fig. 3 plots only SZ3 and ZFP; this bench runs
+our analogue of *every* surveyed family over the same three datasets
+and error-bound sweep, printing one rate-distortion table per dataset
+(series saved to ``out/rulebased_extended.json``).
+
+Assertions pin the orderings that are structural rather than tuned:
+
+* every method honours its error-bound contract and round-trips;
+* every method compresses (ratio > 1) at the loosest bound;
+* closed-loop prediction (SZ3-like) beats the open-loop hierarchical
+  coder (MGARD-like) at every operating point — the known cost MGARD
+  pays for progressive recovery;
+* time-only DPCM loses to spatial interpolation on JHTDB, where
+  turbulence decorrelates in time (on the smoothly advecting E3SM/S3D
+  synthetics, order-2 temporal extrapolation is legitimately strong);
+* FAZ-like is never worse than its own wavelet module (auto-tuning
+  can only pick the better candidate) and tracks the predictor family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (DPCMCompressor, FAZLikeCompressor,
+                             MGARDLikeCompressor, SZLikeCompressor,
+                             TTHRESHLikeCompressor, ZFPLikeCompressor)
+from repro.metrics import nrmse
+
+from .conftest import dataset_frames, save_json
+
+#: relative pointwise bounds (fraction of the data range)
+REL_BOUNDS = (1e-1, 1e-2, 1e-3)
+
+DATASETS = ("e3sm", "s3d", "jhtdb")
+
+
+def _methods():
+    return {
+        "SZ3-like": SZLikeCompressor(),
+        "ZFP-like": ZFPLikeCompressor(),
+        "TTHRESH-like": TTHRESHLikeCompressor(),
+        "MGARD-like": MGARDLikeCompressor(levels=3),
+        "DPCM": DPCMCompressor(order=2),
+        "FAZ-like": FAZLikeCompressor(levels=3),
+    }
+
+
+def _run_method(name, method, frames, rel_bound):
+    """Returns (ratio, nrmse, bound_honored)."""
+    rng_ = float(frames.max() - frames.min())
+    eb = rel_bound * rng_
+    if isinstance(method, TTHRESHLikeCompressor):
+        # TTHRESH's contract is RMSE; use the pointwise budget's RMSE
+        # equivalent so operating points line up across methods
+        stream = method.compress(frames, rmse_bound=eb / np.sqrt(3.0))
+        rec = method.decompress(stream)
+        honored = (np.sqrt(((frames - rec) ** 2).mean())
+                   <= eb / np.sqrt(3.0) * (1 + 1e-9))
+    else:
+        stream = method.compress(frames, error_bound=eb)
+        rec = method.decompress(stream)
+        honored = np.abs(frames - rec).max() <= eb * (1 + 1e-9)
+    ratio = frames.size * 4 / len(stream)
+    return float(ratio), float(nrmse(frames, rec)), bool(honored)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_rulebased_extended(dataset, benchmark):
+    frames = dataset_frames(dataset)
+    rows = {}
+    for name, method in _methods().items():
+        rows[name] = []
+        for rb in REL_BOUNDS:
+            ratio, err, honored = _run_method(name, method, frames, rb)
+            assert honored, f"{name} violated its bound at {rb}"
+            rows[name].append({"rel_bound": rb, "ratio": ratio,
+                               "nrmse": err})
+
+    header = f"{'method':14s} " + " ".join(
+        f"CR@{rb:g}" .rjust(10) for rb in REL_BOUNDS)
+    print(f"\n=== Extended rule-based comparison — {dataset} ===")
+    print(header)
+    for name, pts in rows.items():
+        print(f"{name:14s} " + " ".join(
+            f"{p['ratio']:10.1f}" for p in pts))
+
+    save_json(f"rulebased_extended_{dataset}", rows)
+
+    # structural orderings
+    for rb_i in range(len(REL_BOUNDS)):
+        assert (rows["SZ3-like"][rb_i]["ratio"]
+                > rows["MGARD-like"][rb_i]["ratio"])
+        assert (rows["FAZ-like"][rb_i]["ratio"]
+                >= 0.9 * rows["SZ3-like"][rb_i]["ratio"])
+        if dataset == "jhtdb":
+            assert (rows["SZ3-like"][rb_i]["ratio"]
+                    > rows["DPCM"][rb_i]["ratio"])
+    for name, pts in rows.items():
+        assert pts[0]["ratio"] > 1.0, f"{name} failed to compress"
+
+    # FAZ auto-tuning sanity: never worse than its own wavelet module
+    faz = FAZLikeCompressor(levels=3)
+    eb = REL_BOUNDS[1] * float(frames.max() - frames.min())
+    combined = faz.compress(frames, error_bound=eb)
+    wav = faz.wavelet.compress(frames, error_bound=eb)
+    assert len(combined) <= len(wav) + 5
+
+    sz = SZLikeCompressor()
+    eb_mid = REL_BOUNDS[1] * float(frames.max() - frames.min())
+    benchmark(lambda: sz.compress(frames, error_bound=eb_mid))
+
+
+def test_mgard_progressive_decode(benchmark):
+    """Progressive MGARD reads: error shrinks monotonically with level."""
+    frames = dataset_frames("e3sm")
+    comp = MGARDLikeCompressor(levels=3)
+    eb = 1e-3 * float(frames.max() - frames.min())
+    stream = comp.compress(frames, error_bound=eb)
+    errs = []
+    for lvl in (3, 2, 1, 0):
+        rec = comp.decompress(stream, max_level=lvl)
+        errs.append(float(np.abs(frames - rec).max()))
+    print(f"\nMGARD-like progressive max-error by level (3->0): "
+          f"{['%.3g' % e for e in errs]}")
+    save_json("rulebased_mgard_progressive", {"levels": [3, 2, 1, 0],
+                                              "max_err": errs})
+    assert errs[-1] <= eb * (1 + 1e-9)
+    # coarse views can fluctuate among themselves but are never better
+    # than the full decode
+    assert all(e >= errs[-1] for e in errs[:-1])
+
+    benchmark(lambda: comp.decompress(stream))

@@ -1,0 +1,44 @@
+"""Table 1 — dataset information (application, domain, dims, size).
+
+Regenerates the paper's dataset table from the generators' recorded
+metadata and benchmarks synthetic-field generation throughput (our
+substitution for reading the archives from disk).
+"""
+
+import numpy as np
+
+from repro.data import DATASETS
+
+from .conftest import save_json
+
+
+def test_table1_dataset_information(benchmark):
+    rows = []
+    for key in ("e3sm", "s3d", "jhtdb"):
+        info = DATASETS[key].info
+        rows.append({
+            "application": info.name,
+            "domain": info.domain,
+            "dimensions": "x".join(str(d) for d in info.paper_shape),
+            "total_size_gb_paper": info.paper_size_gb,
+            "total_size_gb_computed": round(info.computed_size_gb(), 1),
+        })
+
+    print("\nTable 1: Datasets Information")
+    print(f"{'Application':>12} | {'Domain':>11} | {'Dimensions':>20} | "
+          f"{'Size (paper)':>12} | {'Size (shape)':>12}")
+    for r in rows:
+        print(f"{r['application']:>12} | {r['domain']:>11} | "
+              f"{r['dimensions']:>20} | {r['total_size_gb_paper']:>10.1f}GB"
+              f" | {r['total_size_gb_computed']:>10.1f}GB")
+    save_json("table1_datasets", rows)
+
+    # published sizes agree with the published shapes
+    for r in rows:
+        assert abs(r["total_size_gb_paper"] - r["total_size_gb_computed"]) \
+            <= 0.02 * r["total_size_gb_paper"]
+
+    # benchmark: generation throughput of one E3SM-like variable
+    gen = DATASETS["e3sm"]
+    result = benchmark(lambda: gen(t=8, h=32, w=32, seed=0).frames(0))
+    assert result.shape == (8, 32, 32)

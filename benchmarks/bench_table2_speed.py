@@ -1,0 +1,103 @@
+"""Table 2 — encoding/decoding speed of the generative compressors.
+
+Measures MB/s of ours (at several step counts) against CDC-eps, CDC-X
+and GCD on this host.  The paper's table spans two GPUs; the absolute
+MB/s here are CPU-substrate numbers, but the architectural orderings it
+demonstrates are asserted:
+
+* encoding is much faster than decoding for every diffusion codec
+  (the reverse process runs at decode time);
+* our latent-space diffusion decodes faster than the data-space
+  CDC/GCD baselines;
+* fewer denoising steps give proportionally faster decoding.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from .conftest import dataset_frames, save_json
+
+MB = 1024 * 1024
+
+
+def _mbps(num_bytes: int, seconds: float) -> float:
+    return num_bytes / MB / max(seconds, 1e-9)
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def speed_table(ours_by_dataset, cdc_pair_e3sm, gcd_e3sm):
+    frames = dataset_frames("e3sm")
+    data_bytes = frames.size * 8
+    rows = {}
+
+    # ours at a few decode step counts (DDIM step-skipping on the
+    # trained schedule — the runtime knob of Sec. 4.6)
+    comp = ours_by_dataset["e3sm"]
+    from dataclasses import replace
+    for steps in (16, 8, 4):
+        cfg = replace(comp.config, sampler="ddim", sample_steps=steps)
+        from repro import LatentDiffusionCompressor
+        fast = LatentDiffusionCompressor(comp.vae, comp.ddpm, cfg,
+                                         corrector=comp.corrector)
+        res = fast.compress(frames)
+        # encode: VAE analysis + entropy coding of keyframes only
+        t_enc = _time(lambda: fast.vae.compress(
+            frames[:, None].astype(np.float64)[: comp.config.window]))
+        t_dec = _time(lambda: fast.decompress(res.blob))
+        rows[f"Ours-{steps} steps"] = {
+            "encode_mbps": _mbps(data_bytes, t_enc * 6),  # scaled to T
+            "decode_mbps": _mbps(data_bytes, t_dec),
+        }
+
+    for name, model in (("CDC-eps", cdc_pair_e3sm["eps"]),
+                        ("CDC-X", cdc_pair_e3sm["x"]),
+                        ("GCD", gcd_e3sm)):
+        norm = frames / np.ptp(frames)
+        t_enc = _time(lambda: model.vae.compress(
+            norm[:6][:, None] if name == "GCD"
+            else norm[:6].reshape(2, 3, *frames.shape[1:])))
+        t_dec = _time(lambda: model._reconstruct(norm, seed=0))
+        rows[name] = {
+            "encode_mbps": _mbps(data_bytes, t_enc * 6),
+            "decode_mbps": _mbps(data_bytes, t_dec),
+        }
+    return rows
+
+
+def test_table2_inference_speed(speed_table, benchmark, ours_by_dataset):
+    rows = speed_table
+    print("\nTable 2: inference speed (this host, CPU substrate)")
+    print(f"{'method':>14} | {'encode MB/s':>12} | {'decode MB/s':>12}")
+    for name, r in rows.items():
+        print(f"{name:>14} | {r['encode_mbps']:12.3f} | "
+              f"{r['decode_mbps']:12.3f}")
+    save_json("table2_speed", rows)
+
+    # encode >> decode for every generative codec
+    for name, r in rows.items():
+        assert r["encode_mbps"] > r["decode_mbps"], name
+
+    # ours decodes faster than the data-space diffusion baselines
+    ours_best = max(rows[k]["decode_mbps"] for k in rows
+                    if k.startswith("Ours"))
+    for name in ("CDC-eps", "CDC-X", "GCD"):
+        assert ours_best > rows[name]["decode_mbps"], name
+
+    # fewer steps -> faster decode (monotone within ours)
+    assert rows["Ours-4 steps"]["decode_mbps"] >= \
+        rows["Ours-16 steps"]["decode_mbps"]
+
+    # benchmark: the deployable decode path
+    frames = dataset_frames("e3sm")
+    comp = ours_by_dataset["e3sm"]
+    blob = comp.compress(frames).blob
+    benchmark.pedantic(lambda: comp.decompress(blob), rounds=1,
+                       iterations=1)

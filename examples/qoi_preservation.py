@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""QoI preservation: certify derived quantities from the PD bound.
+
+Trains the pipeline on synthetic combustion data, compresses with a
+primary-data (PD) L2 bound, and shows how that single guarantee
+propagates to quantities of interest — global mean, a flame-kernel
+region average, total energy, and derivative-field norms — via the
+certificates of :mod:`repro.postprocess.qoi`.  Every certificate is
+checked against the achieved error.
+
+Run time: ~1 minute on a laptop CPU.
+
+    python examples/qoi_preservation.py
+"""
+
+import numpy as np
+
+from repro import TrainingConfig, TwoStageTrainer, tiny
+from repro.data import S3DSynthetic
+from repro.data.base import train_test_windows
+from repro.postprocess import (DerivativeQoI, QuadraticQoI, evaluate_qois,
+                               mean_qoi, region_average_qoi)
+
+
+def main() -> None:
+    cfg = tiny()
+
+    print("generating synthetic S3D-like combustion data ...")
+    dataset = S3DSynthetic(t=24, h=16, w=16, seed=1)
+    frames = dataset.frames(0)                        # (T, H, W)
+    train, _ = train_test_windows(frames, window=cfg.pipeline.window,
+                                  train_fraction=0.5, stride=2)
+
+    trainer = TwoStageTrainer(
+        cfg, TrainingConfig(vae_iters=200, diffusion_iters=400,
+                            finetune_iters=0, lam=1e-6), seed=0)
+    print("training two-stage pipeline ...")
+    trainer.train_vae(train)
+    trainer.train_diffusion(train)
+    compressor = trainer.build_compressor(train)
+
+    # --- compress with a PD guarantee -----------------------------------
+    tau = 0.02 * float(np.linalg.norm(frames))
+    print(f"compressing with PD bound ||x - x_G||_2 <= {tau:.4g} ...")
+    result = compressor.compress(frames, error_bound=tau)
+    x_g = result.reconstruction
+    achieved = float(np.linalg.norm(frames - x_g))
+    print(f"  ratio {result.ratio:.1f}x, achieved L2 {achieved:.4g} "
+          f"(bound {tau:.4g})")
+
+    # --- define the quantities downstream analysis would compute --------
+    kernel = frames.mean(axis=0) > np.percentile(frames.mean(axis=0), 90)
+    region_mask = np.broadcast_to(kernel, frames.shape)
+    qois = [
+        mean_qoi(frames.shape),
+        region_average_qoi(region_mask, name="flame-kernel-average"),
+        QuadraticQoI(name="total-energy"),
+        DerivativeQoI(axis=1, name="grad-y-l2"),
+        DerivativeQoI(axis=2, name="grad-x-l2"),
+    ]
+
+    # --- certify ----------------------------------------------------------
+    print(f"\n{'QoI':24s} {'original':>12s} {'recon':>12s} "
+          f"{'abs err':>10s} {'certified':>10s}")
+    records = evaluate_qois(frames, x_g, qois, tau=tau)
+    for r in records:
+        status = "OK" if r.within_bound else "VIOLATED"
+        print(f"{r.name:24s} {r.original_value:12.5g} "
+              f"{r.reconstructed_value:12.5g} {r.achieved_error:10.3g} "
+              f"{r.certified_bound:10.3g}  {status}")
+    assert all(r.within_bound for r in records)
+    print("\nall QoI certificates hold — downstream analysis on the "
+          "reconstruction is certified valid within the printed bounds.")
+
+
+if __name__ == "__main__":
+    main()

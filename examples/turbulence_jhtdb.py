@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Turbulence scenario: keyframe strategies + interval trade-off.
+
+Isotropic turbulence decorrelates quickly in time, making it the
+hardest case for generative interpolation (the paper's smallest win).
+This example compares the three keyframe-selection strategies of
+Sec. 4.4 and sweeps the interpolation interval (Sec. 4.5) on
+JHTDB-like data.
+
+Run time: ~3 minutes on a laptop CPU.
+
+    python examples/turbulence_jhtdb.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import TrainingConfig, TwoStageTrainer, tiny
+from repro.data import JHTDBSynthetic
+from repro.data.base import train_test_windows
+from repro.pipeline import LatentDiffusionCompressor
+
+
+def train_for(cfg, train, strategy, interval, seed=0):
+    pipe = replace(cfg.pipeline, keyframe_strategy=strategy,
+                   keyframe_interval=interval)
+    cfg2 = replace(cfg, pipeline=pipe)
+    trainer = TwoStageTrainer(
+        cfg2, TrainingConfig(vae_iters=200, diffusion_iters=350,
+                             finetune_iters=0, diffusion_batch=4,
+                             lam=1e-6, vae_lr_decay_every=80), seed=seed)
+    trainer.train_vae(train)
+    trainer.train_diffusion(train)
+    return trainer.build_compressor(train)
+
+
+def main() -> None:
+    cfg = tiny()
+    dataset = JHTDBSynthetic(t=36, h=16, w=16, seed=5, decorrelation=0.05)
+    frames = dataset.frames(0)
+    train, _ = train_test_windows(frames, window=cfg.pipeline.window,
+                                  train_fraction=0.5, stride=2)
+
+    print("keyframe strategy comparison (Sec. 4.4 / Fig. 2):")
+    print(f"{'strategy':>14} | {'NRMSE':>9} | {'ratio':>7}")
+    print("-" * 38)
+    for strategy in ("interpolation", "prediction", "mixed"):
+        comp = train_for(cfg, train, strategy, cfg.pipeline.keyframe_interval)
+        res = comp.compress(frames)
+        print(f"{strategy:>14} | {res.achieved_nrmse:9.5f} | "
+              f"{res.ratio:7.1f}")
+
+    print("\ninterpolation interval sweep (Sec. 4.5 / Fig. 4):")
+    print(f"{'interval':>9} | {'NRMSE':>9} | {'ratio':>7}")
+    print("-" * 32)
+    for interval in (2, 3, 5):
+        comp = train_for(cfg, train, "interpolation", interval)
+        res = comp.compress(frames)
+        print(f"{interval:>9} | {res.achieved_nrmse:9.5f} | "
+              f"{res.ratio:7.1f}")
+    print("\nsmaller intervals store more keyframes: lower error, lower "
+          "ratio — interval 3 is the paper's sweet spot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim (offline environments without the wheel package)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Generative Latent Diffusion for Efficient
+Spatiotemporal Data Reduction" (Li, Zhu, Rangarajan, Ranka — SC'25).
+
+Public API
+----------
+Most users need only:
+
+>>> from repro import small, train_compressor
+>>> from repro.data import E3SMSynthetic
+>>> from repro.data.base import train_test_windows
+>>> ds = E3SMSynthetic(t=32, h=32, w=32)
+>>> train, test = train_test_windows(ds.frames(0), window=8)
+>>> compressor = train_compressor(small(), train)     # doctest: +SKIP
+>>> result = compressor.compress(ds.frames(0), nrmse_bound=1e-3)  # doctest: +SKIP
+>>> result.ratio                                      # doctest: +SKIP
+
+Subpackages: :mod:`repro.nn` (NumPy autodiff substrate),
+:mod:`repro.entropy` (arithmetic coding + priors),
+:mod:`repro.compression` (VAE + hyperprior), :mod:`repro.diffusion`
+(conditional latent DDPM), :mod:`repro.postprocess` (error-bound
+guarantee), :mod:`repro.pipeline` (end-to-end compressor),
+:mod:`repro.baselines` (SZ3/ZFP/CDC/GCD/VAE-SR analogues),
+:mod:`repro.data` (synthetic datasets).
+"""
+
+from .config import (DiffusionConfig, PipelineConfig, ReproConfig, VAEConfig,
+                     paper, small, tiny)
+from .metrics import (CompressionAccounting, compression_ratio,
+                      decorrelation_time, mse, nrmse, psnr, rmse, ssim,
+                      temporal_autocorrelation)
+from .pipeline import (CompressedBlob, CompressionResult,
+                       LatentDiffusionCompressor, MultiVarArchive,
+                       MultiVariableCompressor, MultiVarResult,
+                       StreamArchive, StreamingCompressor, TrainingConfig,
+                       TwoStageTrainer, compress_windows_parallel,
+                       train_compressor)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "VAEConfig", "DiffusionConfig", "PipelineConfig", "ReproConfig",
+    "tiny", "small", "paper",
+    "nrmse", "rmse", "mse", "psnr", "ssim", "temporal_autocorrelation",
+    "decorrelation_time", "CompressionAccounting", "compression_ratio",
+    "LatentDiffusionCompressor", "CompressionResult", "CompressedBlob",
+    "TwoStageTrainer", "TrainingConfig", "train_compressor",
+    "compress_windows_parallel",
+    "StreamingCompressor", "StreamArchive",
+    "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",
+    "__version__",
+]

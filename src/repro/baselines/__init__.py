@@ -1,0 +1,44 @@
+"""``repro.baselines`` — the compressors the paper compares against.
+
+Rule-based (Sec. 4.7, dotted lines in Fig. 3):
+
+* :mod:`repro.baselines.szlike` — SZ3 analogue: multi-level
+  interpolation-predictive, pointwise error-bounded;
+* :mod:`repro.baselines.zfplike` — ZFP analogue: blockwise
+  near-orthogonal transform coding.
+
+Additional rule-based families from the paper's related work (Sec. 2),
+used by the extended rule-based comparison bench:
+
+* :mod:`repro.baselines.tthresh` — TTHRESH analogue: HOSVD transform
+  coding with an L2 (RMSE) guarantee;
+* :mod:`repro.baselines.mgard` — MGARD analogue: multilevel
+  hierarchical coefficients with progressive recovery;
+* :mod:`repro.baselines.dpcm` — temporal DPCM predictor;
+* :mod:`repro.baselines.fazlike` — FAZ analogue: auto-tuned modular
+  wavelet/predictor coder (reversible integer 5/3 lifting).
+
+Learning-based (solid lines in Fig. 3), all of which store latents for
+**every** frame/block — the storage overhead our keyframe scheme
+removes:
+
+* :mod:`repro.baselines.cdc` — conditional diffusion compression in
+  *data* space (CDC-X predicts the signal, CDC-eps the noise);
+* :mod:`repro.baselines.gcd` — 3-D block-based data-space diffusion;
+* :mod:`repro.baselines.vae_sr` — VAE + super-resolution refinement.
+"""
+
+from .cdc import CDCCompressor
+from .dpcm import DPCMCompressor
+from .fazlike import FAZLikeCompressor, WaveletCoder
+from .gcd import GCDCompressor
+from .mgard import MGARDLikeCompressor
+from .szlike import SZLikeCompressor
+from .tthresh import TTHRESHLikeCompressor
+from .vae_sr import VAESRCompressor
+from .zfplike import ZFPLikeCompressor
+
+__all__ = ["SZLikeCompressor", "ZFPLikeCompressor", "CDCCompressor",
+           "GCDCompressor", "VAESRCompressor", "TTHRESHLikeCompressor",
+           "MGARDLikeCompressor", "DPCMCompressor", "FAZLikeCompressor",
+           "WaveletCoder"]

@@ -1,0 +1,144 @@
+"""GCD baseline [20]: 3-D block-based data-space conditional diffusion.
+
+GCD extends CDC from 2-D images to spatiotemporal blocks: a latent is
+stored for every frame of every block, and a video-style diffusion
+model denoises the whole block in the *data* domain with the upsampled
+latents as per-frame conditioning channels.  Against our method it pays
+twice — per-frame latent storage *and* full-resolution reverse
+diffusion (Table 2 shows GCD as the slowest decoder).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compression import RDLoss, VAEHyperprior
+from ..config import DiffusionConfig, VAEConfig
+from ..diffusion.schedule import NoiseSchedule
+from ..diffusion.unet import DenoisingUNet
+from ..nn import Tensor, no_grad
+from ..nn import functional as F
+from ..nn.optim import Adam, clip_grad_norm
+from .common import LearnedBaseline, normalize_frames, stream_bytes
+
+__all__ = ["GCDCompressor"]
+
+
+class GCDCompressor(LearnedBaseline):
+    """Every-frame latents + data-space video diffusion decoder."""
+
+    name = "GCD"
+
+    def __init__(self, vae_cfg: VAEConfig, diff_cfg: DiffusionConfig,
+                 seed: int = 0, original_dtype_bytes: int = 4):
+        super().__init__(original_dtype_bytes)
+        if vae_cfg.in_channels != 1:
+            raise ValueError("GCD uses a single-channel per-frame VAE")
+        rng = np.random.default_rng(seed)
+        self.vae = VAEHyperprior(vae_cfg, rng=rng)
+        self.upfactor = vae_cfg.downsample_factor
+        self.window = diff_cfg.num_frames
+        self.unet = DenoisingUNet(
+            DiffusionConfig(
+                latent_channels=1 + vae_cfg.latent_channels,
+                base_channels=diff_cfg.base_channels,
+                channel_mults=diff_cfg.channel_mults,
+                time_embed_dim=diff_cfg.time_embed_dim,
+                num_frames=diff_cfg.num_frames,
+                train_steps=diff_cfg.train_steps,
+                finetune_steps=diff_cfg.finetune_steps,
+                num_groups=diff_cfg.num_groups),
+            rng=rng, out_channels=1)
+        self.schedule = NoiseSchedule(diff_cfg.train_steps,
+                                      diff_cfg.beta_schedule)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _cond_window(self, y_int: np.ndarray) -> np.ndarray:
+        """(N, C, h, w) latents -> (1, N, C, H, W) conditioning."""
+        up = np.repeat(np.repeat(y_int, self.upfactor, axis=2),
+                       self.upfactor, axis=3)
+        return up[None]
+
+    def _window_batches(self, windows: Sequence[np.ndarray]) -> np.ndarray:
+        out = [normalize_frames(np.asarray(w))[0] for w in windows]
+        for w in out:
+            if w.shape[0] != self.window:
+                raise ValueError(
+                    f"training windows must have {self.window} frames")
+        return np.stack(out)  # (W, N, H, W)
+
+    # ------------------------------------------------------------------
+    def train(self, windows: Sequence[np.ndarray], vae_iters: int = 200,
+              diffusion_iters: int = 300, batch: int = 2, lr: float = 1e-3,
+              lam: float = 1e-6) -> None:
+        stacks = self._window_batches(windows)
+        frames = stacks.reshape(-1, *stacks.shape[2:])
+        rng = np.random.default_rng((self.seed, 1))
+
+        # stage 1: per-frame VAE
+        opt = Adam(self.vae.parameters(), lr=lr)
+        loss_fn = RDLoss(lam=lam)
+        self.vae.train()
+        for _ in range(vae_iters):
+            idx = rng.integers(0, frames.shape[0], size=4)
+            x = Tensor(frames[idx][:, None])
+            opt.zero_grad()
+            out = self.vae(x, rng=rng)
+            loss_fn(x, out).loss.backward()
+            clip_grad_norm(self.vae.parameters(), 1.0)
+            opt.step()
+        self.vae.eval()
+
+        # stage 2: conditional video diffusion in data space
+        opt = Adam(self.unet.parameters(), lr=lr)
+        self.unet.train()
+        for _ in range(diffusion_iters):
+            idx = rng.integers(0, stacks.shape[0],
+                               size=min(batch, stacks.shape[0]))
+            x0 = stacks[idx][:, :, None]              # (B, N, 1, H, W)
+            B = x0.shape[0]
+            conds = []
+            for b in range(B):
+                y = self.vae.encode_latents(x0[b])
+                conds.append(self._cond_window(y)[0])
+            cond = np.stack(conds)                    # (B, N, C, H, W)
+            t = int(rng.integers(1, self.schedule.steps + 1))
+            eps = rng.standard_normal(x0.shape)
+            x_t = self.schedule.q_sample(x0, t, eps)
+            inp = np.concatenate([x_t, cond], axis=2)
+            out = self.unet(Tensor(inp), t)
+            loss = F.mse_loss(out, Tensor(eps))
+            opt.zero_grad()
+            loss.backward()
+            clip_grad_norm(self.unet.parameters(), 1.0)
+            opt.step()
+        self.unet.eval()
+
+    # ------------------------------------------------------------------
+    def _reconstruct(self, frames_norm: np.ndarray, seed: int
+                     ) -> Tuple[np.ndarray, int]:
+        from ..pipeline.compressor import window_starts
+        T = frames_norm.shape[0]
+        rng = np.random.default_rng(seed)
+        recon = np.zeros_like(frames_norm)
+        total_bytes = 0
+        for start in window_starts(T, self.window):
+            chunk = frames_norm[start:start + self.window]
+            streams, y_int = self.vae.compress(chunk[:, None])
+            total_bytes += stream_bytes(streams)
+            cond = self._cond_window(y_int)
+            x = rng.standard_normal((1, self.window, 1,
+                                     *frames_norm.shape[1:]))
+            for t in range(self.schedule.steps, 0, -1):
+                inp = np.concatenate([x, cond], axis=2)
+                with no_grad():
+                    eps_hat = self.unet(Tensor(inp), t).numpy()
+                noise = (rng.standard_normal(x.shape) if t > 1
+                         else np.zeros_like(x))
+                x = self.schedule.posterior_step(x, t, eps_hat, noise,
+                                                 clip_x0=(-1.5, 1.5))
+            recon[start:start + self.window] = x[0, :, 0]
+        return recon, total_bytes

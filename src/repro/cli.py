@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands
+-----------
+``train``       train the two-stage pipeline on a ``.npy`` frame stack
+                and save a model bundle (``.npz``);
+``compress``    compress a ``.npy`` frame stack with a trained bundle;
+``decompress``  reconstruct frames from a compressed stream;
+``info``        inspect a compressed stream's accounting;
+``qoi``         certify quantities of interest of a reconstruction
+                against the original (Sec. 3.5 bound propagation);
+``spectrum``    compare radial energy spectra of original vs
+                reconstruction (turbulence fidelity diagnostic).
+
+The model bundle holds the VAE, diffusion and PCA-corrector state plus
+the configuration, so a single file moves a trained compressor between
+machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import io
+import json
+import sys
+from typing import Optional
+
+import numpy as np
+
+from . import (CompressedBlob, LatentDiffusionCompressor, TrainingConfig,
+               TwoStageTrainer, nrmse, small, tiny)
+from .config import DiffusionConfig, PipelineConfig, ReproConfig, VAEConfig
+from .data.base import train_test_windows
+from .diffusion import ConditionalDDPM
+from .compression import VAEHyperprior
+from .postprocess import ErrorBoundCorrector, ResidualPCA
+
+__all__ = ["main", "save_bundle", "load_bundle"]
+
+_PRESETS = {"tiny": tiny, "small": small}
+
+
+# ----------------------------------------------------------------------
+# Model bundle persistence
+# ----------------------------------------------------------------------
+def save_bundle(path: str, compressor: LatentDiffusionCompressor) -> None:
+    """Serialize a trained compressor (weights + config + corrector)."""
+    cfg = {
+        "vae": dataclasses.asdict(compressor.vae.cfg),
+        "diffusion": dataclasses.asdict(compressor.ddpm.cfg),
+        "pipeline": dataclasses.asdict(compressor.config),
+        "schedule_steps": compressor.ddpm.schedule.steps,
+        "original_dtype_bytes": compressor.original_dtype_bytes,
+    }
+    arrays = {}
+    for name, arr in compressor.vae.state_dict().items():
+        arrays[f"vae/{name}"] = arr
+    for name, arr in compressor.ddpm.state_dict().items():
+        arrays[f"ddpm/{name}"] = arr
+    if compressor.corrector is not None:
+        pca = compressor.corrector.pca
+        arrays["pca/basis"] = pca.basis
+        cfg["pca"] = {"block": pca.block, "rank": pca.rank,
+                      "coeff_quant_bits":
+                          compressor.corrector.coeff_quant_bits}
+    arrays["config_json"] = np.frombuffer(
+        json.dumps(cfg).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_bundle(path: str) -> LatentDiffusionCompressor:
+    """Inverse of :func:`save_bundle`."""
+    with np.load(path) as archive:
+        cfg = json.loads(bytes(archive["config_json"]).decode())
+        vae_cfg = VAEConfig(**cfg["vae"])
+        diff_cfg = DiffusionConfig(
+            **{k: tuple(v) if k == "channel_mults" else v
+               for k, v in cfg["diffusion"].items()})
+        pipe_cfg = PipelineConfig(**cfg["pipeline"])
+        vae = VAEHyperprior(vae_cfg)
+        vae.load_state_dict({k[len("vae/"):]: archive[k]
+                             for k in archive.files
+                             if k.startswith("vae/")})
+        ddpm = ConditionalDDPM(diff_cfg)
+        ddpm.load_state_dict({k[len("ddpm/"):]: archive[k]
+                              for k in archive.files
+                              if k.startswith("ddpm/")})
+        ddpm.set_schedule(int(cfg["schedule_steps"]))
+        corrector = None
+        if "pca/basis" in archive.files:
+            pca = ResidualPCA.from_state({
+                "block": cfg["pca"]["block"], "rank": cfg["pca"]["rank"],
+                "basis": archive["pca/basis"]})
+            corrector = ErrorBoundCorrector(
+                pca, coeff_quant_bits=cfg["pca"]["coeff_quant_bits"])
+        return LatentDiffusionCompressor(
+            vae, ddpm, pipe_cfg, corrector=corrector,
+            original_dtype_bytes=int(cfg["original_dtype_bytes"]))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_train(args: argparse.Namespace) -> int:
+    frames = np.load(args.data)
+    if frames.ndim != 3:
+        print(f"error: expected a (T, H, W) array, got {frames.shape}",
+              file=sys.stderr)
+        return 2
+    cfg = _PRESETS[args.preset]()
+    train, _ = train_test_windows(frames, window=cfg.pipeline.window,
+                                  train_fraction=args.train_fraction,
+                                  stride=args.stride)
+    tc = TrainingConfig(vae_iters=args.vae_iters,
+                        diffusion_iters=args.diffusion_iters,
+                        finetune_iters=args.finetune_iters,
+                        lam=args.lam)
+    trainer = TwoStageTrainer(cfg, tc, seed=args.seed)
+    print(f"stage 1: VAE ({tc.vae_iters} iters) ...")
+    trainer.train_vae(train)
+    print(f"stage 2: diffusion ({tc.diffusion_iters} iters) ...")
+    trainer.train_diffusion(train)
+    if tc.finetune_iters:
+        print(f"fine-tuning to {cfg.diffusion.finetune_steps} steps ...")
+        trainer.finetune_diffusion(train)
+    compressor = trainer.build_compressor(train)
+    save_bundle(args.model, compressor)
+    print(f"saved model bundle to {args.model}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    compressor = load_bundle(args.model)
+    frames = np.load(args.data)
+    result = compressor.compress(frames, nrmse_bound=args.nrmse_bound,
+                                 error_bound=args.error_bound,
+                                 noise_seed=args.seed)
+    with open(args.output, "wb") as fh:
+        fh.write(result.blob.to_bytes())
+    print(f"ratio={result.ratio:.2f}x nrmse={result.achieved_nrmse:.6f} "
+          f"bytes={result.blob.total_bytes()}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    compressor = load_bundle(args.model)
+    with open(args.data, "rb") as fh:
+        blob = CompressedBlob.from_bytes(fh.read())
+    frames = compressor.decompress(blob)
+    np.save(args.output, frames)
+    print(f"wrote {frames.shape} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with open(args.data, "rb") as fh:
+        blob = CompressedBlob.from_bytes(fh.read())
+    total = blob.total_bytes()
+    print(f"shape            : {blob.shape}")
+    print(f"window           : {blob.window}")
+    print(f"keyframes        : {blob.keyframe_strategy} "
+          f"(interval {blob.keyframe_interval})")
+    print(f"sampler          : {blob.sampler} ({blob.sample_steps} steps)")
+    from .pipeline.compressor import window_starts
+    print(f"windows          : "
+          f"{len(window_starts(blob.shape[0], blob.window))}")
+    print(f"keyframe latents : {blob.y_shape[0]}")
+    print(f"total bytes      : {total}")
+    print(f"  latent (L)     : {blob.latent_bytes()}")
+    print(f"  guarantee (G)  : {blob.guarantee_bytes()}")
+    return 0
+
+
+def _cmd_qoi(args: argparse.Namespace) -> int:
+    from .postprocess.qoi import (DerivativeQoI, QuadraticQoI,
+                                  evaluate_qois, mean_qoi)
+    x = np.load(args.original)
+    x_g = np.load(args.reconstruction)
+    if x.shape != x_g.shape:
+        print(f"error: shape mismatch {x.shape} vs {x_g.shape}",
+              file=sys.stderr)
+        return 2
+    # the certificates are conditional on ||x - x_G||_2 <= tau; with the
+    # original at hand the measured error is itself a valid tau
+    tau = args.tau if args.tau else float(np.linalg.norm(x - x_g))
+    qois = [mean_qoi(x.shape), QuadraticQoI()]
+    qois += [DerivativeQoI(axis=a) for a in range(1, x.ndim)]
+    print(f"PD bound tau = {tau:.6g}"
+          + ("" if args.tau else " (measured L2 error)"))
+    print(f"{'QoI':22s} {'abs error':>12s} {'certified':>12s} status")
+    ok = True
+    for r in evaluate_qois(x, x_g, qois, tau=tau):
+        status = "OK" if r.within_bound else "VIOLATED"
+        ok = ok and r.within_bound
+        print(f"{r.name:22s} {r.achieved_error:12.4g} "
+              f"{r.certified_bound:12.4g} {status}")
+    return 0 if ok else 1
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from .analysis import radial_energy_spectrum, spectral_relative_error
+    x = np.load(args.original)
+    x_g = np.load(args.reconstruction)
+    if x.shape != x_g.shape:
+        print(f"error: shape mismatch {x.shape} vs {x_g.shape}",
+              file=sys.stderr)
+        return 2
+    k, e0 = radial_energy_spectrum(x)
+    _, e1 = radial_energy_spectrum(x_g)
+    err = spectral_relative_error(x, x_g, k_max=args.k_max)
+    print(f"{'k':>4s} {'E_orig':>12s} {'E_recon':>12s} {'rel err':>10s}")
+    for ki in range(min(len(err), (args.k_max or len(err) - 1) + 1)):
+        print(f"{ki:4d} {e0[ki]:12.4e} {e1[ki]:12.4e} {err[ki]:10.3g}")
+    finite = err[np.isfinite(err)]
+    print(f"worst finite band error: "
+          f"{finite.max() if finite.size else 0.0:.3g}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("train", help="train a compressor on a .npy stack")
+    t.add_argument("data", help="(T, H, W) .npy file")
+    t.add_argument("model", help="output model bundle (.npz)")
+    t.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    t.add_argument("--vae-iters", type=int, default=300)
+    t.add_argument("--diffusion-iters", type=int, default=800)
+    t.add_argument("--finetune-iters", type=int, default=0)
+    t.add_argument("--lam", type=float, default=1e-6)
+    t.add_argument("--train-fraction", type=float, default=0.5)
+    t.add_argument("--stride", type=int, default=1)
+    t.add_argument("--seed", type=int, default=0)
+    t.set_defaults(fn=_cmd_train)
+
+    c = sub.add_parser("compress", help="compress a .npy stack")
+    c.add_argument("model", help="model bundle (.npz)")
+    c.add_argument("data", help="(T, H, W) .npy file")
+    c.add_argument("output", help="output compressed stream")
+    c.add_argument("--nrmse-bound", type=float, default=None)
+    c.add_argument("--error-bound", type=float, default=None)
+    c.add_argument("--seed", type=int, default=0)
+    c.set_defaults(fn=_cmd_compress)
+
+    d = sub.add_parser("decompress", help="reconstruct a stream")
+    d.add_argument("model", help="model bundle (.npz)")
+    d.add_argument("data", help="compressed stream file")
+    d.add_argument("output", help="output .npy path")
+    d.set_defaults(fn=_cmd_decompress)
+
+    i = sub.add_parser("info", help="inspect a compressed stream")
+    i.add_argument("data", help="compressed stream file")
+    i.set_defaults(fn=_cmd_info)
+
+    q = sub.add_parser("qoi", help="certify quantities of interest")
+    q.add_argument("original", help="(T, H, W) .npy original")
+    q.add_argument("reconstruction", help="(T, H, W) .npy reconstruction")
+    q.add_argument("--tau", type=float, default=None,
+                   help="guaranteed L2 bound (default: measured error)")
+    q.set_defaults(fn=_cmd_qoi)
+
+    s = sub.add_parser("spectrum", help="compare radial energy spectra")
+    s.add_argument("original", help="(T, H, W) .npy original")
+    s.add_argument("reconstruction", help="(T, H, W) .npy reconstruction")
+    s.add_argument("--k-max", type=int, default=8,
+                   help="highest wavenumber band to print")
+    s.set_defaults(fn=_cmd_spectrum)
+    return p
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""``repro.compression`` — stage-1 transform coding (Sec. 3.1, 3.4).
+
+The frame VAE with a scale hyperprior: encoder/decoder transforms
+(:mod:`repro.compression.vae`), the hyperprior autoencoder producing
+``(mu, sigma)`` (:mod:`repro.compression.hyperprior`), quantization
+relaxations (:mod:`repro.compression.quantization`) and the
+rate–distortion objective of Eq. 8 (:mod:`repro.compression.rd_loss`).
+"""
+
+from .hyperprior import HyperDecoder, HyperEncoder
+from .quantization import (dequantize_minmax, minmax_normalize,
+                           quantize_noise, quantize_round, quantize_ste)
+from .rd_loss import RDLoss, RDLossOutput
+from .vae import Decoder, Encoder, VAEHyperprior, VAEOutput
+
+__all__ = [
+    "Encoder", "Decoder", "VAEHyperprior", "VAEOutput",
+    "HyperEncoder", "HyperDecoder",
+    "quantize_noise", "quantize_round", "quantize_ste",
+    "minmax_normalize", "dequantize_minmax",
+    "RDLoss", "RDLossOutput",
+]

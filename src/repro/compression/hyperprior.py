@@ -1,0 +1,68 @@
+"""Hyperprior autoencoder producing the Gaussian parameters of Eq. 1.
+
+The hyper-encoder ``E_h`` summarizes the latent magnitudes into a
+hyper-latent ``z``; the hyper-decoder ``D_h`` maps the quantized ``z``
+back to per-element ``(mu, sigma)`` for the Gaussian conditional model
+(Ballé et al. 2018 / Minnen et al. 2018 [30], as adopted by the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import VAEConfig
+from ..nn import Conv2d, ConvTranspose2d, Module, ReLU, Sequential, Tensor
+from ..nn import functional as F
+
+__all__ = ["HyperEncoder", "HyperDecoder"]
+
+
+class HyperEncoder(Module):
+    """``z = E_h(|y|)`` — conv stack with ``hyper_down`` stride-2 stages."""
+
+    def __init__(self, cfg: VAEConfig,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        h = cfg.hyper_filters
+        layers = [Conv2d(cfg.latent_channels, h, 3, stride=1, padding=1,
+                         rng=rng), ReLU()]
+        for _ in range(cfg.hyper_down):
+            layers += [Conv2d(h, h, 3, stride=2, padding=1, rng=rng), ReLU()]
+        layers.append(Conv2d(h, h, 3, stride=1, padding=1, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, y: Tensor) -> Tensor:
+        return self.net(F.abs(y))
+
+
+class HyperDecoder(Module):
+    """``(mu, sigma) = D_h(ẑ)`` — mirrors :class:`HyperEncoder`.
+
+    Outputs ``2 * latent_channels`` maps split into the mean and a raw
+    scale passed through softplus (positivity); the Gaussian
+    conditional applies the final ``SCALE_MIN`` bound.
+    """
+
+    def __init__(self, cfg: VAEConfig,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        h = cfg.hyper_filters
+        c = cfg.latent_channels
+        layers = [Conv2d(h, h, 3, stride=1, padding=1, rng=rng), ReLU()]
+        for _ in range(cfg.hyper_down):
+            layers += [ConvTranspose2d(h, h, 3, stride=2, padding=1,
+                                       output_padding=1, rng=rng), ReLU()]
+        layers.append(Conv2d(h, 2 * c, 3, stride=1, padding=1, rng=rng))
+        self.net = Sequential(*layers)
+        self.latent_channels = c
+
+    def forward(self, z_hat: Tensor) -> Tuple[Tensor, Tensor]:
+        out = self.net(z_hat)
+        c = self.latent_channels
+        mu = out[:, :c]
+        sigma = F.softplus(out[:, c:])
+        return mu, sigma

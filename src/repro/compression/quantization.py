@@ -1,0 +1,67 @@
+"""Quantization relaxations and latent normalization (Sec. 3.1, 3.3).
+
+Training uses additive ``U(-0.5, 0.5)`` noise as the differentiable
+surrogate for rounding (Sec. 3.4); inference rounds.  The latent
+min–max normalization to ``[-1, 1]`` feeds the diffusion stage — the
+paper observes "learning degrades when the latent dynamic range is
+misaligned with the noise scale".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Tensor, as_tensor
+from ..nn import functional as F
+
+__all__ = ["quantize_noise", "quantize_round", "quantize_ste",
+           "minmax_normalize", "dequantize_minmax"]
+
+
+def quantize_noise(y: Tensor, rng: np.random.Generator) -> Tensor:
+    """Additive-uniform-noise quantization surrogate (training)."""
+    y = as_tensor(y)
+    noise = rng.uniform(-0.5, 0.5, size=y.shape)
+    return y + Tensor(noise)
+
+
+def quantize_round(y: Tensor) -> Tensor:
+    """Hard rounding (inference); produces a constant tensor."""
+    y = as_tensor(y)
+    return Tensor(np.rint(y.numpy()))
+
+
+def quantize_ste(y: Tensor) -> Tensor:
+    """Straight-through rounding: forward rounds, backward is identity.
+
+    Useful when fine-tuning the decoder against truly quantized
+    latents.
+    """
+    y = as_tensor(y)
+    delta = Tensor(np.rint(y.numpy()) - y.numpy())
+    return y + delta
+
+
+def minmax_normalize(y: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """Map ``y`` onto ``[-1, 1]``; returns ``(normalized, lo, hi)``.
+
+    ``lo``/``hi`` are the constants the decompressor needs to invert
+    the map (they ride along in the compressed stream header).
+    Degenerate (constant) inputs map to all zeros.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    lo, hi = float(y.min()), float(y.max())
+    if hi - lo < 1e-12:
+        return np.zeros_like(y), lo, hi
+    out = (y - lo) / (hi - lo) * 2.0 - 1.0
+    return out, lo, hi
+
+
+def dequantize_minmax(y_norm: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Inverse of :func:`minmax_normalize`."""
+    y_norm = np.asarray(y_norm, dtype=np.float64)
+    if hi - lo < 1e-12:
+        return np.full_like(y_norm, lo)
+    return (y_norm + 1.0) * 0.5 * (hi - lo) + lo

@@ -1,0 +1,68 @@
+"""Rate–distortion objective (Eq. 8) and the paper's lambda schedule.
+
+``L = MSE(x, x̂) + λ (E[-log2 p(y|μ,σ)] + E[-log2 p(z)])``
+
+The paper initializes λ at 1e-5 and doubles it at iteration 250K of a
+500K-iteration run; :class:`LambdaSchedule` reproduces that protocol
+scaled to any total step count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn import Tensor
+from ..nn import functional as F
+from .vae import VAEOutput
+
+__all__ = ["RDLoss", "RDLossOutput", "LambdaSchedule"]
+
+
+@dataclass
+class RDLossOutput:
+    loss: Tensor
+    distortion: float
+    bits_per_element: float
+    lam: float
+
+
+class RDLoss:
+    """Callable computing Eq. 8 from a :class:`VAEOutput`."""
+
+    def __init__(self, lam: float = 1e-5, normalize_rate: bool = False):
+        """``normalize_rate`` divides bits by the pixel count, which
+        makes λ transferable across crop sizes (off by default to match
+        the paper's formulation exactly)."""
+        self.lam = lam
+        self.normalize_rate = normalize_rate
+
+    def __call__(self, x: Tensor, out: VAEOutput) -> RDLossOutput:
+        distortion = F.mse_loss(out.x_hat, x)
+        rate = out.bits_y + out.bits_z
+        n = x.size
+        if self.normalize_rate:
+            rate = rate * (1.0 / n)
+        loss = distortion + rate * self.lam
+        return RDLossOutput(
+            loss=loss,
+            distortion=distortion.item(),
+            bits_per_element=(out.bits_y.item() + out.bits_z.item()) / n,
+            lam=self.lam,
+        )
+
+
+class LambdaSchedule:
+    """λ starts at ``lam0`` and doubles at the halfway iteration.
+
+    Mirrors Sec. 4.3: "the weight parameter λ is initialized to 1e-5
+    and is doubled at the 250K iteration" of 500K total.
+    """
+
+    def __init__(self, lam0: float = 1e-5, total_steps: int = 500_000):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.lam0 = lam0
+        self.total_steps = total_steps
+
+    def at(self, step: int) -> float:
+        return self.lam0 * (2.0 if step >= self.total_steps // 2 else 1.0)

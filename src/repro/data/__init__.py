@@ -1,0 +1,27 @@
+"""``repro.data`` — synthetic stand-ins for the paper's datasets.
+
+The paper evaluates on E3SM (climate), S3D (combustion) and JHTDB
+(turbulence) — tens of GB of simulation output we cannot ship offline.
+Each generator here synthesizes fields with the statistical character
+that matters to the compressor (see DESIGN.md §2 for the substitution
+rationale), is fully seeded, and records the paper-scale shape and
+size for the Table 1 reproduction.
+"""
+
+from .base import DatasetInfo, SpatiotemporalDataset, train_test_windows
+from .e3sm import E3SMSynthetic
+from .jhtdb import JHTDBSynthetic
+from .projection import cube_to_latlon, latlon_to_cube
+from .s3d import S3DSynthetic
+
+__all__ = ["DatasetInfo", "SpatiotemporalDataset", "train_test_windows",
+           "E3SMSynthetic", "S3DSynthetic", "JHTDBSynthetic",
+           "latlon_to_cube", "cube_to_latlon",
+           "DATASETS"]
+
+#: Registry used by examples and the benchmark harness.
+DATASETS = {
+    "e3sm": E3SMSynthetic,
+    "s3d": S3DSynthetic,
+    "jhtdb": JHTDBSynthetic,
+}

@@ -1,0 +1,107 @@
+"""Dataset containers and windowing utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["DatasetInfo", "SpatiotemporalDataset", "train_test_windows"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata mirroring Table 1 of the paper."""
+
+    name: str
+    domain: str
+    paper_shape: Tuple[int, ...]   # (vars, T, H, W) as published
+    paper_size_gb: float           # as published (decimal GB)
+    dtype_bytes: int = 4           # element size implied by the paper's GB
+
+    @property
+    def paper_size_bytes(self) -> int:
+        return int(np.prod(self.paper_shape)) * self.dtype_bytes
+
+    def computed_size_gb(self) -> float:
+        """Size implied by the published shape, in decimal GB.
+
+        The paper's Table 1 totals are consistent with float32 for E3SM
+        and float64 for S3D/JHTDB (``dtype_bytes`` records which).
+        """
+        return self.paper_size_bytes / 1e9
+
+
+class SpatiotemporalDataset:
+    """Base class for synthetic generators.
+
+    Subclasses implement :meth:`_generate` returning frames ``(T, H,
+    W)`` for one variable index.  Generation is deterministic in
+    ``(seed, variable)``.
+    """
+
+    info: DatasetInfo
+
+    def __init__(self, t: int, h: int, w: int, num_vars: int = 1,
+                 seed: int = 0):
+        if t < 1 or h < 4 or w < 4:
+            raise ValueError(f"degenerate shape ({t}, {h}, {w})")
+        self.t, self.h, self.w = t, h, w
+        self.num_vars = num_vars
+        self.seed = seed
+
+    # -- public API -------------------------------------------------------
+    def frames(self, variable: int = 0) -> np.ndarray:
+        """Return ``(T, H, W)`` float64 frames for one variable."""
+        if not (0 <= variable < self.num_vars):
+            raise ValueError(
+                f"variable {variable} outside [0, {self.num_vars})")
+        rng = np.random.default_rng((self.seed, variable, 0xD1FF))
+        out = self._generate(rng, variable)
+        assert out.shape == (self.t, self.h, self.w)
+        return out
+
+    def normalized_frames(self, variable: int = 0) -> np.ndarray:
+        """Frames scaled per-frame to zero mean and unit range.
+
+        Matches Sec. 4.3: "we normalize each frame independently to
+        have zero mean and unit range" (scientific data spans up to
+        ±1e10).
+        """
+        x = self.frames(variable)
+        mean = x.mean(axis=(1, 2), keepdims=True)
+        rng_ = (x.max(axis=(1, 2), keepdims=True)
+                - x.min(axis=(1, 2), keepdims=True))
+        rng_ = np.where(rng_ < 1e-30, 1.0, rng_)
+        return (x - mean) / rng_
+
+    def _generate(self, rng: np.random.Generator,
+                  variable: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+def train_test_windows(frames: np.ndarray, window: int,
+                       train_fraction: float = 0.5,
+                       stride: int = None
+                       ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Chronologically split frames into train/test windows.
+
+    Windows are ``(window, H, W)`` slices; the split is temporal (train
+    on early simulation time, evaluate on later time) to avoid leakage.
+    """
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must be in (0, 1)")
+    stride = stride or window
+    t = frames.shape[0]
+    if t < 2 * window:
+        raise ValueError(
+            f"need at least {2 * window} frames for a split, got {t}")
+    cut = max(window, int(t * train_fraction))
+    train = [frames[s:s + window]
+             for s in range(0, cut - window + 1, stride)]
+    test = [frames[s:s + window]
+            for s in range(cut, t - window + 1, stride)]
+    if not test:
+        test = [frames[t - window:]]
+    return train, test

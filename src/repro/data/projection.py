@@ -1,0 +1,212 @@
+"""Cube-to-sphere projection for geospatial fields (E3SM preprocessing).
+
+The paper converts E3SM's geospatial output "into a format suitable for
+learning" by applying "Cube-to-Sphere projections, mapping the Earth's
+surface onto a planar grid", producing frames of resolution
+``240 x 1440`` — six ``240 x 240`` cube faces laid side by side
+(``1440 = 6 x 240``).  This module implements that transform for
+lat-lon fields, both directions:
+
+* :func:`latlon_to_cube` — sample an equiangular cubed-sphere grid from
+  a ``(n_lat, n_lon)`` field (bilinear, longitude-periodic), returning
+  the ``(face_n, 6 * face_n)`` planar strip;
+* :func:`cube_to_latlon` — the inverse resampling.
+
+The equiangular mapping keeps cell solid angles within ~30% of each
+other across a face (vs ~520% for the gnomonic tangent grid), which is
+why climate codes — E3SM included, whose native dynamics grid *is* a
+cubed sphere — use it.  A round trip is not bit-exact (two bilinear
+resamplings) but converges as resolution grows; the tests pin the
+rates.
+
+Face layout and orientation follow the common equatorial-belt
+convention: faces 0-3 walk the equator (+x, +y, −x, −y), face 4 is the
+north cap, face 5 the south cap.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["latlon_to_cube", "cube_to_latlon", "face_directions",
+           "CUBE_FACES"]
+
+#: Number of cube faces.
+CUBE_FACES = 6
+
+_QUARTER_PI = np.pi / 4.0
+
+
+def face_directions(face: int, a: np.ndarray, b: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unit-sphere direction for equiangular face coords ``(a, b)``.
+
+    ``a`` (horizontal) and ``b`` (vertical) are angles in
+    ``[-pi/4, pi/4]``; ``tan`` of them gives gnomonic coordinates on
+    the face plane.
+    """
+    ta, tb = np.tan(a), np.tan(b)
+    one = np.ones_like(ta)
+    if face == 0:    # +x, equator at lon 0
+        x, y, z = one, ta, tb
+    elif face == 1:  # +y, lon 90E
+        x, y, z = -ta, one, tb
+    elif face == 2:  # -x, lon 180
+        x, y, z = -one, -ta, tb
+    elif face == 3:  # -y, lon 90W
+        x, y, z = ta, -one, tb
+    elif face == 4:  # +z, north cap (a east, b toward lon 180)
+        x, y, z = -tb, ta, one
+    elif face == 5:  # -z, south cap
+        x, y, z = tb, ta, -one
+    else:
+        raise ValueError(f"face must be in [0, 6), got {face}")
+    norm = np.sqrt(x * x + y * y + z * z)
+    return x / norm, y / norm, z / norm
+
+
+def _latlon_grid_coords(lat: np.ndarray, lon: np.ndarray,
+                        n_lat: int, n_lon: int
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fractional (row, col) into a cell-centred lat-lon raster.
+
+    Rows run south (−90°) to north (+90°), columns west (−180°) east;
+    both cell-centred (row 0 at lat ``-90 + 90/n_lat``).
+    """
+    row = (lat + np.pi / 2) / np.pi * n_lat - 0.5
+    col = (lon + np.pi) / (2 * np.pi) * n_lon - 0.5
+    return row, col
+
+
+def _bilinear_periodic(field: np.ndarray, row: np.ndarray,
+                       col: np.ndarray) -> np.ndarray:
+    """Bilinear sample; rows clamped (poles), columns wrap (longitude)."""
+    n_lat, n_lon = field.shape
+    r0 = np.floor(row).astype(np.int64)
+    c0 = np.floor(col).astype(np.int64)
+    fr = row - r0
+    fc = col - c0
+    r0c = np.clip(r0, 0, n_lat - 1)
+    r1c = np.clip(r0 + 1, 0, n_lat - 1)
+    c0w = np.mod(c0, n_lon)
+    c1w = np.mod(c0 + 1, n_lon)
+    f00 = field[r0c, c0w]
+    f01 = field[r0c, c1w]
+    f10 = field[r1c, c0w]
+    f11 = field[r1c, c1w]
+    return ((1 - fr) * ((1 - fc) * f00 + fc * f01)
+            + fr * ((1 - fc) * f10 + fc * f11))
+
+
+def latlon_to_cube(field: np.ndarray, face_n: int) -> np.ndarray:
+    """Project a ``(n_lat, n_lon)`` field onto a ``(face_n, 6*face_n)``
+    cubed-sphere strip (the paper's E3SM frame layout).
+
+    Stacks of fields ``(T, n_lat, n_lon)`` are handled frame-wise.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim == 3:
+        return np.stack([latlon_to_cube(f, face_n) for f in field])
+    if field.ndim != 2:
+        raise ValueError(f"expected 2-D or 3-D field, got {field.shape}")
+    if face_n < 2:
+        raise ValueError("face_n must be >= 2")
+    n_lat, n_lon = field.shape
+    # cell-centred equiangular coordinates on each face
+    step = 2 * _QUARTER_PI / face_n
+    coords = -_QUARTER_PI + (np.arange(face_n) + 0.5) * step
+    b, a = np.meshgrid(coords, coords, indexing="ij")  # (face_n, face_n)
+    out = np.empty((face_n, CUBE_FACES * face_n))
+    for face in range(CUBE_FACES):
+        x, y, z = face_directions(face, a, b)
+        lat = np.arcsin(np.clip(z, -1.0, 1.0))
+        lon = np.arctan2(y, x)
+        row, col = _latlon_grid_coords(lat, lon, n_lat, n_lon)
+        out[:, face * face_n:(face + 1) * face_n] = _bilinear_periodic(
+            field, row, col)
+    return out
+
+
+def cube_to_latlon(strip: np.ndarray, n_lat: int, n_lon: int) -> np.ndarray:
+    """Inverse of :func:`latlon_to_cube`: resample the planar strip back
+    to a ``(n_lat, n_lon)`` lat-lon raster.
+
+    Stacks ``(T, face_n, 6*face_n)`` are handled frame-wise.
+    """
+    strip = np.asarray(strip, dtype=np.float64)
+    if strip.ndim == 3:
+        return np.stack([cube_to_latlon(s, n_lat, n_lon) for s in strip])
+    if strip.ndim != 2 or strip.shape[1] != CUBE_FACES * strip.shape[0]:
+        raise ValueError(
+            f"expected (N, 6N) cube strip, got {strip.shape}")
+    face_n = strip.shape[0]
+    faces = strip.reshape(face_n, CUBE_FACES, face_n).transpose(1, 0, 2)
+
+    lat = (-np.pi / 2 + (np.arange(n_lat) + 0.5) * np.pi / n_lat)
+    lon = (-np.pi + (np.arange(n_lon) + 0.5) * 2 * np.pi / n_lon)
+    lat2, lon2 = np.meshgrid(lat, lon, indexing="ij")
+    x = np.cos(lat2) * np.cos(lon2)
+    y = np.cos(lat2) * np.sin(lon2)
+    z = np.sin(lat2)
+
+    ax, ay, az = np.abs(x), np.abs(y), np.abs(z)
+    # dominant axis decides the face
+    face_idx = np.where(
+        (az >= ax) & (az >= ay), np.where(z > 0, 4, 5),
+        np.where(ax >= ay, np.where(x > 0, 0, 2),
+                 np.where(y > 0, 1, 3)))
+
+    out = np.empty((n_lat, n_lon))
+    step = 2 * _QUARTER_PI / face_n
+    for face in range(CUBE_FACES):
+        sel = face_idx == face
+        if not np.any(sel):
+            continue
+        xs, ys, zs = x[sel], y[sel], z[sel]
+        # invert the face direction map: recover the (a, b) angles by
+        # rescaling the direction so the face's dominant component is ±1
+        if face == 0:      # (1, tan a, tan b)
+            a = np.arctan(ys / xs)
+            b = np.arctan(zs / xs)
+        elif face == 1:    # (-tan a, 1, tan b)
+            a = np.arctan(-xs / ys)
+            b = np.arctan(zs / ys)
+        elif face == 2:    # (-1, -tan a, tan b); divide by -x > 0
+            a = np.arctan(ys / xs)       # -tan a = y/(-x)
+            b = np.arctan(-zs / xs)      # tan b = z/(-x)
+        elif face == 3:    # (tan a, -1, tan b); divide by -y > 0
+            a = np.arctan(-xs / ys)
+            b = np.arctan(-zs / ys)
+        elif face == 4:    # (-tan b, tan a, 1)
+            a = np.arctan(ys / zs)
+            b = np.arctan(-xs / zs)
+        else:              # face 5: (tan b, tan a, -1); divide by -z > 0
+            a = np.arctan(-ys / zs)
+            b = np.arctan(-xs / zs)
+        # fractional pixel coords on the face (cell-centred inverse)
+        ca = (a + _QUARTER_PI) / step - 0.5
+        cb = (b + _QUARTER_PI) / step - 0.5
+        out[sel] = _bilinear_clamped(faces[face], cb, ca)
+    return out
+
+
+def _bilinear_clamped(face: np.ndarray, row: np.ndarray,
+                      col: np.ndarray) -> np.ndarray:
+    """Bilinear sample with clamped borders (single cube face)."""
+    n = face.shape[0]
+    r0 = np.floor(row).astype(np.int64)
+    c0 = np.floor(col).astype(np.int64)
+    fr = row - r0
+    fc = col - c0
+    r0c = np.clip(r0, 0, n - 1)
+    r1c = np.clip(r0 + 1, 0, n - 1)
+    c0c = np.clip(c0, 0, n - 1)
+    c1c = np.clip(c0 + 1, 0, n - 1)
+    f00 = face[r0c, c0c]
+    f01 = face[r0c, c1c]
+    f10 = face[r1c, c0c]
+    f11 = face[r1c, c1c]
+    return ((1 - fr) * ((1 - fc) * f00 + fc * f01)
+            + fr * ((1 - fc) * f10 + fc * f11))

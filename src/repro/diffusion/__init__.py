@@ -1,0 +1,39 @@
+"""``repro.diffusion`` — stage-2 conditional latent diffusion (Sec. 3.2-3.4).
+
+* :mod:`repro.diffusion.schedule` — beta schedules and forward-process
+  math (Eqs. 3-4);
+* :mod:`repro.diffusion.embeddings` — sinusoidal timestep embeddings;
+* :mod:`repro.diffusion.unet` — the factorized space-time attention
+  denoising UNet;
+* :mod:`repro.diffusion.conditioning` — keyframe index strategies and
+  the ``⊕`` splice operator (Sec. 3.3);
+* :mod:`repro.diffusion.ddpm` — the conditional training objective
+  (Eq. 7 / Algorithm 1);
+* :mod:`repro.diffusion.sampler` — ancestral and DDIM reverse processes;
+* :mod:`repro.diffusion.dpm_solver` — DPM-Solver++(2M) multistep sampler;
+* :mod:`repro.diffusion.parameterization` — ε / x0 / v prediction targets;
+* :mod:`repro.diffusion.ema` — exponential-moving-average weights;
+* :mod:`repro.diffusion.finetune` — the train-large/fine-tune-small
+  denoising-step protocol (Sec. 4.6).
+"""
+
+from .conditioning import (KeyframeSpec, interpolation_keyframes,
+                           keyframe_spec, mixed_keyframes,
+                           prediction_keyframes, splice)
+from .ddpm import ConditionalDDPM
+from .dpm_solver import dpm_solver_sample
+from .ema import EMA
+from .embeddings import sinusoidal_embedding
+from .finetune import finetune_steps
+from .parameterization import PARAMETERIZATIONS, ParameterizedDDPM
+from .sampler import ddim_sample, ancestral_sample, generate_latents
+from .schedule import NoiseSchedule
+
+__all__ = [
+    "NoiseSchedule", "sinusoidal_embedding", "ConditionalDDPM",
+    "KeyframeSpec", "keyframe_spec", "interpolation_keyframes",
+    "prediction_keyframes", "mixed_keyframes", "splice",
+    "ancestral_sample", "ddim_sample", "dpm_solver_sample",
+    "generate_latents", "finetune_steps",
+    "ParameterizedDDPM", "PARAMETERIZATIONS", "EMA",
+]

@@ -1,0 +1,138 @@
+"""Keyframe index strategies and the ``⊕`` splice operator (Sec. 3.3).
+
+The paper partitions a window of ``N`` frames into conditioning indices
+``C`` (keyframes, stored) and generated indices ``G`` (reconstructed by
+the diffusion model), with ``C ∪ G = {1..N}`` and ``C ∩ G = ∅``, and
+defines the splice::
+
+    (a_G ⊕ b_C)_i = a_i if i ∈ G else b_i
+
+Three selection strategies are evaluated (Sec. 4.4, Fig. 2):
+interpolation (uniform keyframes), prediction (leading keyframes) and
+mixed (leading keyframes plus the final frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..nn import Tensor, as_tensor
+from ..nn import functional as F
+
+__all__ = ["interpolation_keyframes", "prediction_keyframes",
+           "mixed_keyframes", "KeyframeSpec", "keyframe_spec", "splice"]
+
+
+def interpolation_keyframes(n: int, interval: int) -> np.ndarray:
+    """Uniformly spaced keyframes: ``{0, interval, 2*interval, …}``.
+
+    For ``n=16, interval=3`` this yields the paper's
+    ``C = {1, 4, 7, 10, 13, 16}`` (1-based).  The last frame is always
+    included so generated frames are interpolated, never extrapolated.
+    """
+    if interval < 1:
+        raise ValueError("interval must be >= 1")
+    idx = set(range(0, n, interval))
+    idx.add(n - 1)
+    return np.array(sorted(idx), dtype=np.int64)
+
+
+def prediction_keyframes(n: int, k: int) -> np.ndarray:
+    """Leading-block keyframes ``{0, …, k-1}`` (pure forecasting)."""
+    if not (1 <= k <= n):
+        raise ValueError(f"k={k} outside [1, {n}]")
+    return np.arange(k, dtype=np.int64)
+
+
+def mixed_keyframes(n: int, k: int) -> np.ndarray:
+    """First ``k-1`` frames plus the final frame (paper's "mixed")."""
+    if not (2 <= k <= n):
+        raise ValueError(f"k={k} outside [2, {n}]")
+    return np.concatenate([np.arange(k - 1), [n - 1]]).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class KeyframeSpec:
+    """Resolved partition of a window into ``C`` and ``G`` index sets."""
+
+    n: int
+    cond_idx: np.ndarray
+    gen_idx: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        cond = np.unique(np.asarray(self.cond_idx, dtype=np.int64))
+        if cond.size == 0:
+            raise ValueError("at least one conditioning frame is required")
+        if cond.min() < 0 or cond.max() >= self.n:
+            raise ValueError(f"keyframe index outside [0, {self.n})")
+        object.__setattr__(self, "cond_idx", cond)
+        gen = np.setdiff1d(np.arange(self.n, dtype=np.int64), cond)
+        object.__setattr__(self, "gen_idx", gen)
+
+    @property
+    def num_cond(self) -> int:
+        return int(self.cond_idx.size)
+
+    @property
+    def num_gen(self) -> int:
+        return int(self.gen_idx.size)
+
+    def gen_mask(self, shape: Tuple[int, ...], frame_axis: int = 1
+                 ) -> np.ndarray:
+        """Binary mask (1 on generated frames) broadcastable to ``shape``."""
+        mask_shape = [1] * len(shape)
+        mask_shape[frame_axis] = self.n
+        mask = np.zeros(self.n)
+        mask[self.gen_idx] = 1.0
+        return mask.reshape(mask_shape)
+
+
+def keyframe_spec(n: int, strategy: str, interval: int = 3,
+                  k: int = None) -> KeyframeSpec:
+    """Build a :class:`KeyframeSpec` from a named strategy.
+
+    ``interval`` drives the interpolation strategy; ``k`` (number of
+    keyframes) drives prediction/mixed.  When ``k`` is omitted it
+    defaults to the keyframe count the interpolation strategy would
+    use, so the three strategies are storage-matched as in Fig. 2.
+    """
+    if strategy == "interpolation":
+        return KeyframeSpec(n, interpolation_keyframes(n, interval))
+    if k is None:
+        k = interpolation_keyframes(n, interval).size
+    if strategy == "prediction":
+        return KeyframeSpec(n, prediction_keyframes(n, k))
+    if strategy == "mixed":
+        return KeyframeSpec(n, mixed_keyframes(n, k))
+    raise ValueError(f"unknown keyframe strategy {strategy!r}")
+
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def splice(generated: ArrayOrTensor, conditioning: ArrayOrTensor,
+           spec: KeyframeSpec, frame_axis: int = 1) -> ArrayOrTensor:
+    """The ``⊕`` operator: take ``G`` frames from the first argument and
+    ``C`` frames from the second.
+
+    Both inputs are *full-window* arrays/tensors of identical shape
+    (this matches Algorithm 1, which keeps everything at window shape
+    and only swaps content per frame).  Works on plain arrays and on
+    autodiff tensors; in the latter case gradients flow to each input
+    only through the frames it contributes.
+    """
+    if isinstance(generated, Tensor) or isinstance(conditioning, Tensor):
+        g, c = as_tensor(generated), as_tensor(conditioning)
+        if g.shape != c.shape:
+            raise ValueError(f"shape mismatch: {g.shape} vs {c.shape}")
+        mask = spec.gen_mask(g.shape, frame_axis)
+        return g * mask + c * (1.0 - mask)
+    g = np.asarray(generated)
+    c = np.asarray(conditioning)
+    if g.shape != c.shape:
+        raise ValueError(f"shape mismatch: {g.shape} vs {c.shape}")
+    mask = spec.gen_mask(g.shape, frame_axis)
+    return g * mask + c * (1.0 - mask)

@@ -1,0 +1,80 @@
+"""Conditional DDPM training objective (Eq. 7 / Algorithm 1).
+
+The model receives the *entire* latent window: noise is applied only to
+the generated-frame subset ``G``, the keyframe subset ``C`` is spliced
+in clean, and the loss penalizes the noise estimate on ``G`` frames
+only — exactly the conditioning mechanism of Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import DiffusionConfig
+from ..nn import Module, Tensor
+from ..nn import functional as F
+from .conditioning import KeyframeSpec, splice
+from .schedule import NoiseSchedule
+from .unet import DenoisingUNet
+
+__all__ = ["ConditionalDDPM"]
+
+
+class ConditionalDDPM(Module):
+    """Denoising UNet + schedule + keyframe-conditioned loss."""
+
+    def __init__(self, cfg: DiffusionConfig,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cfg = cfg
+        self.unet = DenoisingUNet(cfg, rng=rng)
+        self.schedule = NoiseSchedule(cfg.train_steps, cfg.beta_schedule)
+
+    def set_schedule(self, steps: int) -> None:
+        """Swap the diffusion length (used by few-step fine-tuning)."""
+        self.schedule = NoiseSchedule(steps, self.cfg.beta_schedule)
+
+    # ------------------------------------------------------------------
+    def training_loss(self, y0: np.ndarray, spec: KeyframeSpec,
+                      rng: np.random.Generator,
+                      t: Optional[int] = None) -> Tensor:
+        """One Algorithm-1 step: returns the scalar loss tensor.
+
+        Parameters
+        ----------
+        y0:
+            Normalized latent window ``(B, N, C, H, W)`` (``y_0^N``).
+        spec:
+            Conditioning/generation partition.
+        rng:
+            Noise source (timestep draw + Gaussian noise).
+        t:
+            Optional fixed timestep (for tests); otherwise sampled
+            uniformly from ``{1..T}`` as in the paper.
+        """
+        y0 = np.asarray(y0, dtype=np.float64)
+        B, N = y0.shape[0], y0.shape[1]
+        if N != spec.n:
+            raise ValueError(f"window length {N} != spec.n {spec.n}")
+        if t is None:
+            t = int(rng.integers(1, self.schedule.steps + 1))
+        eps = rng.standard_normal(y0.shape)
+        y_t_gen = self.schedule.q_sample(y0, t, eps)      # noised everywhere
+        y_t = splice(y_t_gen, y0, spec)                   # keyframes clean
+        eps_hat = self.unet(Tensor(y_t), t)
+        mask = Tensor(np.broadcast_to(
+            spec.gen_mask(y0.shape), y0.shape).copy())
+        diff = (eps_hat - Tensor(eps)) * mask
+        n_gen = B * spec.num_gen * int(np.prod(y0.shape[2:]))
+        return F.sum(diff * diff) * (1.0 / n_gen)
+
+    # ------------------------------------------------------------------
+    def predict_noise(self, y_t: np.ndarray, t: int) -> np.ndarray:
+        """Inference-time ε̂ for a (spliced) window."""
+        from ..nn import no_grad
+        with no_grad():
+            out = self.unet(Tensor(np.asarray(y_t, dtype=np.float64)), t)
+        return out.numpy()

@@ -1,0 +1,25 @@
+"""Sinusoidal timestep embeddings (transformer-style)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["sinusoidal_embedding"]
+
+
+def sinusoidal_embedding(t: np.ndarray, dim: int,
+                         max_period: float = 10_000.0) -> np.ndarray:
+    """Embed integer timesteps ``t`` (shape ``(B,)``) into ``(B, dim)``.
+
+    Half the channels carry sines, half cosines, with log-spaced
+    frequencies — the standard encoding used by diffusion UNets.
+    """
+    if dim % 2:
+        raise ValueError("embedding dim must be even")
+    t = np.asarray(t, dtype=np.float64).reshape(-1)
+    half = dim // 2
+    freqs = np.exp(-math.log(max_period) * np.arange(half) / half)
+    args = t[:, None] * freqs[None, :]
+    return np.concatenate([np.sin(args), np.cos(args)], axis=1)

@@ -1,0 +1,59 @@
+"""Few-step fine-tuning protocol (Sec. 4.6 / Fig. 5).
+
+"Training directly with smaller denoising steps leads to poor feature
+learning and noisy predictions.  We found that training with larger
+denoising steps, followed by fine-tuning with smaller steps, achieves
+similar performance" — so: train at ``T_large`` (1000 in the paper),
+then call :func:`finetune_steps` to swap the schedule to ``T_small``
+({128, 32, 8, 2, 1}) and continue optimizing briefly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..nn.optim import Adam, clip_grad_norm
+from .conditioning import KeyframeSpec
+from .ddpm import ConditionalDDPM
+
+__all__ = ["finetune_steps"]
+
+
+def finetune_steps(model: ConditionalDDPM, new_steps: int,
+                   batches: Iterable[np.ndarray], spec: KeyframeSpec,
+                   lr: float = 1e-4, rng: Optional[np.random.Generator] = None,
+                   grad_clip: float = 1.0,
+                   on_step: Optional[Callable[[int, float], None]] = None
+                   ) -> ConditionalDDPM:
+    """Fine-tune ``model`` in place at a shorter schedule.
+
+    Parameters
+    ----------
+    model:
+        A :class:`ConditionalDDPM` pre-trained at a longer schedule.
+    new_steps:
+        Target denoising-step count (the paper uses 32 for deployment).
+    batches:
+        Iterable of latent windows ``(B, N, C, H, W)``; its length
+        determines the number of fine-tuning iterations.
+    spec:
+        Keyframe partition to train against.
+    on_step:
+        Optional callback ``(iteration, loss)`` for logging.
+    """
+    if new_steps < 1:
+        raise ValueError("new_steps must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    model.set_schedule(new_steps)
+    opt = Adam(model.parameters(), lr=lr)
+    for i, batch in enumerate(batches):
+        opt.zero_grad()
+        loss = model.training_loss(batch, spec, rng)
+        loss.backward()
+        clip_grad_norm(model.parameters(), grad_clip)
+        opt.step()
+        if on_step is not None:
+            on_step(i, loss.item())
+    return model

@@ -1,0 +1,103 @@
+"""Reverse-process samplers for keyframe-conditioned generation.
+
+Decompression starts "from a noisy input (except for the keyframes
+themselves) and progressively performs denoising to generate plausible
+intermediate frames" (Sec. 1).  After every denoising update the clean
+keyframe latents are spliced back in, so the conditioning information
+never degrades.
+
+Two samplers are provided:
+
+* :func:`ancestral_sample` — the stochastic DDPM chain over all ``T``
+  steps of the model's schedule;
+* :func:`ddim_sample` — the deterministic DDIM chain over a spaced
+  subset of steps, which is how the fine-tuned few-step models decode
+  quickly (Sec. 4.6, Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .conditioning import KeyframeSpec, splice
+from .ddpm import ConditionalDDPM
+
+__all__ = ["ancestral_sample", "ddim_sample", "generate_latents",
+           "DEFAULT_CLIP"]
+
+#: Clean-signal clamp used during sampling.  The pipeline min-max
+#: normalizes latent windows to [-1, 1] from the *keyframe* latents, so
+#: generated frames may legitimately exceed the box slightly; a 1.5
+#: margin stabilizes undertrained models without biasing trained ones.
+DEFAULT_CLIP: Tuple[float, float] = (-1.5, 1.5)
+
+
+def _init_window(cond_window: np.ndarray, spec: KeyframeSpec,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Start state: Gaussian noise on G frames, keyframes clean."""
+    noise = rng.standard_normal(cond_window.shape)
+    return splice(noise, cond_window, spec)
+
+
+def ancestral_sample(model: ConditionalDDPM, cond_window: np.ndarray,
+                     spec: KeyframeSpec,
+                     rng: Optional[np.random.Generator] = None,
+                     clip_x0: Optional[Tuple[float, float]] = DEFAULT_CLIP
+                     ) -> np.ndarray:
+    """Full-length stochastic reverse process.
+
+    ``cond_window`` is a ``(B, N, C, H, W)`` array whose keyframe
+    entries hold the decoded keyframe latents (other entries are
+    ignored).
+    """
+    rng = rng or np.random.default_rng(0)
+    sched = model.schedule
+    y = _init_window(cond_window, spec, rng)
+    for t in range(sched.steps, 0, -1):
+        eps_hat = model.predict_noise(y, t)
+        noise = rng.standard_normal(y.shape) if t > 1 else np.zeros_like(y)
+        y_next = sched.posterior_step(y, t, eps_hat, noise, clip_x0=clip_x0)
+        y = splice(y_next, cond_window, spec)
+    return y
+
+
+def ddim_sample(model: ConditionalDDPM, cond_window: np.ndarray,
+                spec: KeyframeSpec, steps: int,
+                rng: Optional[np.random.Generator] = None,
+                clip_x0: Optional[Tuple[float, float]] = DEFAULT_CLIP
+                ) -> np.ndarray:
+    """Deterministic DDIM chain over ``steps`` spaced timesteps."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    sched = model.schedule
+    ts = sched.spaced_timesteps(steps)
+    y = _init_window(cond_window, spec, rng)
+    for i, t in enumerate(ts):
+        t_prev = int(ts[i + 1]) if i + 1 < len(ts) else 0
+        eps_hat = model.predict_noise(y, int(t))
+        y_next = sched.ddim_step(y, int(t), t_prev, eps_hat, clip_x0=clip_x0)
+        y = splice(y_next, cond_window, spec)
+    return y
+
+
+def generate_latents(model: ConditionalDDPM, cond_window: np.ndarray,
+                     spec: KeyframeSpec, sampler: str = "ddim",
+                     steps: Optional[int] = None,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Dispatch helper used by the pipeline.
+
+    ``steps`` defaults to the model's full schedule length.
+    """
+    if sampler == "ancestral":
+        return ancestral_sample(model, cond_window, spec, rng=rng)
+    if sampler == "ddim":
+        n = steps if steps is not None else model.schedule.steps
+        return ddim_sample(model, cond_window, spec, n, rng=rng)
+    if sampler == "dpm":
+        from .dpm_solver import dpm_solver_sample
+        n = steps if steps is not None else model.schedule.steps
+        return dpm_solver_sample(model, cond_window, spec, n, rng=rng)
+    raise ValueError(f"unknown sampler {sampler!r}")

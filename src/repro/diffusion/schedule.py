@@ -1,0 +1,149 @@
+"""Noise schedules and forward-process arithmetic (Eqs. 3-4).
+
+``NoiseSchedule`` precomputes every per-step quantity the training loss
+and the samplers need.  Timesteps are 1-based as in the paper
+(``t ∈ {1, …, T}``); index 0 of the internal arrays corresponds to
+``t = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["NoiseSchedule", "linear_betas", "cosine_betas"]
+
+
+def linear_betas(steps: int, beta_start: float = 1e-4,
+                 beta_end: float = 0.02, ref_steps: int = 1000) -> np.ndarray:
+    """DDPM linear schedule, shortened by ᾱ-curve subsampling.
+
+    For ``steps == ref_steps`` this is the classic (1e-4, 0.02) ramp.
+    Shorter chains sample the *reference* cumulative-noise curve ᾱ at
+    ``steps`` evenly spaced positions and re-derive betas via
+    ``β_t = 1 - ᾱ_t / ᾱ_{t-1}``.  The endpoint noise level therefore
+    matches the 1000-step schedule exactly — naive beta rescaling would
+    push ``β_T -> 1`` and make ``1/sqrt(ᾱ_T)`` blow up, which is what
+    breaks direct training at {128, 32, 8, 2, 1} steps (Sec. 4.6).
+    """
+    if steps >= ref_steps:
+        return np.linspace(beta_start, beta_end, steps)
+    ref = np.linspace(beta_start, beta_end, ref_steps)
+    ab_ref = np.cumprod(1.0 - ref)
+    pos = np.linspace(0, ref_steps - 1, steps).round().astype(int)
+    ab = ab_ref[pos]
+    prev = np.concatenate([[1.0], ab[:-1]])
+    betas = 1.0 - ab / prev
+    return np.clip(betas, 1e-8, 0.999)
+
+
+def cosine_betas(steps: int, s: float = 0.008) -> np.ndarray:
+    """Nichol & Dhariwal cosine schedule."""
+    ts = np.linspace(0, 1, steps + 1)
+    f = np.cos((ts + s) / (1 + s) * math.pi / 2) ** 2
+    alpha_bar = f / f[0]
+    betas = 1.0 - alpha_bar[1:] / alpha_bar[:-1]
+    return np.clip(betas, 0.0, 0.999)
+
+
+class NoiseSchedule:
+    """Precomputed forward/reverse process constants for ``T`` steps."""
+
+    def __init__(self, steps: int, kind: str = "linear"):
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if kind == "linear":
+            betas = linear_betas(steps)
+        elif kind == "cosine":
+            betas = cosine_betas(steps)
+        else:
+            raise ValueError(f"unknown schedule kind {kind!r}")
+        self.steps = steps
+        self.kind = kind
+        self.betas = betas
+        self.alphas = 1.0 - betas
+        self.alpha_bars = np.cumprod(self.alphas)
+        self.sqrt_alpha_bars = np.sqrt(self.alpha_bars)
+        self.sqrt_one_minus_alpha_bars = np.sqrt(1.0 - self.alpha_bars)
+        prev = np.concatenate([[1.0], self.alpha_bars[:-1]])
+        self.alpha_bars_prev = prev
+        # DDPM posterior variance \tilde beta_t
+        self.posterior_variance = (
+            betas * (1.0 - prev) / np.maximum(1.0 - self.alpha_bars, 1e-12))
+
+    # -- 1-based step accessors -----------------------------------------
+    def _idx(self, t: int) -> int:
+        if not (1 <= t <= self.steps):
+            raise ValueError(f"t={t} outside [1, {self.steps}]")
+        return t - 1
+
+    def alpha_bar(self, t: int) -> float:
+        return float(self.alpha_bars[self._idx(t)])
+
+    def q_sample(self, y0: np.ndarray, t: int,
+                 eps: np.ndarray) -> np.ndarray:
+        """Forward jump (Eq. 4): ``y_t = sqrt(ᾱ_t) y_0 + sqrt(1-ᾱ_t) ε``."""
+        i = self._idx(t)
+        return (self.sqrt_alpha_bars[i] * y0
+                + self.sqrt_one_minus_alpha_bars[i] * eps)
+
+    def predict_x0(self, y_t: np.ndarray, t: int,
+                   eps_hat: np.ndarray) -> np.ndarray:
+        """Invert Eq. 4 to estimate the clean signal from ε̂."""
+        i = self._idx(t)
+        return ((y_t - self.sqrt_one_minus_alpha_bars[i] * eps_hat)
+                / max(self.sqrt_alpha_bars[i], 1e-12))
+
+    def posterior_step(self, y_t: np.ndarray, t: int, eps_hat: np.ndarray,
+                       noise: np.ndarray,
+                       clip_x0: Optional[Tuple[float, float]] = None
+                       ) -> np.ndarray:
+        """One ancestral reverse step ``y_t -> y_{t-1}`` (DDPM).
+
+        ``clip_x0`` optionally clamps the implied clean-signal estimate
+        before forming the posterior mean — the standard stabilizer for
+        samplers operating in a bounded (min-max normalized) space.
+        """
+        i = self._idx(t)
+        x0 = self.predict_x0(y_t, t, eps_hat)
+        if clip_x0 is not None:
+            x0 = np.clip(x0, clip_x0[0], clip_x0[1])
+        ab = self.alpha_bars[i]
+        ab_prev = self.alpha_bars_prev[i]
+        denom = max(1.0 - ab, 1e-12)
+        mean = (math.sqrt(ab_prev) * self.betas[i] / denom * x0
+                + math.sqrt(self.alphas[i]) * (1.0 - ab_prev) / denom * y_t)
+        if t == 1:
+            return mean
+        return mean + math.sqrt(self.posterior_variance[i]) * noise
+
+    def ddim_step(self, y_t: np.ndarray, t: int, t_prev: int,
+                  eps_hat: np.ndarray,
+                  clip_x0: Optional[Tuple[float, float]] = None
+                  ) -> np.ndarray:
+        """Deterministic DDIM step ``y_t -> y_{t_prev}`` (η = 0).
+
+        ``t_prev`` may be 0, meaning "jump to the clean sample".  With
+        ``clip_x0`` the implied noise direction is recomputed from the
+        clamped estimate so the update stays on-manifold.
+        """
+        i = self._idx(t)
+        x0 = self.predict_x0(y_t, t, eps_hat)
+        if clip_x0 is not None:
+            x0 = np.clip(x0, clip_x0[0], clip_x0[1])
+            eps_hat = ((y_t - self.sqrt_alpha_bars[i] * x0)
+                       / max(self.sqrt_one_minus_alpha_bars[i], 1e-12))
+        if t_prev == 0:
+            return x0
+        j = self._idx(t_prev)
+        ab_prev = self.alpha_bars[j]
+        return (math.sqrt(ab_prev) * x0
+                + math.sqrt(1.0 - ab_prev) * eps_hat)
+
+    def spaced_timesteps(self, num: int) -> np.ndarray:
+        """Descending sub-sequence of timesteps for few-step sampling."""
+        num = min(num, self.steps)
+        ts = np.unique(np.linspace(1, self.steps, num).round().astype(int))
+        return ts[::-1]

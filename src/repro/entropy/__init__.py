@@ -1,0 +1,32 @@
+"""``repro.entropy`` — lossless entropy-coding substrate.
+
+Implements the pieces the paper's rate model relies on (Sec. 3.1):
+
+* a binary arithmetic coder (:mod:`repro.entropy.rangecoder`) standing
+  in for the reference "arithmetic coding [33]";
+* the non-parametric fully factorized density of Ballé et al. for the
+  hyper-latent ``z`` (:mod:`repro.entropy.factorized`);
+* the Gaussian conditional model ``p(y | mu, sigma)`` of Eq. 1–2
+  (:mod:`repro.entropy.gaussian`);
+* symbol-stream helpers tying models to the coder
+  (:mod:`repro.entropy.coder`);
+* an alternative rANS backend with the same table interface
+  (:mod:`repro.entropy.rans`).
+"""
+
+from .coder import decode_symbols, encode_symbols
+from .factorized import FactorizedDensity
+from .gaussian import (SCALE_MIN, GaussianConditional, gaussian_likelihood,
+                       build_scale_table)
+from .rangecoder import ArithmeticDecoder, ArithmeticEncoder
+from .rans import (RansDecoder, RansEncoder, decode_symbols_rans,
+                   encode_symbols_rans)
+from .bitio import BitReader, BitWriter
+
+__all__ = [
+    "ArithmeticEncoder", "ArithmeticDecoder", "BitReader", "BitWriter",
+    "FactorizedDensity", "GaussianConditional", "gaussian_likelihood",
+    "build_scale_table", "SCALE_MIN", "encode_symbols", "decode_symbols",
+    "RansEncoder", "RansDecoder", "encode_symbols_rans",
+    "decode_symbols_rans",
+]

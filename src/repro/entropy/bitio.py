@@ -1,0 +1,62 @@
+"""Bit-level I/O used by the arithmetic coder."""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates single bits MSB-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._current = 0
+        self._nbits = 0
+
+    def write(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._buf.append(self._current)
+            self._current = 0
+            self._nbits = 0
+
+    def write_run(self, bit: int, count: int) -> None:
+        for _ in range(count):
+            self.write(bit)
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final partial byte) and return bytes."""
+        if self._nbits:
+            tail = self._current << (8 - self._nbits)
+            return bytes(self._buf) + bytes([tail])
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads single bits MSB-first; yields 0 past the end of data.
+
+    The trailing-zeros convention matches the arithmetic decoder, which
+    may read a handful of bits beyond the encoded payload while
+    resolving its final symbols.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._current = 0
+        self._nbits = 0
+
+    def read(self) -> int:
+        if self._nbits == 0:
+            if self._pos < len(self._data):
+                self._current = self._data[self._pos]
+                self._pos += 1
+            else:
+                self._current = 0
+            self._nbits = 8
+        self._nbits -= 1
+        return (self._current >> self._nbits) & 1

@@ -1,0 +1,134 @@
+"""Integer arithmetic coder (Witten–Neal–Cleary style, 32-bit state).
+
+The coder consumes cumulative-frequency triples ``(cum_lo, cum_hi,
+total)``: a symbol with probability mass ``(cum_hi - cum_lo) / total``
+narrows the coding interval accordingly.  ``total`` must not exceed
+:data:`MAX_TOTAL` so interval updates never underflow.
+
+This is the "lossless entropy coding" backend for both the hyperprior
+(factorized model) and the latent (Gaussian conditional) streams, and
+for the PCA-correction coefficients of the error-bound stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["ArithmeticEncoder", "ArithmeticDecoder", "MAX_TOTAL", "PRECISION"]
+
+PRECISION = 32
+_FULL = (1 << PRECISION) - 1
+_HALF = 1 << (PRECISION - 1)
+_QUARTER = 1 << (PRECISION - 2)
+_THREE_QUARTER = _HALF + _QUARTER
+
+#: Largest permissible cumulative-frequency total.
+MAX_TOTAL = 1 << 16
+
+
+class ArithmeticEncoder:
+    """Streaming arithmetic encoder."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._high = _FULL
+        self._pending = 0
+        self._bits = BitWriter()
+        self._finished = False
+
+    def encode(self, cum_lo: int, cum_hi: int, total: int) -> None:
+        """Encode one symbol occupying ``[cum_lo, cum_hi)`` of ``total``."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        if not (0 <= cum_lo < cum_hi <= total):
+            raise ValueError(
+                f"invalid cumulative range ({cum_lo}, {cum_hi}, {total})")
+        if total > MAX_TOTAL:
+            raise ValueError(f"total {total} exceeds MAX_TOTAL {MAX_TOTAL}")
+        span = self._high - self._low + 1
+        self._high = self._low + (span * cum_hi) // total - 1
+        self._low = self._low + (span * cum_lo) // total
+        self._renormalize()
+
+    def _emit(self, bit: int) -> None:
+        self._bits.write(bit)
+        if self._pending:
+            self._bits.write_run(bit ^ 1, self._pending)
+            self._pending = 0
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTER:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                return
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def finish(self) -> bytes:
+        """Terminate the stream and return the encoded bytes."""
+        if self._finished:
+            raise RuntimeError("encoder already finished")
+        self._finished = True
+        self._pending += 1
+        if self._low < _QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+        return self._bits.getvalue()
+
+
+class ArithmeticDecoder:
+    """Streaming arithmetic decoder mirroring :class:`ArithmeticEncoder`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._reader = BitReader(data)
+        self._low = 0
+        self._high = _FULL
+        self._value = 0
+        for _ in range(PRECISION):
+            self._value = (self._value << 1) | self._reader.read()
+
+    def decode_target(self, total: int) -> int:
+        """Return a value in ``[0, total)`` locating the next symbol.
+
+        The caller maps it to a symbol via its cumulative table (e.g.
+        ``np.searchsorted``) and then calls :meth:`advance`.
+        """
+        span = self._high - self._low + 1
+        target = ((self._value - self._low + 1) * total - 1) // span
+        if target < 0 or target >= total:
+            raise ValueError("corrupted stream: target out of range")
+        return target
+
+    def advance(self, cum_lo: int, cum_hi: int, total: int) -> None:
+        """Consume the symbol identified by ``(cum_lo, cum_hi, total)``."""
+        span = self._high - self._low + 1
+        self._high = self._low + (span * cum_hi) // total - 1
+        self._low = self._low + (span * cum_lo) // total
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTER:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                return
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._value = (self._value << 1) | self._reader.read()

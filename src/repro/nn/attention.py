@@ -1,0 +1,71 @@
+"""Scaled dot-product attention and the factorized space-time pattern.
+
+The paper's denoising UNet (Sec. 3.2, "Denoising UNet") uses factorized
+space-time attention from video diffusion models: given features
+``(B, N, C, H, W)`` (``N`` frames), *temporal* attention reshapes to
+``(B*H*W, N, C)`` and attends along frames, while *spatial* attention
+reshapes to ``(B*N, H*W, C)`` and attends within each frame.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, as_tensor
+
+__all__ = ["scaled_dot_product_attention", "spatial_tokens", "temporal_tokens",
+           "untokenize_spatial", "untokenize_temporal"]
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    """softmax(q kᵀ / sqrt(d)) v over the last two axes.
+
+    ``q, k, v`` have shape ``(..., L, D)``; output matches ``q``.
+    """
+    q, k, v = as_tensor(q), as_tensor(k), as_tensor(v)
+    d = q.shape[-1]
+    scores = ops.matmul(q, ops.swapaxes(k, -1, -2)) * (1.0 / math.sqrt(d))
+    weights = ops.softmax(scores, axis=-1)
+    return ops.matmul(weights, v)
+
+
+def spatial_tokens(x: Tensor) -> Tensor:
+    """``(B, N, C, H, W)`` -> ``(B*N, H*W, C)`` token layout.
+
+    Matches the paper: "spatial attention is applied by reshaping to
+    N x (H*W) x C and using the same attention formula within each
+    frame".
+    """
+    B, N, C, H, W = x.shape
+    x = ops.reshape(x, (B * N, C, H * W))
+    return ops.swapaxes(x, 1, 2)
+
+
+def untokenize_spatial(x: Tensor, shape) -> Tensor:
+    """Inverse of :func:`spatial_tokens` given the original 5-D shape."""
+    B, N, C, H, W = shape
+    x = ops.swapaxes(x, 1, 2)
+    return ops.reshape(x, (B, N, C, H, W))
+
+
+def temporal_tokens(x: Tensor) -> Tensor:
+    """``(B, N, C, H, W)`` -> ``(B*H*W, N, C)`` token layout.
+
+    Matches the paper: "temporal attention is applied by reshaping the
+    input to (H*W) x N x C and computing self-attention along the
+    temporal dimension".
+    """
+    B, N, C, H, W = x.shape
+    x = ops.transpose(x, (0, 3, 4, 1, 2))        # (B, H, W, N, C)
+    return ops.reshape(x, (B * H * W, N, C))
+
+
+def untokenize_temporal(x: Tensor, shape) -> Tensor:
+    """Inverse of :func:`temporal_tokens` given the original 5-D shape."""
+    B, N, C, H, W = shape
+    x = ops.reshape(x, (B, H, W, N, C))
+    return ops.transpose(x, (0, 3, 4, 1, 2))

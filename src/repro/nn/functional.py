@@ -1,0 +1,28 @@
+"""Stateless functional API (re-exports) — ``repro.nn.functional``.
+
+Mirrors the ``torch.nn.functional`` convention so model code reads
+naturally to anyone coming from the paper's PyTorch implementation.
+"""
+
+from .attention import (scaled_dot_product_attention, spatial_tokens,
+                        temporal_tokens, untokenize_spatial,
+                        untokenize_temporal)
+from .conv import avg_pool2d, conv2d, conv_transpose2d, upsample_nearest2d
+from .ops import (abs_ as abs, add, clip, concat, div, dropout, erf, exp,
+                  flip, gelu, getitem, l1_loss, leaky_relu, log, log_softmax,
+                  lower_bound, matmul, max_ as max, mean, min_ as min,
+                  mse_loss, mul, neg, pad, relu, reshape, sigmoid, silu,
+                  softmax, softplus, split, sqrt, stack, sub, sum_ as sum,
+                  swapaxes, tanh, transpose, var, where)
+
+__all__ = [
+    "scaled_dot_product_attention", "spatial_tokens", "temporal_tokens",
+    "untokenize_spatial", "untokenize_temporal",
+    "avg_pool2d", "conv2d", "conv_transpose2d", "upsample_nearest2d",
+    "abs", "add", "clip", "concat", "div", "dropout", "erf", "exp", "flip",
+    "gelu", "getitem", "l1_loss", "leaky_relu", "log", "log_softmax",
+    "lower_bound",
+    "matmul", "max", "mean", "min", "mse_loss", "mul", "neg", "pad", "relu",
+    "reshape", "sigmoid", "silu", "softmax", "softplus", "split", "sqrt",
+    "stack", "sub", "sum", "swapaxes", "tanh", "transpose", "var", "where",
+]

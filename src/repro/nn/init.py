@@ -1,0 +1,57 @@
+"""Parameter initializers.
+
+All initializers are pure functions of an explicit ``numpy.random.Generator``
+so that model construction is fully reproducible (a requirement for the
+benchmark harness, which compares runs across keyframe strategies using
+identical weights).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "zeros", "ones", "normal",
+           "fan_in_fan_out"]
+
+
+def fan_in_fan_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv weight shapes."""
+    shape = tuple(shape)
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: Sequence[int],
+                    a: float = math.sqrt(5.0)) -> np.ndarray:
+    """He-uniform init (PyTorch's default for conv/linear layers)."""
+    fan_in, _ = fan_in_fan_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=tuple(shape))
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Sequence[int],
+                   gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = fan_in_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=tuple(shape))
+
+
+def normal(rng: np.random.Generator, shape: Sequence[int],
+           std: float = 0.02) -> np.ndarray:
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(tuple(shape))
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    return np.ones(tuple(shape))

@@ -1,0 +1,665 @@
+"""Differentiable operation library for :class:`repro.nn.Tensor`.
+
+Every public function takes tensors (or array-likes, which are promoted
+to constant tensors), computes the forward value with NumPy, and records
+a backward closure.  Operator dunders are attached to :class:`Tensor` at
+the bottom of this module so that ``a + b``, ``a @ b`` etc. work.
+
+All ops here are verified against central finite differences in
+``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import special as _sp_special
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow_", "matmul",
+    "exp", "log", "sqrt", "abs_", "tanh", "sigmoid", "relu", "leaky_relu",
+    "silu", "gelu", "softplus", "erf",
+    "sum_", "mean", "max_", "min_", "var",
+    "reshape", "transpose", "moveaxis", "swapaxes", "broadcast_to",
+    "concat", "stack", "split", "pad", "getitem", "flip",
+    "softmax", "log_softmax", "clip", "where", "dropout", "lower_bound",
+    "mse_loss", "l1_loss",
+]
+
+TensorLike = Union[Tensor, np.ndarray, float, int]
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: TensorLike, b: TensorLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        if a.requires_grad:
+            a._receive(gm, g)
+        if b.requires_grad:
+            b._receive(gm, g)
+
+    return Tensor._from_op(out_data, (a, b), backward, "add")
+
+
+def sub(a: TensorLike, b: TensorLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        if a.requires_grad:
+            a._receive(gm, g)
+        if b.requires_grad:
+            b._receive(gm, -g)
+
+    return Tensor._from_op(out_data, (a, b), backward, "sub")
+
+
+def mul(a: TensorLike, b: TensorLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        if a.requires_grad:
+            a._receive(gm, g * b.data)
+        if b.requires_grad:
+            b._receive(gm, g * a.data)
+
+    return Tensor._from_op(out_data, (a, b), backward, "mul")
+
+
+def div(a: TensorLike, b: TensorLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        if a.requires_grad:
+            a._receive(gm, g / b.data)
+        if b.requires_grad:
+            b._receive(gm, -g * a.data / (b.data * b.data))
+
+    return Tensor._from_op(out_data, (a, b), backward, "div")
+
+
+def neg(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, -g)
+
+    return Tensor._from_op(-a.data, (a,), backward, "neg")
+
+
+def pow_(a: TensorLike, p: float) -> Tensor:
+    """Elementwise power with a *constant* exponent."""
+    a = as_tensor(a)
+    out_data = a.data ** p
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * p * a.data ** (p - 1.0))
+
+    return Tensor._from_op(out_data, (a,), backward, f"pow{p}")
+
+
+def matmul(a: TensorLike, b: TensorLike) -> Tensor:
+    """Batched matrix multiply with NumPy ``@`` broadcasting semantics."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                ga = np.expand_dims(g, -1) * b.data  # outer-ish
+            else:
+                ga = g @ np.swapaxes(b.data, -1, -2)
+            a._receive(gm, ga)
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                gb = np.expand_dims(a.data, -1) * np.expand_dims(g, -2)
+                gb = gb.reshape(b.data.shape) if gb.shape == b.data.shape else gb
+            else:
+                gb = np.swapaxes(a.data, -1, -2) @ g
+            b._receive(gm, gb)
+
+    return Tensor._from_op(out_data, (a, b), backward, "matmul")
+
+
+# ----------------------------------------------------------------------
+# Elementwise transcendental / activation functions
+# ----------------------------------------------------------------------
+def exp(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * out_data)
+
+    return Tensor._from_op(out_data, (a,), backward, "exp")
+
+
+def log(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g / a.data)
+
+    return Tensor._from_op(out_data, (a,), backward, "log")
+
+
+def sqrt(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * 0.5 / out_data)
+
+    return Tensor._from_op(out_data, (a,), backward, "sqrt")
+
+
+def abs_(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * np.sign(a.data))
+
+    return Tensor._from_op(out_data, (a,), backward, "abs")
+
+
+def tanh(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * (1.0 - out_data * out_data))
+
+    return Tensor._from_op(out_data, (a,), backward, "tanh")
+
+
+def sigmoid(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = _sp_special.expit(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * out_data * (1.0 - out_data))
+
+    return Tensor._from_op(out_data, (a,), backward, "sigmoid")
+
+
+def relu(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * mask)
+
+    return Tensor._from_op(a.data * mask, (a,), backward, "relu")
+
+
+def leaky_relu(a: TensorLike, slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    factor = np.where(a.data > 0, 1.0, slope)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * factor)
+
+    return Tensor._from_op(a.data * factor, (a,), backward, "leaky_relu")
+
+
+def silu(a: TensorLike) -> Tensor:
+    """SiLU / swish: ``x * sigmoid(x)`` — the UNet's activation."""
+    a = as_tensor(a)
+    s = _sp_special.expit(a.data)
+    out_data = a.data * s
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * (s + a.data * s * (1.0 - s)))
+
+    return Tensor._from_op(out_data, (a,), backward, "silu")
+
+
+def erf(a: TensorLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = _sp_special.erf(a.data)
+    coef = 2.0 / math.sqrt(math.pi)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * coef * np.exp(-a.data * a.data))
+
+    return Tensor._from_op(out_data, (a,), backward, "erf")
+
+
+def gelu(a: TensorLike) -> Tensor:
+    """Exact GELU via the Gauss error function."""
+    a = as_tensor(a)
+    x = a.data
+    cdf = 0.5 * (1.0 + _sp_special.erf(x / math.sqrt(2.0)))
+    out_data = x * cdf
+    pdf = np.exp(-0.5 * x * x) / math.sqrt(2.0 * math.pi)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * (cdf + x * pdf))
+
+    return Tensor._from_op(out_data, (a,), backward, "gelu")
+
+
+def softplus(a: TensorLike) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    a = as_tensor(a)
+    out_data = np.logaddexp(0.0, a.data)
+    s = _sp_special.expit(a.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * s)
+
+    return Tensor._from_op(out_data, (a,), backward, "softplus")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+Axis = Optional[Union[int, Tuple[int, ...]]]
+
+
+def _expand_reduced(g: np.ndarray, shape: Tuple[int, ...], axis: Axis,
+                    keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back onto the pre-reduction shape."""
+    if axis is None:
+        return np.broadcast_to(g, shape)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    if not keepdims:
+        for a in sorted(axes):
+            g = np.expand_dims(g, a)
+    return np.broadcast_to(g, shape)
+
+
+def sum_(a: TensorLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, _expand_reduced(g, a.data.shape, axis, keepdims))
+
+    return Tensor._from_op(out_data, (a,), backward, "sum")
+
+
+def mean(a: TensorLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    n = a.data.size / max(out_data.size, 1)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, _expand_reduced(g, a.data.shape, axis, keepdims) / n)
+
+    return Tensor._from_op(out_data, (a,), backward, "mean")
+
+
+def var(a: TensorLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Biased (population) variance, as used by normalization layers."""
+    a = as_tensor(a)
+    mu = a.data.mean(axis=axis, keepdims=True)
+    diff = a.data - mu
+    out_data = (diff * diff).mean(axis=axis, keepdims=keepdims)
+    n = a.data.size / max(mu.size, 1)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        ge = _expand_reduced(g, a.data.shape, axis, keepdims)
+        a._receive(gm, ge * 2.0 * diff / n)
+
+    return Tensor._from_op(out_data, (a,), backward, "var")
+
+
+def _minmax(a: TensorLike, axis: Axis, keepdims: bool, fn, name: str) -> Tensor:
+    a = as_tensor(a)
+    out_data = fn(a.data, axis=axis, keepdims=keepdims)
+    expanded = fn(a.data, axis=axis, keepdims=True)
+    mask = (a.data == expanded)
+    # Split gradient equally among ties (matches subgradient convention).
+    counts = mask.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        ge = _expand_reduced(g, a.data.shape, axis, keepdims)
+        a._receive(gm, ge * mask / counts)
+
+    return Tensor._from_op(out_data, (a,), backward, name)
+
+
+def max_(a: TensorLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    return _minmax(a, axis, keepdims, np.max, "max")
+
+
+def min_(a: TensorLike, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    return _minmax(a, axis, keepdims, np.min, "min")
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: TensorLike, shape: Sequence[int]) -> Tensor:
+    a = as_tensor(a)
+    shape = tuple(shape)
+    out_data = a.data.reshape(shape)
+    in_shape = a.data.shape
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g.reshape(in_shape))
+
+    return Tensor._from_op(out_data, (a,), backward, "reshape")
+
+
+def transpose(a: TensorLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.data.ndim)))
+    axes = tuple(axes)
+    inv = tuple(np.argsort(axes))
+    out_data = a.data.transpose(axes)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g.transpose(inv))
+
+    return Tensor._from_op(out_data, (a,), backward, "transpose")
+
+
+def swapaxes(a: TensorLike, ax1: int, ax2: int) -> Tensor:
+    a = as_tensor(a)
+    axes = list(range(a.data.ndim))
+    axes[ax1], axes[ax2] = axes[ax2], axes[ax1]
+    return transpose(a, axes)
+
+
+def moveaxis(a: TensorLike, src: int, dst: int) -> Tensor:
+    a = as_tensor(a)
+    axes = list(range(a.data.ndim))
+    axes.insert(dst % a.data.ndim, axes.pop(src % a.data.ndim))
+    return transpose(a, axes)
+
+
+def broadcast_to(a: TensorLike, shape: Sequence[int]) -> Tensor:
+    a = as_tensor(a)
+    shape = tuple(shape)
+    out_data = np.broadcast_to(a.data, shape)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g)  # _receive unbroadcasts
+
+    return Tensor._from_op(out_data.copy(), (a,), backward, "broadcast_to")
+
+
+def concat(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
+    ts = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.data.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        for t, lo, hi in zip(ts, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(lo, hi)
+                t._receive(gm, g[tuple(sl)])
+
+    return Tensor._from_op(out_data, tuple(ts), backward, "concat")
+
+
+def stack(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
+    ts = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in ts], axis=axis)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        gs = np.moveaxis(g, axis, 0)
+        for i, t in enumerate(ts):
+            if t.requires_grad:
+                t._receive(gm, gs[i])
+
+    return Tensor._from_op(out_data, tuple(ts), backward, "stack")
+
+
+def split(a: TensorLike, sections: int, axis: int = 0) -> List[Tensor]:
+    """Split into equal sections along ``axis`` (like ``np.split``)."""
+    a = as_tensor(a)
+    pieces = np.split(a.data, sections, axis=axis)
+    outs: List[Tensor] = []
+    for i, piece in enumerate(pieces):
+        idx = i
+        width = piece.shape[axis]
+
+        def backward(g: np.ndarray, gm: Dict[int, np.ndarray],
+                     idx=idx, width=width) -> None:
+            full = np.zeros_like(a.data)
+            sl = [slice(None)] * full.ndim
+            sl[axis] = slice(idx * width, (idx + 1) * width)
+            full[tuple(sl)] = g
+            a._receive(gm, full)
+
+        outs.append(Tensor._from_op(piece.copy(), (a,), backward, f"split{i}"))
+    return outs
+
+
+def getitem(a: TensorLike, idx) -> Tensor:
+    """Differentiable ``a[idx]`` (basic and advanced indexing)."""
+    a = as_tensor(a)
+    out_data = a.data[idx]
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        full = np.zeros_like(a.data)
+        np.add.at(full, idx, g)
+        a._receive(gm, full)
+
+    out = Tensor._from_op(
+        out_data.copy() if isinstance(out_data, np.ndarray) else out_data,
+        (a,), backward, "getitem")
+    return out
+
+
+def pad(a: TensorLike, pad_width: Sequence[Tuple[int, int]],
+        mode: str = "constant") -> Tensor:
+    """Differentiable ``np.pad`` supporting ``constant`` and ``reflect``.
+
+    ``reflect`` matches the paper's reflection padding used to bring
+    E3SM frames up to the training crop size.
+    """
+    a = as_tensor(a)
+    pad_width = [tuple(p) for p in pad_width]
+    out_data = np.pad(a.data, pad_width, mode=mode)
+    in_shape = a.data.shape
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        core = tuple(slice(lo, lo + n) for (lo, _), n in zip(pad_width, in_shape))
+        if mode == "constant":
+            a._receive(gm, g[core])
+            return
+        if mode == "reflect":
+            # Adjoint of reflection: fold mirrored borders back in.
+            acc = g.copy()
+            for ax, (lo, hi) in enumerate(pad_width):
+                n = acc.shape[ax]
+                idx_core = slice(lo, n - hi)
+
+                def take(s):
+                    sl = [slice(None)] * acc.ndim
+                    sl[ax] = s
+                    return tuple(sl)
+
+                new_shape = list(acc.shape)
+                new_shape[ax] = n - lo - hi
+                folded = acc[take(idx_core)].copy()
+                if lo:
+                    mirror = acc[take(slice(lo - 1, None, -1))]
+                    sl = [slice(None)] * folded.ndim
+                    sl[ax] = slice(1, 1 + lo)
+                    folded[tuple(sl)] += mirror
+                if hi:
+                    mirror = acc[take(slice(n - 1, n - hi - 1, -1))]
+                    sl = [slice(None)] * folded.ndim
+                    width = folded.shape[ax]
+                    sl[ax] = slice(width - hi - 1, width - 1)
+                    folded[tuple(sl)] += mirror
+                acc = folded
+            a._receive(gm, acc)
+            return
+        raise ValueError(f"unsupported pad mode for backward: {mode!r}")
+
+    return Tensor._from_op(out_data, (a,), backward, f"pad[{mode}]")
+
+
+def flip(a: TensorLike, axis: Union[int, Tuple[int, ...]]) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.flip(a.data, axis=axis)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, np.flip(g, axis=axis))
+
+    return Tensor._from_op(out_data.copy(), (a,), backward, "flip")
+
+
+# ----------------------------------------------------------------------
+# Composite / misc
+# ----------------------------------------------------------------------
+def softmax(a: TensorLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        a._receive(gm, out_data * (g - dot))
+
+    return Tensor._from_op(out_data, (a,), backward, "softmax")
+
+
+def log_softmax(a: TensorLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._from_op(out_data, (a,), backward, "log_softmax")
+
+
+def clip(a: TensorLike, lo: float, hi: float) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.clip(a.data, lo, hi)
+    mask = (a.data >= lo) & (a.data <= hi)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * mask)
+
+    return Tensor._from_op(out_data, (a,), backward, "clip")
+
+
+def where(cond: np.ndarray, a: TensorLike, b: TensorLike) -> Tensor:
+    """Select elementwise; ``cond`` is a constant boolean array."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(cond, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        if a.requires_grad:
+            a._receive(gm, np.where(cond, g, 0.0))
+        if b.requires_grad:
+            b._receive(gm, np.where(cond, 0.0, g))
+
+    return Tensor._from_op(out_data, (a, b), backward, "where")
+
+
+def dropout(a: TensorLike, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is false or p == 0."""
+    a = as_tensor(a)
+    if not training or p <= 0.0:
+        return a
+    keep = 1.0 - p
+    mask = (rng.random(a.data.shape) < keep) / keep
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        a._receive(gm, g * mask)
+
+    return Tensor._from_op(a.data * mask, (a,), backward, "dropout")
+
+
+def lower_bound(a: TensorLike, bound: float) -> Tensor:
+    """``max(a, bound)`` with a straight-through-style gradient.
+
+    Unlike :func:`clip`, the gradient is passed through whenever it
+    points back *into* the feasible region, so parameters pinned at the
+    bound (e.g. Gaussian scales at ``SCALE_MIN``) can still recover.
+    This mirrors the ``LowerBound`` autograd function of Ballé et al.'s
+    reference implementation.
+    """
+    a = as_tensor(a)
+    out_data = np.maximum(a.data, bound)
+    above = a.data >= bound
+
+    def backward(g: np.ndarray, gm: Dict[int, np.ndarray]) -> None:
+        # pass grad if above the bound, or if the gradient pushes the
+        # value upward (g < 0 means increasing a decreases loss).
+        pass_through = above | (g < 0)
+        a._receive(gm, g * pass_through)
+
+    return Tensor._from_op(out_data, (a,), backward, "lower_bound")
+
+
+def mse_loss(pred: TensorLike, target: TensorLike) -> Tensor:
+    """Mean squared error — the distortion term of Eq. 8 and loss of Eq. 7."""
+    pred, target = as_tensor(pred), as_tensor(target)
+    diff = sub(pred, target)
+    return mean(mul(diff, diff))
+
+
+def l1_loss(pred: TensorLike, target: TensorLike) -> Tensor:
+    pred, target = as_tensor(pred), as_tensor(target)
+    return mean(abs_(sub(pred, target)))
+
+
+# ----------------------------------------------------------------------
+# Attach operator dunders & tensor methods
+# ----------------------------------------------------------------------
+def _attach() -> None:
+    Tensor.__add__ = lambda self, other: add(self, other)
+    Tensor.__radd__ = lambda self, other: add(other, self)
+    Tensor.__sub__ = lambda self, other: sub(self, other)
+    Tensor.__rsub__ = lambda self, other: sub(other, self)
+    Tensor.__mul__ = lambda self, other: mul(self, other)
+    Tensor.__rmul__ = lambda self, other: mul(other, self)
+    Tensor.__truediv__ = lambda self, other: div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: div(other, self)
+    Tensor.__neg__ = lambda self: neg(self)
+    Tensor.__pow__ = lambda self, p: pow_(self, p)
+    Tensor.__matmul__ = lambda self, other: matmul(self, other)
+    Tensor.__getitem__ = lambda self, idx: getitem(self, idx)
+
+    Tensor.sum = lambda self, axis=None, keepdims=False: sum_(self, axis, keepdims)
+    Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis, keepdims)
+    Tensor.var = lambda self, axis=None, keepdims=False: var(self, axis, keepdims)
+    Tensor.max = lambda self, axis=None, keepdims=False: max_(self, axis, keepdims)
+    Tensor.min = lambda self, axis=None, keepdims=False: min_(self, axis, keepdims)
+    Tensor.reshape = lambda self, *shape: reshape(
+        self, shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list))
+        else shape)
+    Tensor.transpose = lambda self, axes=None: transpose(self, axes)
+    Tensor.swapaxes = lambda self, ax1, ax2: swapaxes(self, ax1, ax2)
+    Tensor.exp = lambda self: exp(self)
+    Tensor.log = lambda self: log(self)
+    Tensor.sqrt = lambda self: sqrt(self)
+    Tensor.abs = lambda self: abs_(self)
+    Tensor.tanh = lambda self: tanh(self)
+    Tensor.sigmoid = lambda self: sigmoid(self)
+    Tensor.clip = lambda self, lo, hi: clip(self, lo, hi)
+
+
+_attach()

@@ -1,0 +1,216 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains the VAE with Adam at 1e-3 decayed 0.5x every 100K
+iterations, and the diffusion model at 1e-4 (Sec. 4.3).  Both patterns
+are provided: :class:`Adam` plus :class:`StepLR` / :class:`CosineLR`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["SGD", "Adam", "StepLR", "CosineLR", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging training stability).
+    """
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad * p.grad).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class _Optimizer:
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # -- checkpointing ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """Resumable state: scalars plus per-parameter buffers.
+
+        Buffers are keyed by parameter *position*, so the restoring
+        optimizer must be built over the same parameter list (same
+        model, same order) — the convention PyTorch uses too.
+        """
+        return {"lr": np.array(self.lr),
+                "step_count": np.array(self.step_count)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+
+    def _load_buffers(self, state: dict, name: str,
+                      buffers: List[np.ndarray]) -> None:
+        for i, buf in enumerate(buffers):
+            key = f"{name}{i}"
+            if key not in state:
+                raise KeyError(f"missing optimizer buffer {key!r}")
+            if state[key].shape != buf.shape:
+                raise ValueError(
+                    f"buffer {key!r} shape {state[key].shape} != "
+                    f"{buf.shape} (parameter list mismatch?)")
+            buf[...] = state[key]
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        for i, v in enumerate(self._velocity):
+            state[f"velocity{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(state, "velocity", self._velocity)
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bc1 = 1.0 - self.beta1 ** t
+        bc2 = 1.0 - self.beta2 ** t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            mhat = m / bc1
+            vhat = v / bc2
+            p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m{i}"] = m.copy()
+            state[f"v{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(state, "m", self._m)
+        self._load_buffers(state, "v", self._v)
+
+
+class StepLR:
+    """Multiply the optimizer LR by ``gamma`` every ``step_size`` steps.
+
+    Mirrors the paper's VAE schedule: "decays by a factor of 0.5 every
+    100K iterations".
+    """
+
+    def __init__(self, optimizer: _Optimizer, step_size: int,
+                 gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_size = step_size
+        self.gamma = gamma
+        self._t = 0
+
+    def step(self) -> float:
+        self._t += 1
+        factor = self.gamma ** (self._t // self.step_size)
+        self.optimizer.lr = self.base_lr * factor
+        return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        return {"t": np.array(self._t), "base_lr": np.array(self.base_lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self.base_lr = float(state["base_lr"])
+
+
+class CosineLR:
+    """Cosine decay from the base LR to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: _Optimizer, total_steps: int,
+                 min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self._t = 0
+
+    def step(self) -> float:
+        self._t = min(self._t + 1, self.total_steps)
+        cos = 0.5 * (1.0 + math.cos(math.pi * self._t / self.total_steps))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+        return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        return {"t": np.array(self._t), "base_lr": np.array(self.base_lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self.base_lr = float(state["base_lr"])

@@ -1,0 +1,54 @@
+"""State-dict persistence for :class:`repro.nn.Module` models.
+
+Checkpoints are plain ``.npz`` archives mapping parameter names to
+arrays, so they stay inspectable with nothing but NumPy.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Write a state dict to ``path`` as a compressed ``.npz``."""
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {k: archive[k] for k in archive.files}
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Persist a module's parameters."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: PathLike, strict: bool = True) -> Module:
+    """Restore a module's parameters in place and return it."""
+    module.load_state_dict(load_state(path), strict=strict)
+    return module
+
+
+def state_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialize a state dict to bytes (for embedding in blobs)."""
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **state)
+    return buf.getvalue()
+
+
+def state_from_bytes(data: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_to_bytes`."""
+    with np.load(io.BytesIO(data)) as archive:
+        return {k: archive[k] for k in archive.files}

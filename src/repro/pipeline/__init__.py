@@ -1,0 +1,32 @@
+"""``repro.pipeline`` — the end-to-end latent-diffusion compressor.
+
+* :mod:`repro.pipeline.blob` — the compressed-stream container and its
+  binary (de)serialization, whose byte length is what Eq. 11 counts;
+* :mod:`repro.pipeline.compressor` —
+  :class:`~repro.pipeline.compressor.LatentDiffusionCompressor`, the
+  public compress/decompress API;
+* :mod:`repro.pipeline.training` — the two-stage training protocol of
+  Sec. 3.4 plus few-step fine-tuning and corrector fitting;
+* :mod:`repro.pipeline.parallel` — window-parallel compression over a
+  worker pool for multi-variable archives;
+* :mod:`repro.pipeline.streaming` — constant-memory chunked compression
+  of frame iterators into a :class:`~repro.pipeline.streaming.StreamArchive`;
+* :mod:`repro.pipeline.multivar` — multi-variable (V, T, H, W) archives
+  with aggregate Eq. 11 accounting.
+"""
+
+from .blob import CompressedBlob, WindowStreams
+from .compressor import CompressionResult, LatentDiffusionCompressor
+from .multivar import (MultiVarArchive, MultiVariableCompressor,
+                       MultiVarResult)
+from .parallel import compress_windows_parallel
+from .streaming import ChunkResult, StreamArchive, StreamingCompressor
+from .training import TrainingConfig, TwoStageTrainer, train_compressor
+
+__all__ = [
+    "CompressedBlob", "WindowStreams", "LatentDiffusionCompressor",
+    "CompressionResult", "TwoStageTrainer", "TrainingConfig",
+    "train_compressor", "compress_windows_parallel",
+    "StreamingCompressor", "StreamArchive", "ChunkResult",
+    "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",
+]

@@ -1,0 +1,186 @@
+"""Multi-variable dataset compression.
+
+The paper's datasets bundle several physical variables (E3SM: 5 climate
+variables; S3D: 58 species; Table 1), each compressed as its own
+``(T, H, W)`` stack.  This module drives a trained compressor across a
+``(V, T, H, W)`` array (or a mapping of named variables), aggregates
+the Eq. 11 accounting over all variables, and serializes everything
+into one archive.
+
+A single trained model is shared across variables by default — the
+per-frame normalization (Sec. 4.3) maps every variable into the same
+zero-mean/unit-range domain the model was trained on.  A per-variable
+compressor mapping can be supplied when variables differ enough to
+merit dedicated models.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..metrics import CompressionAccounting, nrmse
+from .blob import CompressedBlob
+from .compressor import CompressionResult, LatentDiffusionCompressor
+
+__all__ = ["MultiVarResult", "MultiVarArchive", "MultiVariableCompressor"]
+
+_MAGIC = b"LDMV"
+_VERSION = 1
+
+
+@dataclass
+class MultiVarResult:
+    """Per-variable results plus dataset-level accounting."""
+
+    results: Dict[str, CompressionResult]
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self.results)
+
+    def accounting(self) -> CompressionAccounting:
+        return CompressionAccounting(
+            original_bytes=sum(r.accounting.original_bytes
+                               for r in self.results.values()),
+            latent_bytes=sum(r.accounting.latent_bytes
+                             for r in self.results.values()),
+            guarantee_bytes=sum(r.accounting.guarantee_bytes
+                                for r in self.results.values()))
+
+    @property
+    def ratio(self) -> float:
+        return self.accounting().ratio
+
+    def worst_nrmse(self) -> float:
+        return max(r.achieved_nrmse for r in self.results.values())
+
+    def archive(self) -> "MultiVarArchive":
+        return MultiVarArchive(
+            blobs={name: r.blob for name, r in self.results.items()})
+
+
+@dataclass
+class MultiVarArchive:
+    """Named blob collection with binary (de)serialization."""
+
+    blobs: Dict[str, CompressedBlob] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        parts = [_MAGIC, struct.pack("<BI", _VERSION, len(self.blobs))]
+        for name, blob in self.blobs.items():
+            tag = name.encode()
+            if len(tag) > 255:
+                raise ValueError(f"variable name too long: {name!r}")
+            payload = blob.to_bytes()
+            parts.append(struct.pack("<B", len(tag)))
+            parts.append(tag)
+            parts.append(struct.pack("<I", len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MultiVarArchive":
+        if data[:4] != _MAGIC:
+            raise ValueError("not a multi-variable archive (bad magic)")
+        version, count = struct.unpack_from("<BI", data, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported archive version {version}")
+        pos = 4 + struct.calcsize("<BI")
+        blobs: Dict[str, CompressedBlob] = {}
+        for _ in range(count):
+            tlen, = struct.unpack_from("<B", data, pos)
+            pos += 1
+            name = data[pos:pos + tlen].decode()
+            pos += tlen
+            n, = struct.unpack_from("<I", data, pos)
+            pos += 4
+            payload = data[pos:pos + n]
+            if len(payload) != n:
+                raise ValueError("truncated archive: blob incomplete")
+            blobs[name] = CompressedBlob.from_bytes(payload)
+            pos += n
+        return cls(blobs=blobs)
+
+
+class MultiVariableCompressor:
+    """Compress/decompress a set of variables with shared or dedicated
+    models.
+
+    Parameters
+    ----------
+    compressor:
+        Either one shared :class:`LatentDiffusionCompressor` or a
+        mapping ``variable name -> compressor`` (every variable to be
+        compressed must then have an entry).
+    """
+
+    def __init__(self, compressor: Union[
+            LatentDiffusionCompressor,
+            Mapping[str, LatentDiffusionCompressor]]):
+        self._shared: Optional[LatentDiffusionCompressor]
+        self._per_var: Mapping[str, LatentDiffusionCompressor]
+        if isinstance(compressor, LatentDiffusionCompressor):
+            self._shared = compressor
+            self._per_var = {}
+        else:
+            if not compressor:
+                raise ValueError("empty compressor mapping")
+            self._shared = None
+            self._per_var = dict(compressor)
+
+    def _for(self, name: str) -> LatentDiffusionCompressor:
+        if self._shared is not None:
+            return self._shared
+        try:
+            return self._per_var[name]
+        except KeyError:
+            raise KeyError(f"no compressor for variable {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def compress(self, data: Union[np.ndarray, Mapping[str, np.ndarray]],
+                 names: Optional[Sequence[str]] = None,
+                 error_bound: Optional[float] = None,
+                 nrmse_bound: Optional[float] = None,
+                 noise_seed: int = 0) -> MultiVarResult:
+        """Compress every variable.
+
+        ``data`` is either a ``(V, T, H, W)`` array (variables named
+        ``names`` or ``var0..var{V-1}``) or an explicit name→stack
+        mapping.  Bounds apply per variable.
+        """
+        stacks = self._as_mapping(data, names)
+        results: Dict[str, CompressionResult] = {}
+        for vi, (name, stack) in enumerate(stacks.items()):
+            comp = self._for(name)
+            results[name] = comp.compress(
+                stack, error_bound=error_bound, nrmse_bound=nrmse_bound,
+                noise_seed=noise_seed + 104729 * vi)
+        return MultiVarResult(results=results)
+
+    def decompress(self, archive: MultiVarArchive
+                   ) -> Dict[str, np.ndarray]:
+        """Reconstruct every variable from an archive."""
+        return {name: self._for(name).decompress(blob)
+                for name, blob in archive.blobs.items()}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_mapping(data, names) -> Dict[str, np.ndarray]:
+        if isinstance(data, Mapping):
+            if names is not None:
+                raise ValueError("names only apply to array input")
+            return {str(k): np.asarray(v, dtype=np.float64)
+                    for k, v in data.items()}
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 4:
+            raise ValueError(f"expected (V, T, H, W), got {data.shape}")
+        v = data.shape[0]
+        if names is None:
+            names = [f"var{i}" for i in range(v)]
+        if len(names) != v:
+            raise ValueError(f"{len(names)} names for {v} variables")
+        return {str(n): data[i] for i, n in enumerate(names)}

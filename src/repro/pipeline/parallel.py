@@ -1,0 +1,51 @@
+"""Window-parallel compression over a worker pool.
+
+Scientific archives hold many independent variables/windows; their
+compression is embarrassingly parallel.  This module fans window
+compression out over a thread pool — NumPy's BLAS kernels release the
+GIL, so threads scale for the matrix-heavy encoder/sampler work without
+the pickling cost a process pool would add for model weights.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .compressor import CompressionResult, LatentDiffusionCompressor
+
+__all__ = ["compress_windows_parallel"]
+
+
+def compress_windows_parallel(compressor: LatentDiffusionCompressor,
+                              stacks: Sequence[np.ndarray],
+                              error_bound: Optional[float] = None,
+                              nrmse_bound: Optional[float] = None,
+                              max_workers: int = 4,
+                              base_seed: int = 0
+                              ) -> List[CompressionResult]:
+    """Compress many independent frame stacks concurrently.
+
+    Each stack gets a deterministic seed derived from ``base_seed`` and
+    its position, so results are reproducible regardless of scheduling
+    order.
+    """
+    if max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+
+    def task(i_stack):
+        i, stack = i_stack
+        return i, compressor.compress(
+            np.asarray(stack), error_bound=error_bound,
+            nrmse_bound=nrmse_bound, noise_seed=base_seed + 7919 * i)
+
+    if max_workers == 1 or len(stacks) == 1:
+        return [task((i, s))[1] for i, s in enumerate(stacks)]
+
+    results: List[Optional[CompressionResult]] = [None] * len(stacks)
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        for i, res in pool.map(task, enumerate(stacks)):
+            results[i] = res
+    return results  # type: ignore[return-value]

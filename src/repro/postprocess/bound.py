@@ -1,0 +1,296 @@
+"""Error-bound enforcement (Eqs. 9-10).
+
+Given the original frames ``x`` and a lossy reconstruction ``x_R``,
+:class:`ErrorBoundCorrector` produces a corrected ``x_G`` with
+``||x - x_G||_2 <= tau`` plus the coded payload whose size is the
+``Size(G)`` term of the compression ratio (Eq. 11).
+
+Per block the corrector greedily keeps the largest-magnitude PCA
+coefficients (quantized) until the *actual recomputed* block error
+meets its share of the budget; blocks the truncated basis cannot fix
+fall back to direct uniform quantization of the leftover residual
+("escape" blocks), which bounds the block error by construction.  The
+bound therefore holds unconditionally, not just in expectation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .coding import decode_ints, encode_ints
+from .pca import ResidualPCA, blockify, unblockify
+
+__all__ = ["ErrorBoundCorrector", "BoundResult"]
+
+_HDR = "<dII"  # tau, n_blocks, geometry marker (block edge)
+
+
+@dataclass
+class BoundResult:
+    """Outcome of a correction pass."""
+
+    corrected: np.ndarray     # x_G
+    payload: bytes            # coded G stream
+    achieved_l2: float        # actual ||x - x_G||_2
+    tau: float
+    n_escape_blocks: int
+    n_coefficients: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+
+class ErrorBoundCorrector:
+    """PCA residual corrector with an unconditional L2 guarantee.
+
+    Parameters
+    ----------
+    pca:
+        Fitted residual basis (orthonormal columns).
+    coeff_quant_bits:
+        Quantizer resolution for the kept coefficients.
+    vectorized:
+        Select coefficients with the whole-array cumulative-sum path
+        instead of the per-block Python loop.  Both produce the same
+        guarantee; the vectorized path is the "accelerated
+        post-processing" the paper lists as future work (Sec. 5) and is
+        the default.  Because the basis is orthonormal, the block error
+        after keeping quantized coefficients ``q̃_j`` is exactly
+        ``||r||² − Σ_j (2 c_j q̃_j − q̃_j²)`` — a cumulative sum over
+        the magnitude-sorted coefficients, computable for every block
+        and every prefix length at once.
+    """
+
+    def __init__(self, pca: ResidualPCA, coeff_quant_bits: int = 10,
+                 vectorized: bool = True):
+        if not pca.is_fitted:
+            raise ValueError("corrector requires a fitted ResidualPCA")
+        if coeff_quant_bits < 2:
+            raise ValueError("coeff_quant_bits must be >= 2")
+        self.pca = pca
+        self.coeff_quant_bits = coeff_quant_bits
+        self.vectorized = vectorized
+
+    # ------------------------------------------------------------------
+    def correct(self, x: np.ndarray, x_r: np.ndarray,
+                tau: float) -> BoundResult:
+        """Encode a correction achieving ``||x - x_G||_2 <= tau``.
+
+        ``x`` and ``x_r`` are ``(T, H, W)`` frame stacks.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        x_r = np.asarray(x_r, dtype=np.float64)
+        if x.shape != x_r.shape:
+            raise ValueError(f"shape mismatch {x.shape} vs {x_r.shape}")
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        residual = x - x_r
+        rows, geom = blockify(residual, self.pca.block)
+        nb, D = rows.shape
+        # uniform per-block share of the squared budget (with slack for
+        # coefficient quantization noise)
+        tau_b2 = (tau * tau) / nb
+        tau_b = np.sqrt(tau_b2)
+
+        coeffs = self.pca.project(rows)                  # (nb, rank)
+        qstep = 2.0 * tau_b / (1 << self.coeff_quant_bits)
+        qstep = max(qstep, 1e-12)
+
+        order = np.argsort(-np.abs(coeffs), axis=1)      # desc magnitude
+        block_err2 = np.einsum("ij,ij->i", rows, rows)
+        # escape-block quantizer: elementwise step so the block L2 error
+        # after quantization is <= tau_b by construction
+        esc_step = max(2.0 * tau_b / np.sqrt(D), 1e-12)
+
+        select = (self._select_vectorized if self.vectorized
+                  else self._select_loop)
+        (kept_counts, kept_idx, kept_q, escape_mask, esc_vals,
+         correction) = select(rows, coeffs, order, block_err2, tau_b2,
+                              qstep, esc_step)
+
+        corrected_rows = rows - correction  # leftover error, for stats
+        x_g = x_r + unblockify(correction, geom)
+        achieved = float(np.linalg.norm(x - x_g))
+
+        payload = self._pack(tau, geom, kept_counts, kept_idx, kept_q,
+                             escape_mask, esc_vals, qstep, esc_step)
+        # belt-and-braces: the construction guarantees this, assert it
+        if achieved > tau * (1 + 1e-9):
+            raise AssertionError(
+                f"error bound violated: {achieved} > {tau}")
+        return BoundResult(corrected=x_g, payload=payload,
+                           achieved_l2=achieved, tau=tau,
+                           n_escape_blocks=int(escape_mask.sum()),
+                           n_coefficients=len(kept_q))
+
+    # ------------------------------------------------------------------
+    # coefficient-selection backends
+    # ------------------------------------------------------------------
+    def _select_loop(self, rows, coeffs, order, block_err2, tau_b2,
+                     qstep, esc_step):
+        """Reference per-block greedy loop (kept for verification)."""
+        nb, D = rows.shape
+        kept_counts = np.zeros(nb, dtype=np.int64)
+        kept_idx: list = []
+        kept_q: list = []
+        escape_mask = np.zeros(nb, dtype=bool)
+        esc_vals: list = []
+        correction = np.zeros_like(rows)
+
+        for b in np.nonzero(block_err2 > tau_b2)[0]:
+            r = rows[b]
+            approx = np.zeros(D)
+            chosen: list = []
+            qvals: list = []
+            ok = False
+            for rank_pos in range(self.pca.rank):
+                j = order[b, rank_pos]
+                q = int(np.rint(coeffs[b, j] / qstep))
+                if q == 0:
+                    continue
+                chosen.append(int(j))
+                qvals.append(q)
+                approx = approx + (q * qstep) * self.pca.basis[:, j]
+                err2 = float(((r - approx) ** 2).sum())
+                if err2 <= tau_b2:
+                    ok = True
+                    break
+            if ok:
+                kept_counts[b] = len(chosen)
+                kept_idx.extend(chosen)
+                kept_q.extend(qvals)
+                correction[b] = approx
+            else:
+                # escape: quantize the raw residual directly
+                escape_mask[b] = True
+                q = np.rint(r / esc_step).astype(np.int64)
+                esc_vals.append(q)
+                correction[b] = q * esc_step
+        return (kept_counts, kept_idx, kept_q, escape_mask, esc_vals,
+                correction)
+
+    def _select_vectorized(self, rows, coeffs, order, block_err2, tau_b2,
+                           qstep, esc_step):
+        """Whole-array selection (the accelerated post-processing path).
+
+        Orthonormal columns make the error after keeping the quantized
+        prefix ``{j_1..j_k}`` exactly
+        ``||r||² − Σ_{i<=k} (2 c_{j_i} q̃_{j_i} − q̃_{j_i}²)``; the
+        prefix errors for every block and every k are one cumulative
+        sum over the magnitude-sorted coefficient array.
+        """
+        nb, D = rows.shape
+        active = np.nonzero(block_err2 > tau_b2)[0]
+        kept_counts = np.zeros(nb, dtype=np.int64)
+        kept_idx: list = []
+        kept_q: list = []
+        escape_mask = np.zeros(nb, dtype=bool)
+        esc_vals: list = []
+        correction = np.zeros_like(rows)
+        if active.size == 0:
+            return (kept_counts, kept_idx, kept_q, escape_mask, esc_vals,
+                    correction)
+
+        a_coeffs = coeffs[active]                          # (na, rank)
+        a_order = order[active]
+        sorted_c = np.take_along_axis(a_coeffs, a_order, axis=1)
+        q_sorted = np.rint(sorted_c / qstep)
+        q_tilde = q_sorted * qstep
+        # error reduction of each kept coefficient (0 where q == 0)
+        delta = 2.0 * sorted_c * q_tilde - q_tilde ** 2
+        err_after = block_err2[active][:, None] - np.cumsum(delta, axis=1)
+        hits = err_after <= tau_b2
+        any_hit = hits.any(axis=1)
+        first_hit = np.argmax(hits, axis=1)               # valid where any
+
+        for ai, b in enumerate(active):
+            if any_hit[ai]:
+                m = int(first_hit[ai]) + 1                # prefix length
+                nz = q_sorted[ai, :m] != 0
+                chosen = a_order[ai, :m][nz]
+                qvals = q_sorted[ai, :m][nz].astype(np.int64)
+                kept_counts[b] = chosen.size
+                kept_idx.extend(chosen.tolist())
+                kept_q.extend(qvals.tolist())
+                correction[b] = (self.pca.basis[:, chosen]
+                                 @ (qvals * qstep))
+            else:
+                escape_mask[b] = True
+                q = np.rint(rows[b] / esc_step).astype(np.int64)
+                esc_vals.append(q)
+                correction[b] = q * esc_step
+        return (kept_counts, kept_idx, kept_q, escape_mask, esc_vals,
+                correction)
+
+    # ------------------------------------------------------------------
+    def apply(self, x_r: np.ndarray, payload: bytes) -> np.ndarray:
+        """Decoder side: apply a coded correction to ``x_r``."""
+        x_r = np.asarray(x_r, dtype=np.float64)
+        (tau, geom, kept_counts, kept_idx, kept_q, escape_mask, esc_vals,
+         qstep, esc_step) = self._unpack(payload)
+        T, H, W, Hp, Wp, block = geom
+        if x_r.shape != (T, H, W):
+            raise ValueError(
+                f"reconstruction shape {x_r.shape} does not match payload "
+                f"geometry {(T, H, W)}")
+        nb = kept_counts.size
+        D = block * block
+        correction = np.zeros((nb, D))
+        pos = 0
+        for b in range(nb):
+            k = kept_counts[b]
+            if k:
+                idx = kept_idx[pos:pos + k]
+                q = kept_q[pos:pos + k]
+                correction[b] = (self.pca.basis[:, idx]
+                                 @ (q.astype(np.float64) * qstep))
+                pos += k
+        ei = 0
+        for b in np.nonzero(escape_mask)[0]:
+            correction[b] = esc_vals[ei].astype(np.float64) * esc_step
+            ei += 1
+        return x_r + unblockify(correction, geom)
+
+    # ------------------------------------------------------------------
+    def _pack(self, tau, geom, kept_counts, kept_idx, kept_q, escape_mask,
+              esc_vals, qstep, esc_step) -> bytes:
+        T, H, W, Hp, Wp, block = geom
+        head = struct.pack("<dIIIIII dd", tau, T, H, W, Hp, Wp, block,
+                           qstep, esc_step)
+        parts = [head]
+        parts.append(encode_ints(kept_counts))
+        parts.append(encode_ints(np.asarray(kept_idx, dtype=np.int64)))
+        parts.append(encode_ints(np.asarray(kept_q, dtype=np.int64)))
+        parts.append(encode_ints(escape_mask.astype(np.int64)))
+        esc_flat = (np.concatenate(esc_vals) if esc_vals
+                    else np.zeros(0, dtype=np.int64))
+        parts.append(encode_ints(esc_flat))
+        return b"".join(parts)
+
+    def _unpack(self, payload: bytes):
+        head_fmt = "<dIIIIII dd"
+        head_size = struct.calcsize(head_fmt)
+        tau, T, H, W, Hp, Wp, block, qstep, esc_step = struct.unpack_from(
+            head_fmt, payload, 0)
+        if block != self.pca.block:
+            raise ValueError(
+                f"payload block edge {block} != corrector block "
+                f"{self.pca.block}")
+        geom = (T, H, W, Hp, Wp, block)
+        off = head_size
+        kept_counts, off = decode_ints(payload, off)
+        kept_idx, off = decode_ints(payload, off)
+        kept_q, off = decode_ints(payload, off)
+        esc_flags, off = decode_ints(payload, off)
+        esc_flat, off = decode_ints(payload, off)
+        escape_mask = esc_flags.astype(bool)
+        D = block * block
+        n_esc = int(escape_mask.sum())
+        esc_vals = [esc_flat[i * D:(i + 1) * D] for i in range(n_esc)]
+        return (tau, geom, kept_counts, kept_idx, kept_q, escape_mask,
+                esc_vals, qstep, esc_step)

@@ -1,0 +1,127 @@
+"""Entropy coding of correction payloads (quantized coefficients).
+
+A self-describing, self-delimiting integer codec: a compact histogram
+header plus an arithmetic-coded body.  Used for PCA coefficient values,
+kept-index lists, per-block counts and escape-block residuals —
+everything in the ``G`` term of Eq. 11 goes through here, so its size
+accounting is honest bytes, not estimates.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from ..entropy.coder import decode_symbols, encode_symbols, pmf_to_cumulative
+
+__all__ = ["encode_ints", "decode_ints"]
+
+_MAGIC = b"RI"
+_VARINT_MAGIC = b"RV"
+_HEADER = "<IqiI"  # count, vmin, alphabet, body length
+
+#: Above this alphabet size the histogram header would dominate; fall
+#: back to zigzag varints (used by rare escape blocks with huge ranges).
+_MAX_HISTOGRAM_ALPHABET = 1 << 12
+
+
+def _zigzag(v: np.ndarray) -> np.ndarray:
+    return np.where(v >= 0, 2 * v, -2 * v - 1).astype(np.uint64)
+
+
+def _unzigzag(u: np.ndarray) -> np.ndarray:
+    u = u.astype(np.int64)
+    return np.where(u % 2 == 0, u // 2, -(u // 2) - 1)
+
+
+def _encode_varints(values: np.ndarray) -> bytes:
+    out = bytearray(_VARINT_MAGIC)
+    out += struct.pack("<I", values.size)
+    for u in _zigzag(values).tolist():
+        while True:
+            byte = u & 0x7F
+            u >>= 7
+            if u:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _decode_varints(data: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    n, = struct.unpack_from("<I", data, offset + 2)
+    pos = offset + 2 + 4
+    vals = np.empty(n, dtype=np.uint64)
+    for i in range(n):
+        u, shift = 0, 0
+        while True:
+            byte = data[pos]
+            pos += 1
+            u |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        vals[i] = u
+    return _unzigzag(vals), pos
+
+
+def encode_ints(values: np.ndarray) -> bytes:
+    """Encode an integer array into a self-delimiting byte payload.
+
+    Layout: magic, count, vmin, alphabet size, body length, 32-bit
+    histogram, arithmetic-coded body.  The histogram header is the
+    price of adaptivity; for the small alphabets of quantized residual
+    coefficients it is a few dozen bytes.
+    """
+    values = np.asarray(values, dtype=np.int64).ravel()
+    n = values.size
+    if n == 0:
+        return _MAGIC + struct.pack(_HEADER, 0, 0, 0, 0)
+    vmin = int(values.min())
+    vmax = int(values.max())
+    alphabet = vmax - vmin + 1
+    varint = _encode_varints(values)
+    if alphabet > _MAX_HISTOGRAM_ALPHABET:
+        return varint
+    symbols = values - vmin
+    hist = np.bincount(symbols, minlength=alphabet).astype(np.int64)
+    if alphabet == 1:
+        body = b""
+    else:
+        tables = pmf_to_cumulative(hist[None, :].astype(np.float64))
+        body = encode_symbols(symbols, tables, np.zeros(n, dtype=np.int64))
+    header = _MAGIC + struct.pack(_HEADER, n, vmin, alphabet, len(body))
+    header += hist.astype("<u4").tobytes()
+    coded = header + body
+    # The histogram header can dominate small payloads; keep whichever
+    # representation is actually smaller (magic bytes disambiguate).
+    return coded if len(coded) <= len(varint) else varint
+
+
+def decode_ints(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
+    """Decode one :func:`encode_ints` payload starting at ``offset``.
+
+    Returns ``(values, next_offset)`` so multiple payloads can be
+    concatenated back to back.
+    """
+    if data[offset:offset + 2] == _VARINT_MAGIC:
+        return _decode_varints(data, offset)
+    if data[offset:offset + 2] != _MAGIC:
+        raise ValueError("corrupted payload: bad magic")
+    n, vmin, alphabet, body_len = struct.unpack_from(_HEADER, data,
+                                                     offset + 2)
+    pos = offset + 2 + struct.calcsize(_HEADER)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), pos
+    hist = np.frombuffer(data, dtype="<u4", count=alphabet,
+                         offset=pos).astype(np.int64)
+    pos += 4 * alphabet
+    if alphabet == 1:
+        return np.full(n, vmin, dtype=np.int64), pos
+    tables = pmf_to_cumulative(hist[None, :].astype(np.float64))
+    symbols = decode_symbols(data[pos:pos + body_len], tables,
+                             np.zeros(n, dtype=np.int64))
+    return symbols + vmin, pos + body_len

@@ -1,0 +1,110 @@
+"""Residual PCA basis (the matrix ``U`` of Eq. 9).
+
+Following the paper's prior-work recipe [19, 21, 25], the basis is
+learned once from training-time residuals and shipped with the model —
+it is *not* part of the per-stream payload, only the selected
+coefficients are.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ResidualPCA", "blockify", "unblockify"]
+
+
+def blockify(frames: np.ndarray, block: int) -> Tuple[np.ndarray, Tuple]:
+    """Split ``(T, H, W)`` frames into ``(n_blocks, block*block)`` rows.
+
+    Frames are zero-padded up to a multiple of ``block``; the returned
+    geometry tuple lets :func:`unblockify` crop back.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 3:
+        raise ValueError(f"expected (T, H, W), got {frames.shape}")
+    T, H, W = frames.shape
+    Hp = -(-H // block) * block
+    Wp = -(-W // block) * block
+    padded = np.zeros((T, Hp, Wp))
+    padded[:, :H, :W] = frames
+    bh, bw = Hp // block, Wp // block
+    rows = (padded.reshape(T, bh, block, bw, block)
+            .transpose(0, 1, 3, 2, 4)
+            .reshape(T * bh * bw, block * block))
+    return rows, (T, H, W, Hp, Wp, block)
+
+
+def unblockify(rows: np.ndarray, geometry: Tuple) -> np.ndarray:
+    """Inverse of :func:`blockify`."""
+    T, H, W, Hp, Wp, block = geometry
+    bh, bw = Hp // block, Wp // block
+    frames = (rows.reshape(T, bh, bw, block, block)
+              .transpose(0, 1, 3, 2, 4)
+              .reshape(T, Hp, Wp))
+    return frames[:, :H, :W].copy()
+
+
+class ResidualPCA:
+    """Truncated PCA over residual blocks.
+
+    Parameters
+    ----------
+    block:
+        Spatial block edge; residual vectors have ``block**2`` entries.
+    rank:
+        Number of retained principal components (``U`` is
+        ``(block**2, rank)``).
+    """
+
+    def __init__(self, block: int = 8, rank: int = 32):
+        if rank < 1 or block < 1:
+            raise ValueError("block and rank must be positive")
+        self.block = block
+        self.rank = min(rank, block * block)
+        self.basis: np.ndarray = None  # (D, rank), orthonormal columns
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.basis is not None
+
+    def fit(self, residual_frames: np.ndarray) -> "ResidualPCA":
+        """Fit ``U`` from training residual frames ``(T, H, W)``."""
+        rows, _ = blockify(residual_frames, self.block)
+        # right singular vectors of the (samples x D) residual matrix
+        _, _, vt = np.linalg.svd(rows, full_matrices=False)
+        k = min(self.rank, vt.shape[0])
+        basis = vt[:k].T  # (D, k)
+        if k < self.rank:
+            # degenerate training set: complete with identity directions
+            D = self.block * self.block
+            extra = np.eye(D)[:, : self.rank - k]
+            q, _ = np.linalg.qr(np.concatenate([basis, extra], axis=1))
+            basis = q[:, : self.rank]
+        self.basis = basis
+        return self
+
+    def project(self, rows: np.ndarray) -> np.ndarray:
+        """Coefficients ``c = U^T r`` (Eq. 9) for residual rows."""
+        self._check()
+        return rows @ self.basis
+
+    def reconstruct(self, coeffs: np.ndarray) -> np.ndarray:
+        """Correction ``U c`` (used in Eq. 10)."""
+        self._check()
+        return coeffs @ self.basis.T
+
+    def state(self) -> dict:
+        self._check()
+        return {"block": self.block, "rank": self.rank, "basis": self.basis}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ResidualPCA":
+        obj = cls(block=int(state["block"]), rank=int(state["rank"]))
+        obj.basis = np.asarray(state["basis"], dtype=np.float64)
+        return obj
+
+    def _check(self) -> None:
+        if self.basis is None:
+            raise RuntimeError("ResidualPCA is not fitted")

@@ -1,0 +1,100 @@
+"""Energy-spectrum analysis tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (radial_energy_spectrum, spectral_relative_error,
+                            spectrum_slope)
+from repro.data import JHTDBSynthetic
+
+
+class TestRadialSpectrum:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), h=st.integers(8, 32),
+           w=st.integers(8, 32))
+    def test_parseval_partition(self, seed, h, w):
+        """sum(E) equals the mean square of the field exactly."""
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((h, w))
+        _, e = radial_energy_spectrum(u)
+        assert np.isclose(e.sum(), (u ** 2).mean(), rtol=1e-10)
+
+    def test_stack_averages_frames(self):
+        rng = np.random.default_rng(0)
+        stack = rng.standard_normal((4, 16, 16))
+        _, e_stack = radial_energy_spectrum(stack)
+        singles = [radial_energy_spectrum(f)[1] for f in stack]
+        np.testing.assert_allclose(e_stack, np.mean(singles, axis=0))
+
+    def test_pure_mode_lands_in_its_band(self):
+        h = w = 32
+        ys, xs = np.mgrid[0:h, 0:w]
+        k0 = 5
+        u = np.cos(2 * np.pi * k0 * xs / w)
+        k, e = radial_energy_spectrum(u)
+        assert e.argmax() == k0
+        assert e[k0] > 0.99 * e.sum()
+
+    def test_constant_field_is_all_dc(self):
+        k, e = radial_energy_spectrum(np.full((8, 8), 3.0))
+        assert np.isclose(e[0], 9.0)
+        assert np.allclose(e[1:], 0.0)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            radial_energy_spectrum(np.zeros(8))
+        with pytest.raises(ValueError):
+            radial_energy_spectrum(np.zeros((2, 2, 2, 2)))
+
+
+class TestSpectralError:
+    def test_identical_fields_zero_error(self):
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal((16, 16))
+        err = spectral_relative_error(u, u.copy())
+        assert np.allclose(err, 0.0)
+
+    def test_spurious_energy_in_empty_band_is_inf(self):
+        h = w = 32
+        ys, xs = np.mgrid[0:h, 0:w]
+        orig = np.cos(2 * np.pi * 3 * xs / w)
+        recon = orig + 0.5 * np.cos(2 * np.pi * 9 * xs / w)
+        err = spectral_relative_error(orig, recon)
+        assert np.isinf(err[9])
+        assert err[3] < 1e-10
+
+    def test_k_max_truncates(self):
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal((16, 16))
+        err = spectral_relative_error(u, u, k_max=4)
+        assert err.shape == (5,)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spectral_relative_error(np.zeros((8, 8)), np.zeros((8, 9)))
+
+
+class TestSpectrumSlope:
+    def test_recovers_powerlaw(self):
+        k = np.arange(64)
+        e = np.zeros(64)
+        e[1:] = k[1:] ** (-5.0 / 3.0)
+        slope = spectrum_slope(k, e, (2, 30))
+        assert np.isclose(slope, -5.0 / 3.0, atol=1e-6)
+
+    def test_jhtdb_synthetic_inertial_range(self):
+        """The turbulence generator carries its k^-5/3 inertial range."""
+        frames = JHTDBSynthetic(t=4, h=64, w=64, seed=0).frames(0)
+        k, e = radial_energy_spectrum(frames)
+        slope = spectrum_slope(k, e, (3, 16))
+        assert -2.6 < slope < -1.0  # inertial-range-like decay
+
+    def test_rejects_degenerate_ranges(self):
+        k = np.arange(16)
+        e = np.ones(16)
+        with pytest.raises(ValueError):
+            spectrum_slope(k, e, (0, 8))
+        with pytest.raises(ValueError):
+            spectrum_slope(k, e, (15, 15))  # single band, no fit

@@ -1,0 +1,110 @@
+"""Tests for the TTHRESH-analogue (HOSVD transform coder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.tthresh import (TTHRESHLikeCompressor, hosvd,
+                                     tucker_reconstruct)
+
+
+def _smooth_stack(t=10, h=16, w=16, seed=0):
+    rng = np.random.default_rng(seed)
+    ts = np.linspace(0, 1, t)[:, None, None]
+    ys = np.linspace(0, 1, h)[None, :, None]
+    xs = np.linspace(0, 1, w)[None, None, :]
+    base = (np.sin(2 * np.pi * (xs + 0.3 * ts))
+            * np.cos(2 * np.pi * (ys - 0.2 * ts)))
+    return base + 0.01 * rng.standard_normal((t, h, w))
+
+
+class TestHOSVD:
+    def test_roundtrip_exact(self):
+        x = _smooth_stack(6, 8, 8)
+        core, factors = hosvd(x)
+        rec = tucker_reconstruct(core, factors)
+        np.testing.assert_allclose(rec, x, atol=1e-10)
+
+    def test_factors_orthogonal(self):
+        x = _smooth_stack(6, 8, 8, seed=1)
+        _, factors = hosvd(x)
+        for u in factors:
+            np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]),
+                                       atol=1e-10)
+
+    def test_core_energy_preserved(self):
+        x = _smooth_stack(5, 8, 8, seed=2)
+        core, _ = hosvd(x)
+        assert np.isclose((core ** 2).sum(), (x ** 2).sum())
+
+    def test_core_energy_concentrated(self):
+        """Smooth data concentrates energy in the low-index corner."""
+        x = _smooth_stack(8, 16, 16, seed=3)
+        core, _ = hosvd(x)
+        corner = core[:4, :4, :4]
+        assert (corner ** 2).sum() > 0.95 * (core ** 2).sum()
+
+
+class TestTTHRESHLike:
+    def test_rmse_bound_honored(self):
+        x = _smooth_stack()
+        comp = TTHRESHLikeCompressor()
+        for bound in (1e-1, 1e-2, 1e-3):
+            stream = comp.compress(x, rmse_bound=bound)
+            rec = comp.decompress(stream)
+            rmse = float(np.sqrt(((x - rec) ** 2).mean()))
+            assert rmse <= bound * (1 + 1e-9)
+
+    def test_compresses_smooth_data(self):
+        x = _smooth_stack(12, 16, 16)
+        stream = TTHRESHLikeCompressor().compress(x, rmse_bound=1e-2)
+        assert len(stream) < x.size * 8
+
+    def test_looser_bound_smaller_stream(self):
+        x = _smooth_stack(10, 16, 16, seed=4)
+        comp = TTHRESHLikeCompressor()
+        tight = comp.compress(x, rmse_bound=1e-4)
+        loose = comp.compress(x, rmse_bound=1e-1)
+        assert len(loose) < len(tight)
+
+    def test_truncation_reduces_factor_storage(self):
+        # rank-1 outer product: all but rank-1 slabs should be dropped
+        t = np.linspace(1, 2, 8)
+        h = np.linspace(1, 2, 16)
+        w = np.linspace(1, 2, 16)
+        x = t[:, None, None] * h[None, :, None] * w[None, None, :]
+        comp = TTHRESHLikeCompressor(truncation_share=0.5)
+        stream = comp.compress(x, rmse_bound=1e-3)
+        rec = comp.decompress(stream)
+        assert np.sqrt(((x - rec) ** 2).mean()) <= 1e-3
+        # rank-1 data: stream should be far below even 1 float per value
+        assert len(stream) < x.size
+
+    def test_rejects_bad_inputs(self):
+        comp = TTHRESHLikeCompressor()
+        with pytest.raises(ValueError):
+            comp.compress(np.zeros((4, 4)), rmse_bound=0.1)
+        with pytest.raises(ValueError):
+            comp.compress(np.zeros((4, 4, 4)), rmse_bound=0.0)
+        with pytest.raises(ValueError):
+            TTHRESHLikeCompressor(truncation_share=1.0)
+        with pytest.raises(ValueError):
+            comp.decompress(b"XXXX" + b"\x00" * 64)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           bound=st.sampled_from([1e-1, 1e-2, 1e-3]))
+    def test_bound_property(self, seed, bound):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((5, 8, 8)).cumsum(axis=0)
+        comp = TTHRESHLikeCompressor()
+        rec = comp.decompress(comp.compress(x, rmse_bound=bound))
+        assert np.sqrt(((x - rec) ** 2).mean()) <= bound * (1 + 1e-9)
+
+    def test_nonuniform_shape(self):
+        x = _smooth_stack(7, 12, 20, seed=5)
+        comp = TTHRESHLikeCompressor()
+        rec = comp.decompress(comp.compress(x, rmse_bound=1e-2))
+        assert rec.shape == x.shape
+        assert np.sqrt(((x - rec) ** 2).mean()) <= 1e-2 * (1 + 1e-9)

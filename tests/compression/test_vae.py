@@ -1,0 +1,170 @@
+"""VAE + hyperprior transform-coding tests."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (Decoder, Encoder, RDLoss, VAEHyperprior,
+                               dequantize_minmax, minmax_normalize,
+                               quantize_noise, quantize_round, quantize_ste)
+from repro.compression.rd_loss import LambdaSchedule
+from repro.config import VAEConfig, tiny
+from repro.nn import Tensor, no_grad
+from repro.nn.optim import Adam
+
+CFG = tiny().vae
+RNG = np.random.default_rng(0)
+
+
+def frames(b=2, h=16, w=16, seed=0):
+    rng = np.random.default_rng(seed)
+    # smooth field: random low-frequency Fourier sum
+    yy, xx = np.meshgrid(np.linspace(0, 1, h), np.linspace(0, 1, w),
+                         indexing="ij")
+    out = np.zeros((b, 1, h, w))
+    for i in range(b):
+        for _ in range(4):
+            fx, fy = rng.integers(1, 4, size=2)
+            ph = rng.uniform(0, 2 * np.pi)
+            out[i, 0] += rng.normal() * np.sin(
+                2 * np.pi * (fx * xx + fy * yy) + ph)
+    return out
+
+
+class TestShapes:
+    def test_encoder_downsamples(self):
+        enc = Encoder(CFG, rng=np.random.default_rng(1))
+        y = enc(Tensor(frames()))
+        f = CFG.downsample_factor
+        assert y.shape == (2, CFG.latent_channels, 16 // f, 16 // f)
+
+    def test_decoder_inverts_shape(self):
+        enc = Encoder(CFG, rng=np.random.default_rng(1))
+        dec = Decoder(CFG, rng=np.random.default_rng(2))
+        x = Tensor(frames())
+        assert dec(enc(x)).shape == x.shape
+
+    def test_hyperprior_shapes(self):
+        model = VAEHyperprior(CFG, rng=np.random.default_rng(1))
+        out = model(Tensor(frames()), rng=np.random.default_rng(9))
+        assert out.mu.shape == out.y.shape
+        assert out.sigma.shape == out.y.shape
+        assert np.all(out.sigma.numpy() >= 0)
+        assert out.x_hat.shape == (2, 1, 16, 16)
+        assert out.bits_y.size == 1 and out.bits_z.size == 1
+
+    def test_eval_mode_uses_rounding(self):
+        model = VAEHyperprior(CFG, rng=np.random.default_rng(1))
+        model.eval()
+        out = model(Tensor(frames()))
+        y_tilde = out.y_tilde.numpy()
+        np.testing.assert_array_equal(y_tilde, np.rint(y_tilde))
+
+
+class TestQuantization:
+    def test_noise_bounded(self):
+        y = Tensor(np.zeros((4, 4)))
+        q = quantize_noise(y, np.random.default_rng(0)).numpy()
+        assert np.all(np.abs(q) <= 0.5)
+
+    def test_round(self):
+        q = quantize_round(Tensor(np.array([0.4, 0.6, -1.2]))).numpy()
+        np.testing.assert_array_equal(q, [0.0, 1.0, -1.0])
+
+    def test_ste_forward_rounds_backward_passes(self):
+        y = Tensor(np.array([0.4, 1.6]), requires_grad=True)
+        q = quantize_ste(y)
+        np.testing.assert_array_equal(q.numpy(), [0.0, 2.0])
+        q.sum().backward()
+        np.testing.assert_array_equal(y.grad, [1.0, 1.0])
+
+    def test_minmax_roundtrip(self):
+        y = RNG.normal(size=(3, 5)) * 7 + 2
+        norm, lo, hi = minmax_normalize(y)
+        assert norm.min() == pytest.approx(-1.0)
+        assert norm.max() == pytest.approx(1.0)
+        np.testing.assert_allclose(dequantize_minmax(norm, lo, hi), y,
+                                   atol=1e-12)
+
+    def test_minmax_degenerate(self):
+        y = np.full((2, 2), 3.0)
+        norm, lo, hi = minmax_normalize(y)
+        np.testing.assert_array_equal(norm, 0.0)
+        np.testing.assert_array_equal(dequantize_minmax(norm, lo, hi), y)
+
+
+class TestRDLoss:
+    def test_loss_combines_terms(self):
+        model = VAEHyperprior(CFG, rng=np.random.default_rng(1))
+        x = Tensor(frames())
+        out = model(x, rng=np.random.default_rng(5))
+        res = RDLoss(lam=1e-3)(x, out)
+        assert res.loss.size == 1
+        assert res.distortion >= 0
+        assert res.bits_per_element > 0
+
+    def test_lambda_schedule_doubles(self):
+        sched = LambdaSchedule(lam0=1e-5, total_steps=100)
+        assert sched.at(0) == pytest.approx(1e-5)
+        assert sched.at(49) == pytest.approx(1e-5)
+        assert sched.at(50) == pytest.approx(2e-5)
+
+    def test_lambda_schedule_invalid(self):
+        with pytest.raises(ValueError):
+            LambdaSchedule(total_steps=0)
+
+
+class TestTraining:
+    def test_short_training_improves_reconstruction(self):
+        model = VAEHyperprior(CFG, rng=np.random.default_rng(1))
+        data = frames(b=4, seed=3)
+        x = Tensor(data)
+        loss_fn = RDLoss(lam=1e-4)
+        opt = Adam(model.parameters(), lr=3e-3)
+        rng = np.random.default_rng(0)
+
+        def eval_mse():
+            model.eval()
+            with no_grad():
+                out = model(x)
+            model.train()
+            return float(np.mean((out.x_hat.numpy() - data) ** 2))
+
+        before = eval_mse()
+        for _ in range(30):
+            opt.zero_grad()
+            res = loss_fn(x, model(x, rng=rng))
+            res.loss.backward()
+            opt.step()
+        after = eval_mse()
+        assert after < before
+
+
+class TestCodecPath:
+    def make_trained(self):
+        model = VAEHyperprior(CFG, rng=np.random.default_rng(1))
+        return model
+
+    def test_compress_decompress_latents_lossless(self):
+        """Entropy coding of latents is bit-exact."""
+        model = self.make_trained()
+        model.eval()
+        x = frames(b=2, seed=7)
+        streams, y_int = model.compress(x)
+        back = model.decompress_latents(streams)
+        np.testing.assert_array_equal(back, y_int)
+
+    def test_decompress_matches_direct_decode(self):
+        model = self.make_trained()
+        model.eval()
+        x = frames(b=1, seed=8)
+        streams, y_int = model.compress(x)
+        x_hat_stream = model.decompress(streams)
+        x_hat_direct = model.decode_latents(y_int)
+        np.testing.assert_allclose(x_hat_stream, x_hat_direct, atol=1e-12)
+
+    def test_stream_sizes_positive(self):
+        model = self.make_trained()
+        x = frames(b=1, seed=9)
+        streams, _ = model.compress(x)
+        assert len(streams["y_stream"]) > 0
+        assert len(streams["z_stream"]) > 0

@@ -1,0 +1,177 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DATASETS, DatasetInfo, E3SMSynthetic, JHTDBSynthetic,
+                        S3DSynthetic, train_test_windows)
+
+
+@pytest.fixture(params=list(DATASETS))
+def dataset(request):
+    cls = DATASETS[request.param]
+    return cls(t=16, h=16, w=16, seed=3)
+
+
+class TestCommonProperties:
+    def test_shape(self, dataset):
+        x = dataset.frames(0)
+        assert x.shape == (16, 16, 16)
+        assert np.all(np.isfinite(x))
+
+    def test_deterministic_in_seed(self, dataset):
+        cls = type(dataset)
+        a = cls(t=8, h=16, w=16, seed=5).frames(0)
+        b = cls(t=8, h=16, w=16, seed=5).frames(0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, dataset):
+        cls = type(dataset)
+        a = cls(t=8, h=16, w=16, seed=1).frames(0)
+        b = cls(t=8, h=16, w=16, seed=2).frames(0)
+        assert not np.allclose(a, b)
+
+    def test_variables_differ(self, dataset):
+        if dataset.num_vars < 2:
+            pytest.skip("single-variable config")
+        a = dataset.frames(0)
+        b = dataset.frames(1)
+        assert not np.allclose(a, b)
+
+    def test_variable_out_of_range(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.frames(dataset.num_vars)
+
+    def test_temporal_coherence(self, dataset):
+        """Adjacent frames correlate far better than distant ones."""
+        x = dataset.frames(0)
+        flat = x.reshape(x.shape[0], -1)
+        flat = flat - flat.mean(axis=1, keepdims=True)
+        norm = np.linalg.norm(flat, axis=1)
+        corr_adj = np.mean([
+            flat[i] @ flat[i + 1] / (norm[i] * norm[i + 1])
+            for i in range(x.shape[0] - 1)])
+        corr_far = flat[0] @ flat[-1] / (norm[0] * norm[-1])
+        assert corr_adj > 0.5
+        assert corr_adj > corr_far - 1e-9
+
+    def test_normalized_frames_statistics(self, dataset):
+        xn = dataset.normalized_frames(0)
+        np.testing.assert_allclose(xn.mean(axis=(1, 2)), 0.0, atol=1e-9)
+        ranges = xn.max(axis=(1, 2)) - xn.min(axis=(1, 2))
+        assert np.all(ranges <= 1.0 + 1e-9)
+
+    def test_degenerate_shape_rejected(self, dataset):
+        cls = type(dataset)
+        with pytest.raises(ValueError):
+            cls(t=0, h=16, w=16)
+        with pytest.raises(ValueError):
+            cls(t=4, h=2, w=16)
+
+
+class TestTable1Metadata:
+    def test_paper_shapes(self):
+        assert E3SMSynthetic.info.paper_shape == (5, 8640, 240, 1440)
+        assert S3DSynthetic.info.paper_shape == (58, 200, 512, 512)
+        assert JHTDBSynthetic.info.paper_shape == (64, 256, 512, 512)
+
+    def test_paper_sizes_match_shapes(self):
+        """Published GB figures agree with float32 x published shape."""
+        for cls in (E3SMSynthetic, S3DSynthetic, JHTDBSynthetic):
+            info: DatasetInfo = cls.info
+            assert info.computed_size_gb() == pytest.approx(
+                info.paper_size_gb, rel=0.02), info.name
+
+
+class TestDomainCharacter:
+    def test_e3sm_is_smooth(self):
+        x = E3SMSynthetic(t=4, h=32, w=32, seed=0).frames(0)
+        gx = np.abs(np.diff(x, axis=2)).mean()
+        spread = x.std()
+        assert gx < spread  # gradients small relative to variability
+
+    def test_e3sm_plausible_temperature_range(self):
+        x = E3SMSynthetic(t=4, h=16, w=16, seed=0).frames(0)
+        assert 180 < x.mean() < 360
+
+    def test_s3d_fronts_grow_monotonically(self):
+        ds = S3DSynthetic(t=24, h=32, w=32, seed=1)
+        x = ds.frames(1)  # product-like species
+        burned = (x > 0.5 * x.max()).mean(axis=(1, 2))
+        assert burned[-1] > burned[0]
+        # mostly monotone growth
+        assert np.mean(np.diff(burned) >= -1e-6) > 0.8
+
+    def test_s3d_has_sharp_fronts(self):
+        x = S3DSynthetic(t=8, h=32, w=32, seed=1).frames(1)
+        last = x[-1] / max(x[-1].max(), 1e-12)
+        gx = np.abs(np.diff(last, axis=1)).max()
+        assert gx > 0.2  # a near-discontinuity exists
+
+    def test_jhtdb_spectrum_slope(self):
+        """Radial power spectrum follows ~k^-5/3 in the inertial range."""
+        ds = JHTDBSynthetic(t=2, h=64, w=64, seed=0, decorrelation=0.0)
+        x = ds.frames(0)[0]
+        f = np.abs(np.fft.fft2(x)) ** 2
+        ky = np.fft.fftfreq(64)[:, None] * 64
+        kx = np.fft.fftfreq(64)[None, :] * 64
+        k = np.sqrt(kx ** 2 + ky ** 2).ravel()
+        p = f.ravel()
+        bins = np.arange(2, 20)
+        which = np.digitize(k, bins)
+        spectrum = np.array([p[which == i].mean()
+                             for i in range(1, len(bins))])
+        ks = 0.5 * (bins[:-1] + bins[1:])
+        slope = np.polyfit(np.log(ks), np.log(spectrum), 1)[0]
+        # E(k) ~ k^-5/3 => P_2d(k) ~ k^(-5/3 - 1); tolerance is loose
+        assert -3.5 < slope < -1.5
+
+    def test_jhtdb_decorrelates_faster_at_small_scales(self):
+        ds = JHTDBSynthetic(t=24, h=32, w=32, seed=0, advection=0.0,
+                            decorrelation=0.15)
+        x = ds.frames(0)
+        spec = np.fft.fft2(x)
+        ky = np.fft.fftfreq(32)[:, None] * 32
+        kx = np.fft.fftfreq(32)[None, :] * 32
+        k = np.sqrt(kx ** 2 + ky ** 2)
+        lo = (k > 1) & (k <= 4)
+        hi = (k > 8) & (k <= 14)
+
+        def coherence(mask):
+            a, b = spec[0][mask], spec[-1][mask]
+            num = np.abs(np.vdot(a, b))
+            den = np.linalg.norm(a) * np.linalg.norm(b)
+            return num / den
+
+        assert coherence(lo) > coherence(hi)
+
+
+class TestWindowing:
+    def test_split_is_chronological(self):
+        frames = np.arange(40)[:, None, None] * np.ones((1, 4, 4))
+        train, test = train_test_windows(frames, window=8,
+                                         train_fraction=0.5)
+        max_train_t = max(w.max() for w in train)
+        min_test_t = min(w.min() for w in test)
+        assert max_train_t < min_test_t + 8  # train strictly earlier start
+
+    def test_window_shapes(self):
+        frames = np.zeros((32, 6, 6))
+        train, test = train_test_windows(frames, window=8)
+        for wdw in train + test:
+            assert wdw.shape == (8, 6, 6)
+
+    def test_too_few_frames_raises(self):
+        with pytest.raises(ValueError):
+            train_test_windows(np.zeros((10, 4, 4)), window=8)
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_windows(np.zeros((32, 4, 4)), window=8,
+                               train_fraction=1.5)
+
+    def test_custom_stride(self):
+        frames = np.zeros((32, 4, 4))
+        dense, _ = train_test_windows(frames, window=8, stride=2)
+        sparse, _ = train_test_windows(frames, window=8, stride=8)
+        assert len(dense) > len(sparse)

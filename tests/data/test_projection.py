@@ -1,0 +1,130 @@
+"""Cube-sphere projection tests (E3SM preprocessing substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.projection import (CUBE_FACES, cube_to_latlon,
+                                   face_directions, latlon_to_cube)
+
+
+def _smooth_sphere_field(n_lat=48, n_lon=96, seed=0):
+    """Low-order spherical harmonic mix — exactly representable at any
+    reasonable resolution, so resampling errors are pure method error."""
+    lat = -np.pi / 2 + (np.arange(n_lat) + 0.5) * np.pi / n_lat
+    lon = -np.pi + (np.arange(n_lon) + 0.5) * 2 * np.pi / n_lon
+    la, lo = np.meshgrid(lat, lon, indexing="ij")
+    return (np.sin(la) + 0.5 * np.cos(la) * np.cos(lo)
+            + 0.3 * np.cos(la) ** 2 * np.sin(2 * lo))
+
+
+class TestFaceDirections:
+    def test_unit_vectors(self):
+        a = np.linspace(-np.pi / 4, np.pi / 4, 7)
+        aa, bb = np.meshgrid(a, a)
+        for face in range(CUBE_FACES):
+            x, y, z = face_directions(face, aa, bb)
+            np.testing.assert_allclose(x * x + y * y + z * z, 1.0,
+                                       atol=1e-12)
+
+    def test_face_centers_hit_axes(self):
+        zero = np.zeros(1)
+        expected = [(1, 0, 0), (0, 1, 0), (-1, 0, 0), (0, -1, 0),
+                    (0, 0, 1), (0, 0, -1)]
+        for face, (ex, ey, ez) in enumerate(expected):
+            x, y, z = face_directions(face, zero, zero)
+            np.testing.assert_allclose([x[0], y[0], z[0]], [ex, ey, ez],
+                                       atol=1e-12)
+
+    def test_faces_cover_sphere(self):
+        """Random directions always have exactly one dominant face."""
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((1000, 3))
+        v /= np.linalg.norm(v, axis=1, keepdims=True)
+        ax = np.abs(v)
+        assert (ax.max(axis=1) > 0).all()
+
+    def test_invalid_face_raises(self):
+        with pytest.raises(ValueError):
+            face_directions(6, np.zeros(1), np.zeros(1))
+
+
+class TestLatlonToCube:
+    def test_output_shape_is_paper_layout(self):
+        field = _smooth_sphere_field()
+        strip = latlon_to_cube(field, face_n=24)
+        assert strip.shape == (24, 6 * 24)  # the 240 x 1440 layout, scaled
+
+    def test_stack_input(self):
+        field = np.stack([_smooth_sphere_field(seed=i) for i in range(3)])
+        strip = latlon_to_cube(field, face_n=16)
+        assert strip.shape == (3, 16, 96)
+
+    def test_constant_field_projects_constant(self):
+        field = np.full((24, 48), 7.5)
+        strip = latlon_to_cube(field, face_n=12)
+        np.testing.assert_allclose(strip, 7.5, atol=1e-12)
+
+    def test_value_range_preserved(self):
+        """Bilinear sampling cannot overshoot the input range."""
+        field = _smooth_sphere_field(seed=1)
+        strip = latlon_to_cube(field, face_n=32)
+        assert strip.max() <= field.max() + 1e-12
+        assert strip.min() >= field.min() - 1e-12
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            latlon_to_cube(np.zeros(8), face_n=8)
+        with pytest.raises(ValueError):
+            latlon_to_cube(np.zeros((8, 16)), face_n=1)
+
+
+class TestRoundTrip:
+    def test_roundtrip_accuracy(self):
+        field = _smooth_sphere_field(48, 96)
+        strip = latlon_to_cube(field, face_n=48)
+        back = cube_to_latlon(strip, 48, 96)
+        rng = field.max() - field.min()
+        err = np.abs(back - field).max() / rng
+        assert err < 0.02  # two bilinear resamplings on a smooth field
+
+    def test_roundtrip_error_shrinks_with_resolution(self):
+        field_lo = _smooth_sphere_field(24, 48)
+        field_hi = _smooth_sphere_field(96, 192)
+
+        def rt_err(field, face_n):
+            n_lat, n_lon = field.shape
+            back = cube_to_latlon(latlon_to_cube(field, face_n),
+                                  n_lat, n_lon)
+            return np.abs(back - field).max() / (field.max() - field.min())
+
+        assert rt_err(field_hi, 96) < rt_err(field_lo, 24)
+
+    def test_cube_to_latlon_shapes(self):
+        strip = np.zeros((16, 96))
+        out = cube_to_latlon(strip, 24, 48)
+        assert out.shape == (24, 48)
+        stack = np.zeros((2, 16, 96))
+        assert cube_to_latlon(stack, 24, 48).shape == (2, 24, 48)
+
+    def test_cube_to_latlon_rejects_non_strip(self):
+        with pytest.raises(ValueError):
+            cube_to_latlon(np.zeros((16, 64)), 24, 48)  # 64 != 6*16
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_roundtrip_property_smooth_fields(self, seed):
+        rng = np.random.default_rng(seed)
+        n_lat, n_lon = 36, 72
+        lat = -np.pi / 2 + (np.arange(n_lat) + 0.5) * np.pi / n_lat
+        lon = -np.pi + (np.arange(n_lon) + 0.5) * 2 * np.pi / n_lon
+        la, lo = np.meshgrid(lat, lon, indexing="ij")
+        c = rng.standard_normal(4)
+        field = (c[0] + c[1] * np.sin(la) + c[2] * np.cos(la) * np.cos(lo)
+                 + c[3] * np.cos(la) * np.sin(lo))
+        strip = latlon_to_cube(field, face_n=36)
+        back = cube_to_latlon(strip, n_lat, n_lon)
+        rng_ = field.max() - field.min()
+        if rng_ > 1e-6:
+            assert np.abs(back - field).max() / rng_ < 0.05

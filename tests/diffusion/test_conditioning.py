@@ -1,0 +1,115 @@
+"""Keyframe-strategy and splice-operator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import (KeyframeSpec, interpolation_keyframes,
+                             keyframe_spec, mixed_keyframes,
+                             prediction_keyframes, splice)
+from repro.nn import Tensor
+
+
+class TestStrategies:
+    def test_paper_interpolation_set(self):
+        """N=16, interval 3 -> the paper's C = {1,4,7,10,13,16} (1-based)."""
+        idx = interpolation_keyframes(16, 3)
+        np.testing.assert_array_equal(idx, [0, 3, 6, 9, 12, 15])
+
+    def test_paper_prediction_set(self):
+        np.testing.assert_array_equal(prediction_keyframes(16, 6),
+                                      [0, 1, 2, 3, 4, 5])
+
+    def test_paper_mixed_set(self):
+        """First five frames plus the last: C = {1,2,3,4,5,16} (1-based)."""
+        np.testing.assert_array_equal(mixed_keyframes(16, 6),
+                                      [0, 1, 2, 3, 4, 15])
+
+    def test_interpolation_always_includes_last(self):
+        idx = interpolation_keyframes(10, 4)
+        assert 9 in idx
+
+    def test_strategies_storage_matched(self):
+        """keyframe_spec gives all three strategies equal keyframe counts."""
+        n, interval = 16, 3
+        specs = {s: keyframe_spec(n, s, interval=interval)
+                 for s in ("interpolation", "prediction", "mixed")}
+        counts = {s: sp.num_cond for s, sp in specs.items()}
+        assert len(set(counts.values())) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            interpolation_keyframes(8, 0)
+        with pytest.raises(ValueError):
+            prediction_keyframes(8, 0)
+        with pytest.raises(ValueError):
+            mixed_keyframes(8, 1)
+        with pytest.raises(ValueError):
+            keyframe_spec(8, "nope")
+
+
+class TestKeyframeSpec:
+    def test_partition_is_disjoint_and_complete(self):
+        spec = KeyframeSpec(10, np.array([0, 3, 9]))
+        assert set(spec.cond_idx) | set(spec.gen_idx) == set(range(10))
+        assert set(spec.cond_idx) & set(spec.gen_idx) == set()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            KeyframeSpec(5, np.array([5]))
+        with pytest.raises(ValueError):
+            KeyframeSpec(5, np.array([], dtype=int))
+
+    def test_gen_mask(self):
+        spec = KeyframeSpec(4, np.array([0, 3]))
+        mask = spec.gen_mask((2, 4, 3))
+        assert mask.shape == (1, 4, 1)
+        np.testing.assert_array_equal(mask[0, :, 0], [0, 1, 1, 0])
+
+
+class TestSplice:
+    def test_numpy_splice(self):
+        spec = KeyframeSpec(4, np.array([1]))
+        a = np.ones((2, 4, 3))
+        b = np.full((2, 4, 3), 7.0)
+        out = splice(a, b, spec)
+        np.testing.assert_array_equal(out[:, 1], 7.0)
+        np.testing.assert_array_equal(out[:, [0, 2, 3]], 1.0)
+
+    def test_tensor_splice_gradients_partition(self):
+        spec = KeyframeSpec(3, np.array([0]))
+        a = Tensor(np.ones((1, 3, 2)), requires_grad=True)
+        b = Tensor(np.zeros((1, 3, 2)), requires_grad=True)
+        out = splice(a, b, spec)
+        out.sum().backward()
+        # a receives grads only on generated frames (1, 2)
+        np.testing.assert_array_equal(a.grad[0, 0], 0.0)
+        np.testing.assert_array_equal(a.grad[0, 1:], 1.0)
+        np.testing.assert_array_equal(b.grad[0, 0], 1.0)
+        np.testing.assert_array_equal(b.grad[0, 1:], 0.0)
+
+    def test_shape_mismatch_raises(self):
+        spec = KeyframeSpec(3, np.array([0]))
+        with pytest.raises(ValueError):
+            splice(np.ones((1, 3, 2)), np.ones((1, 3, 3)), spec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_splice_algebra_property(data):
+    """⊕ laws: idempotence, identity on own frames, complement swap."""
+    n = data.draw(st.integers(2, 12))
+    k = data.draw(st.integers(1, n - 1))
+    cond = data.draw(st.permutations(list(range(n)))).copy()[:k]
+    spec = KeyframeSpec(n, np.array(cond))
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    a = rng.normal(size=(2, n, 3))
+    b = rng.normal(size=(2, n, 3))
+    out = splice(a, b, spec)
+    np.testing.assert_array_equal(out[:, spec.gen_idx], a[:, spec.gen_idx])
+    np.testing.assert_array_equal(out[:, spec.cond_idx], b[:, spec.cond_idx])
+    # a ⊕ a == a
+    np.testing.assert_array_equal(splice(a, a, spec), a)
+    # splicing twice with same b is idempotent
+    np.testing.assert_array_equal(splice(out, b, spec), out)

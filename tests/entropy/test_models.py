@@ -1,0 +1,168 @@
+"""Factorized-prior and Gaussian-conditional entropy-model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import (FactorizedDensity, GaussianConditional, SCALE_MIN,
+                           build_scale_table, gaussian_likelihood)
+from repro.nn import Tensor
+from repro.nn.optim import Adam
+
+
+class TestGaussianLikelihood:
+    def test_sums_to_one_over_integers(self):
+        """Bin masses over a wide integer support sum to ~1."""
+        ks = np.arange(-50, 51, dtype=np.float64)
+        mu = np.zeros_like(ks) + 0.3
+        sigma = np.full_like(ks, 2.0)
+        like = gaussian_likelihood(Tensor(ks), Tensor(mu),
+                                   Tensor(sigma)).numpy()
+        # each bin is floored at 1e-9, so allow that much slack per bin
+        assert like.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_peak_at_mean(self):
+        ks = np.arange(-5, 6, dtype=np.float64)
+        like = gaussian_likelihood(
+            Tensor(ks), Tensor(np.zeros(11)), Tensor(np.ones(11))).numpy()
+        assert np.argmax(like) == 5
+
+    def test_scale_lower_bound_applied(self):
+        like = gaussian_likelihood(
+            Tensor(np.zeros(1)), Tensor(np.zeros(1)),
+            Tensor(np.full(1, 1e-8))).numpy()
+        # with sigma clamped to SCALE_MIN the central mass is finite < 1
+        assert like[0] <= 1.0
+        assert np.isfinite(like[0])
+
+    def test_gradients_flow_to_mu_sigma(self):
+        y = Tensor(np.array([1.0, -2.0]))
+        mu = Tensor(np.array([0.5, 0.0]), requires_grad=True)
+        sigma = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        bits = GaussianConditional().bits(y, mu, sigma)
+        bits.backward()
+        assert mu.grad is not None and np.all(np.isfinite(mu.grad))
+        assert sigma.grad is not None and np.all(np.isfinite(sigma.grad))
+
+
+class TestGaussianConditionalCodec:
+    def make_data(self, seed=0, shape=(2, 4, 6, 6)):
+        rng = np.random.default_rng(seed)
+        mu = rng.normal(0, 2, size=shape)
+        sigma = rng.uniform(0.2, 4.0, size=shape)
+        y = np.rint(mu + rng.normal(size=shape) * sigma)
+        return y, mu, sigma
+
+    def test_roundtrip(self):
+        y, mu, sigma = self.make_data()
+        gc = GaussianConditional()
+        data, header = gc.compress(y, mu, sigma)
+        back = gc.decompress(data, mu, sigma, header)
+        np.testing.assert_array_equal(back, y)
+
+    def test_rate_tracks_estimate(self):
+        """Actual coded size is close to the model's bit estimate."""
+        y, mu, sigma = self.make_data(seed=1, shape=(1, 8, 16, 16))
+        gc = GaussianConditional()
+        data, _ = gc.compress(y, mu, sigma)
+        est = gc.bits(Tensor(y), Tensor(mu), Tensor(sigma)).item()
+        actual = len(data) * 8
+        # mean-centering approximation + table quantization overhead
+        assert actual <= est * 1.30 + 128
+        assert actual >= est * 0.5
+
+    def test_small_sigma_roundtrip(self):
+        shape = (1, 2, 4, 4)
+        mu = np.zeros(shape)
+        sigma = np.full(shape, 1e-6)
+        y = np.zeros(shape)
+        gc = GaussianConditional()
+        data, header = gc.compress(y, mu, sigma)
+        back = gc.decompress(data, mu, sigma, header)
+        np.testing.assert_array_equal(back, y)
+
+    def test_scale_table_monotone(self):
+        table = build_scale_table()
+        assert table[0] == pytest.approx(SCALE_MIN)
+        assert np.all(np.diff(table) > 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_gaussian_codec_roundtrip_property(seed):
+    rng = np.random.default_rng(seed)
+    shape = (1, rng.integers(1, 4), rng.integers(2, 6), rng.integers(2, 6))
+    mu = rng.normal(0, 3, size=shape)
+    sigma = rng.uniform(0.05, 8.0, size=shape)
+    y = np.rint(mu + rng.normal(size=shape) * sigma)
+    gc = GaussianConditional()
+    data, header = gc.compress(y, mu, sigma)
+    back = gc.decompress(data, mu, sigma, header)
+    np.testing.assert_array_equal(back, y)
+
+
+class TestFactorizedDensity:
+    def test_cdf_monotone_in_x(self):
+        fd = FactorizedDensity(channels=3)
+        xs = np.linspace(-20, 20, 101)
+        grid = Tensor(np.broadcast_to(xs, (3, 1, 101)).copy())
+        cdf = fd.cdf(grid).numpy()
+        assert np.all(np.diff(cdf, axis=-1) >= -1e-12)
+        assert np.all(cdf >= 0) and np.all(cdf <= 1)
+
+    def test_likelihood_shape_and_range(self):
+        fd = FactorizedDensity(channels=4)
+        z = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3, 3)))
+        like = fd.likelihood(z)
+        assert like.shape == z.shape
+        vals = like.numpy()
+        assert np.all(vals > 0) and np.all(vals <= 1 + 1e-9)
+
+    def test_channel_mismatch_raises(self):
+        fd = FactorizedDensity(channels=4)
+        with pytest.raises(ValueError):
+            fd.likelihood(Tensor(np.zeros((1, 3, 2, 2))))
+
+    def test_training_reduces_bits(self):
+        """Fitting the prior to data lowers the estimated bit-rate."""
+        rng = np.random.default_rng(0)
+        fd = FactorizedDensity(channels=2, init_scale=10.0)
+        data = rng.normal(0, 0.5, size=(8, 2, 4, 4))  # much narrower
+        opt = Adam(fd.parameters(), lr=5e-2)
+
+        def bits():
+            noisy = Tensor(data + rng.uniform(-0.5, 0.5, size=data.shape))
+            return fd.bits(noisy)
+
+        before = bits().item()
+        for _ in range(60):
+            opt.zero_grad()
+            loss = bits()
+            loss.backward()
+            opt.step()
+        after = bits().item()
+        assert after < before * 0.9
+
+    def test_codec_roundtrip(self):
+        rng = np.random.default_rng(3)
+        fd = FactorizedDensity(channels=3)
+        z = np.rint(rng.normal(0, 3, size=(2, 3, 5, 5)))
+        data, header = fd.compress(z)
+        back = fd.decompress(data, z.shape, header)
+        np.testing.assert_array_equal(back, z)
+
+    def test_codec_rate_tracks_estimate(self):
+        rng = np.random.default_rng(4)
+        fd = FactorizedDensity(channels=2)
+        z = np.rint(rng.normal(0, 2, size=(4, 2, 8, 8)))
+        data, header = fd.compress(z)
+        est = fd.bits(Tensor(z)).item()
+        assert len(data) * 8 <= est * 1.3 + 128
+
+    def test_codec_extreme_values(self):
+        fd = FactorizedDensity(channels=1)
+        z = np.array([[[[-40.0, 40.0], [0.0, 1.0]]]])
+        data, header = fd.compress(z)
+        back = fd.decompress(data, z.shape, header)
+        np.testing.assert_array_equal(back, z)

@@ -1,0 +1,148 @@
+"""Arithmetic coder unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.bitio import BitReader, BitWriter
+from repro.entropy.coder import pmf_to_cumulative
+from repro.entropy.rangecoder import MAX_TOTAL
+
+
+class TestBitIO:
+    def test_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        w = BitWriter()
+        for b in bits:
+            w.write(b)
+        r = BitReader(w.getvalue())
+        assert [r.read() for _ in range(len(bits))] == bits
+
+    def test_reads_zero_past_end(self):
+        r = BitReader(b"\xff")
+        vals = [r.read() for _ in range(16)]
+        assert vals[:8] == [1] * 8
+        assert vals[8:] == [0] * 8
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        for _ in range(11):
+            w.write(1)
+        assert len(w) == 11
+
+
+def roundtrip(symbols, freqs):
+    """Encode/decode ``symbols`` under the static table ``freqs``."""
+    cum = np.concatenate([[0], np.cumsum(freqs)]).astype(np.int64)
+    total = int(cum[-1])
+    enc = ArithmeticEncoder()
+    for s in symbols:
+        enc.encode(int(cum[s]), int(cum[s + 1]), total)
+    data = enc.finish()
+    dec = ArithmeticDecoder(data)
+    out = []
+    for _ in symbols:
+        target = dec.decode_target(total)
+        s = int(np.searchsorted(cum, target, side="right")) - 1
+        dec.advance(int(cum[s]), int(cum[s + 1]), total)
+        out.append(s)
+    return out, data
+
+
+class TestArithmeticCoder:
+    def test_simple_roundtrip(self):
+        symbols = [0, 1, 2, 1, 0, 2, 2, 1]
+        out, _ = roundtrip(symbols, [1, 2, 5])
+        assert out == symbols
+
+    def test_single_symbol_stream(self):
+        out, data = roundtrip([3] * 100, [1, 1, 1, 97])
+        assert out == [3] * 100
+        # a highly probable symbol should compress well below 1 bit each
+        assert len(data) < 100 // 8 + 8
+
+    def test_skewed_matches_entropy(self):
+        rng = np.random.default_rng(0)
+        p = np.array([0.90, 0.05, 0.03, 0.02])
+        n = 4000
+        symbols = rng.choice(4, size=n, p=p)
+        freqs = np.maximum((p * 2 ** 14).astype(int), 1)
+        out, data = roundtrip(symbols.tolist(), freqs.tolist())
+        assert out == symbols.tolist()
+        entropy = -(p * np.log2(p)).sum()
+        # within 5% + small constant of the source entropy
+        assert len(data) * 8 <= entropy * n * 1.05 + 64
+
+    def test_invalid_range_raises(self):
+        enc = ArithmeticEncoder()
+        with pytest.raises(ValueError):
+            enc.encode(5, 5, 10)
+        with pytest.raises(ValueError):
+            enc.encode(0, 1, MAX_TOTAL * 2)
+
+    def test_finish_twice_raises(self):
+        enc = ArithmeticEncoder()
+        enc.encode(0, 1, 2)
+        enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.encode(0, 1, 2)
+
+    def test_empty_stream(self):
+        enc = ArithmeticEncoder()
+        data = enc.finish()
+        assert isinstance(data, bytes)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_roundtrip_property(data):
+    """Random alphabet / frequencies / message always round-trips."""
+    alphabet = data.draw(st.integers(2, 24), label="alphabet")
+    freqs = data.draw(
+        st.lists(st.integers(1, 500), min_size=alphabet, max_size=alphabet),
+        label="freqs")
+    n = data.draw(st.integers(0, 120), label="n")
+    symbols = data.draw(
+        st.lists(st.integers(0, alphabet - 1), min_size=n, max_size=n),
+        label="symbols")
+    out, _ = roundtrip(symbols, freqs)
+    assert out == symbols
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_pmf_to_cumulative_property(data):
+    """Quantized tables are valid: monotone, exact total, no zero bins."""
+    alphabet = data.draw(st.integers(1, 40))
+    rows = data.draw(st.integers(1, 5))
+    pmf = np.array(
+        data.draw(st.lists(
+            st.lists(st.floats(1e-6, 1e3), min_size=alphabet,
+                     max_size=alphabet),
+            min_size=rows, max_size=rows)))
+    cum = pmf_to_cumulative(pmf)
+    assert cum.shape == (rows, alphabet + 1)
+    assert (cum[:, 0] == 0).all()
+    assert (cum[:, -1] == cum[0, -1]).all()
+    assert (np.diff(cum, axis=1) >= 1).all()
+
+
+class TestPmfToCumulative:
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            pmf_to_cumulative(np.ones((1, 10)), total=5)
+        with pytest.raises(ValueError):
+            pmf_to_cumulative(np.ones((1, 4)), total=MAX_TOTAL * 2)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            pmf_to_cumulative(np.zeros((1, 4)))
+
+    def test_proportionality(self):
+        cum = pmf_to_cumulative(np.array([[1.0, 3.0]]), total=4096)
+        freqs = np.diff(cum[0])
+        assert freqs[1] / freqs[0] == pytest.approx(3.0, rel=0.05)

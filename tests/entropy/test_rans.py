@@ -1,0 +1,146 @@
+"""rANS coder unit and property tests (mirrors the arithmetic suite)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import (decode_symbols, decode_symbols_rans,
+                           encode_symbols, encode_symbols_rans)
+from repro.entropy.coder import pmf_to_cumulative
+from repro.entropy.rans import RANS_L, RansDecoder, RansEncoder
+from repro.entropy.rangecoder import MAX_TOTAL
+
+
+def roundtrip(symbols, freqs):
+    cum = np.concatenate([[0], np.cumsum(freqs)]).astype(np.int64)
+    total = int(cum[-1])
+    enc = RansEncoder()
+    for s in reversed(symbols):
+        enc.push(int(cum[s]), int(cum[s + 1]), total)
+    data = enc.finish()
+    dec = RansDecoder(data)
+    out = []
+    for _ in symbols:
+        slot = dec.peek(total)
+        s = int(np.searchsorted(cum, slot, side="right")) - 1
+        dec.advance(int(cum[s]), int(cum[s + 1]), total)
+        out.append(s)
+    return out, data
+
+
+class TestRansCore:
+    def test_simple_roundtrip(self):
+        symbols = [0, 1, 2, 1, 0, 2, 2, 1]
+        out, _ = roundtrip(symbols, [1, 2, 5])
+        assert out == symbols
+
+    def test_empty_stream_is_just_state(self):
+        enc = RansEncoder()
+        data = enc.finish()
+        assert len(data) == 8
+        dec = RansDecoder(data)
+        assert dec._state == RANS_L
+
+    def test_skewed_distribution_compresses(self):
+        rng = np.random.default_rng(0)
+        symbols = rng.choice(2, size=4000, p=[0.99, 0.01]).tolist()
+        out, data = roundtrip(symbols, [990, 10])
+        assert out == symbols
+        # entropy ~0.08 bits/symbol -> ~40 bytes; allow generous slack
+        assert len(data) < 200
+
+    def test_uniform_distribution_near_incompressible(self):
+        rng = np.random.default_rng(1)
+        symbols = rng.integers(0, 256, size=1000).tolist()
+        out, data = roundtrip(symbols, [1] * 256)
+        assert out == symbols
+        assert len(data) >= 990  # ~8 bits/symbol
+
+    def test_rejects_invalid_ranges(self):
+        enc = RansEncoder()
+        with pytest.raises(ValueError):
+            enc.push(5, 5, 10)
+        with pytest.raises(ValueError):
+            enc.push(0, 1, MAX_TOTAL + 1)
+
+    def test_finish_twice_raises(self):
+        enc = RansEncoder()
+        enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.push(0, 1, 2)
+
+    def test_decoder_rejects_short_or_corrupt(self):
+        with pytest.raises(ValueError):
+            RansDecoder(b"\x00" * 4)
+        with pytest.raises(ValueError):
+            RansDecoder(b"\x00" * 8)  # state below RANS_L
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10 ** 9), alphabet=st.integers(2, 40),
+           n=st.integers(0, 300))
+    def test_roundtrip_property(self, seed, alphabet, n):
+        rng = np.random.default_rng(seed)
+        freqs = rng.integers(1, 50, size=alphabet)
+        p = freqs / freqs.sum()
+        symbols = rng.choice(alphabet, size=n, p=p).tolist()
+        out, _ = roundtrip(symbols, freqs.tolist())
+        assert out == symbols
+
+
+class TestSymbolStreamInterface:
+    def _random_case(self, seed, n=500, alphabet=17, n_ctx=3):
+        rng = np.random.default_rng(seed)
+        pmf = rng.random((n_ctx, alphabet)) + 0.01
+        tables = pmf_to_cumulative(pmf)
+        contexts = rng.integers(0, n_ctx, size=n)
+        # draw each symbol from its context's distribution
+        symbols = np.array([
+            rng.choice(alphabet, p=pmf[c] / pmf[c].sum())
+            for c in contexts], dtype=np.int64)
+        return symbols, tables, contexts
+
+    def test_roundtrip_contextual(self):
+        symbols, tables, contexts = self._random_case(0)
+        data = encode_symbols_rans(symbols, tables, contexts)
+        out = decode_symbols_rans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_size_matches_arithmetic_backend(self):
+        """Both backends sit within a few bytes of the entropy."""
+        symbols, tables, contexts = self._random_case(1, n=2000)
+        a = encode_symbols(symbols, tables, contexts)
+        r = encode_symbols_rans(symbols, tables, contexts)
+        assert abs(len(a) - len(r)) < 0.02 * len(a) + 16
+
+    def test_rejects_out_of_range_symbols(self):
+        symbols, tables, contexts = self._random_case(2, n=10)
+        bad = symbols.copy()
+        bad[0] = tables.shape[1]  # >= alphabet
+        with pytest.raises(ValueError):
+            encode_symbols_rans(bad, tables, contexts)
+
+    def test_rejects_length_mismatch(self):
+        symbols, tables, contexts = self._random_case(3, n=10)
+        with pytest.raises(ValueError):
+            encode_symbols_rans(symbols[:5], tables, contexts)
+
+    def test_empty_symbol_stream(self):
+        _, tables, _ = self._random_case(4, n=10)
+        empty = np.zeros(0, dtype=np.int64)
+        data = encode_symbols_rans(empty, tables, empty)
+        out = decode_symbols_rans(data, tables, empty)
+        assert out.size == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10 ** 9))
+    def test_cross_backend_agreement(self, seed):
+        """Arithmetic and rANS decode each other's exact symbols."""
+        symbols, tables, contexts = self._random_case(seed, n=200)
+        via_arith = decode_symbols(
+            encode_symbols(symbols, tables, contexts), tables, contexts)
+        via_rans = decode_symbols_rans(
+            encode_symbols_rans(symbols, tables, contexts), tables, contexts)
+        np.testing.assert_array_equal(via_arith, via_rans)

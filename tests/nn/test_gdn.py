@@ -1,0 +1,157 @@
+"""GDN / IGDN layer tests (forward semantics + gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GDN, Tensor
+from repro.nn.optim import Adam
+
+from .util import numeric_grad
+
+
+def _x(b=2, c=3, h=4, w=4, seed=0):
+    return np.random.default_rng(seed).standard_normal((b, c, h, w))
+
+
+class TestGDNForward:
+    def test_matches_reference_formula(self):
+        """Layer output equals the explicit per-pixel formula."""
+        x = _x()
+        layer = GDN(3)
+        out = layer(Tensor(x)).numpy()
+        # effective parameters implied by the reparameterization
+        beta = layer.beta.data ** 2 - 1e-6
+        gamma = layer.gamma.data ** 2 - 1e-6
+        norm = np.sqrt(beta[None, :, None, None]
+                       + np.einsum("ij,bjhw->bihw", gamma, x ** 2))
+        np.testing.assert_allclose(out, x / norm, atol=1e-10)
+
+    def test_igdn_is_multiplicative(self):
+        x = _x(seed=1)
+        gdn = GDN(3, inverse=False)
+        igdn = GDN(3, inverse=True)
+        # fresh layers share the same init, so IGDN(GDN(x)) ≈ x only
+        # when the norm is computed on the same input; instead verify
+        # the defining relation: igdn(x) * gdn-norm == x * norm^2 ... or
+        # simply that igdn(x) == x * norm where gdn(x) == x / norm.
+        div = gdn(Tensor(x)).numpy()
+        mul = igdn(Tensor(x)).numpy()
+        np.testing.assert_allclose(mul * div, x * x, atol=1e-10)
+
+    def test_initial_scale_is_contractive(self):
+        """With beta=1, gamma=0.1 I the output magnitude shrinks."""
+        x = _x(seed=2)
+        out = GDN(3)(Tensor(x)).numpy()
+        assert np.abs(out).sum() < np.abs(x).sum()
+
+    def test_rejects_wrong_shapes(self):
+        layer = GDN(3)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 4, 4, 4))))  # wrong channels
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((3, 4, 4))))     # wrong rank
+        with pytest.raises(ValueError):
+            GDN(0)
+        with pytest.raises(ValueError):
+            GDN(3, beta_min=0.0)
+
+    def test_parameters_registered(self):
+        layer = GDN(5)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"beta", "gamma"}
+        assert names["beta"].data.shape == (5,)
+        assert names["gamma"].data.shape == (5, 5)
+
+
+class TestGDNGradients:
+    def _loss_fn(self, layer, w):
+        def fn(x_raw, beta_raw, gamma_raw):
+            layer.beta.data[...] = beta_raw
+            layer.gamma.data[...] = gamma_raw
+            out = layer(Tensor(x_raw))
+            return float((out.numpy() * w).sum())
+        return fn
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_gradcheck_input_and_params(self, inverse):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 3, 3, 3))
+        layer = GDN(3, inverse=inverse)
+        # shift parameters strictly inside the lower_bound region: at the
+        # boundary the straight-through gradient intentionally deviates
+        # from the (kinked) numeric derivative
+        layer.beta.data += 0.1
+        layer.gamma.data += 0.1
+        w = rng.standard_normal((2, 3, 3, 3))
+
+        xt = Tensor(x, requires_grad=True)
+        out = layer(xt)
+        (out * Tensor(w)).sum().backward()
+
+        fn = self._loss_fn(layer, w)
+        args = [x, layer.beta.data.copy(), layer.gamma.data.copy()]
+        np.testing.assert_allclose(xt.grad, numeric_grad(fn, args, 0),
+                                   atol=1e-6, rtol=1e-4)
+        np.testing.assert_allclose(layer.beta.grad,
+                                   numeric_grad(fn, args, 1),
+                                   atol=1e-6, rtol=1e-4)
+        np.testing.assert_allclose(layer.gamma.grad,
+                                   numeric_grad(fn, args, 2),
+                                   atol=1e-6, rtol=1e-4)
+
+    def test_trainable_end_to_end(self):
+        """GDN params move under Adam and reduce a toy loss."""
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((4, 3, 4, 4))
+        target = 0.5 * x
+        layer = GDN(3)
+        opt = Adam(layer.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(25):
+            out = layer(Tensor(x))
+            loss = ((out - Tensor(target)) * (out - Tensor(target))).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]
+
+
+class TestGDNInVAE:
+    def test_vae_config_accepts_gdn(self):
+        from repro.compression import VAEHyperprior
+        from repro.config import VAEConfig
+        cfg = VAEConfig(latent_channels=4, base_filters=8, num_down=2,
+                        hyper_filters=4, kernel_size=3, activation="gdn")
+        vae = VAEHyperprior(cfg, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((2, 1, 16, 16))
+        out = vae(Tensor(x))
+        assert out.x_hat.shape == x.shape
+        assert np.isfinite(out.total_bits.item())
+        # GDN layers actually present
+        from repro.nn import GDN as _GDN
+        assert any(isinstance(m, _GDN) for m in vae.encoder.modules())
+        assert any(isinstance(m, _GDN) and m.inverse
+                   for m in vae.decoder.modules())
+
+    def test_vae_config_rejects_unknown_activation(self):
+        from repro.config import VAEConfig
+        with pytest.raises(ValueError):
+            VAEConfig(activation="relu6")
+
+    def test_gdn_vae_trains_one_step(self):
+        from repro.compression import RDLoss, VAEHyperprior
+        from repro.config import VAEConfig
+        cfg = VAEConfig(latent_channels=4, base_filters=8, num_down=2,
+                        hyper_filters=4, kernel_size=3, activation="gdn")
+        rng = np.random.default_rng(2)
+        vae = VAEHyperprior(cfg, rng=rng)
+        opt = Adam(vae.parameters(), lr=1e-3)
+        x = Tensor(rng.standard_normal((2, 1, 16, 16)))
+        vae.train()
+        out = vae(x, rng=rng)
+        res = RDLoss(lam=1e-6)(x, out)
+        opt.zero_grad()
+        res.loss.backward()
+        opt.step()
+        assert np.isfinite(res.loss.item())

@@ -1,0 +1,123 @@
+"""Optimizer and LR-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter, Tensor
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
+
+
+def quadratic_param():
+    return Parameter(np.array([3.0, -2.0]))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-4
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p = quadratic_param()
+            opt = SGD([p], lr=0.02, momentum=mom)
+            for _ in range(50):
+                opt.zero_grad()
+                ((p * p).sum()).backward()
+                opt.step()
+            losses[mom] = float((p.data ** 2).sum())
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(4))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p.sum() * 0.0).backward()  # zero loss gradient
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ((p * p).sum()).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(3, 5))
+        x = rng.normal(size=(64, 5))
+        y = x @ true_w.T
+        lin = Linear(5, 3, rng=rng)
+        opt = Adam(lin.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            pred = lin(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2.0).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(lin.weight.data, true_w, atol=0.02)
+
+    def test_skips_none_grads(self):
+        p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([p1, p2], lr=0.1)
+        (p1.sum()).backward()
+        opt.step()
+        np.testing.assert_array_equal(p2.data, np.ones(2))
+        assert not np.allclose(p1.data, np.ones(2))
+
+
+class TestSchedules:
+    def test_steplr_halves(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = StepLR(opt, step_size=10, gamma=0.5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_steplr_invalid(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            StepLR(Adam([p], lr=1.0), step_size=0)
+
+    def test_cosine_endpoints(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=100, min_lr=0.1)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))  # monotone decay
+
+
+class TestClipGradNorm:
+    def test_clips(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)

@@ -1,0 +1,171 @@
+"""Tensor core semantics: graph mechanics, broadcasting, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, no_grad, unbroadcast
+from repro.nn import functional as F
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1, 2], [3, 4]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_unwraps_tensor(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        np.testing.assert_array_equal(a.numpy(), b.numpy())
+
+    def test_item(self):
+        assert Tensor(3.5).item() == 3.5
+        with pytest.raises(Exception):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0]), Tensor)
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar_or_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        y = t * 2.0
+        with pytest.raises(ValueError):
+            y.backward()
+        y.backward(np.ones(3))
+        np.testing.assert_array_equal(t.grad, [2.0, 2.0, 2.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 3.0).sum().backward()
+        (t * 3.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [6.0, 6.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t.sum()).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph(self):
+        """A value consumed twice receives summed gradients."""
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        a = t * 3.0
+        y = a + a
+        y.backward(np.ones(1))
+        np.testing.assert_array_equal(t.grad, [6.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        y = t
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 1.0])
+
+    def test_unused_branch_gets_no_grad_contribution(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        a, b = F.split(t, 2, axis=0)
+        a.sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 1.0, 0.0, 0.0])
+
+    def test_leaf_without_requires_grad_gets_none(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))  # constant
+        (a * b).sum().backward()
+        assert b.grad is None
+        assert a.grad is not None
+
+    def test_detach_stops_gradient(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        y = (a * 2.0).detach() * 3.0
+        assert not y.requires_grad
+
+    def test_copy_independent(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        c = a.copy()
+        c.data[0] = 5.0
+        assert a.data[0] == 1.0
+        assert c.requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_prepended_axis(self):
+        g = np.ones((2, 3))
+        np.testing.assert_array_equal(unbroadcast(g, (3,)), [2.0, 2.0, 2.0])
+
+    def test_stretched_axis(self):
+        g = np.ones((3, 4))
+        out = unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        np.testing.assert_array_equal(out[:, 0], [4.0, 4.0, 4.0])
+
+    def test_combined(self):
+        g = np.ones((5, 3, 4))
+        out = unbroadcast(g, (1, 4))
+        assert out.shape == (1, 4)
+        np.testing.assert_array_equal(out[0], [15.0] * 4)
+
+
+class TestNoGrad:
+    def test_ops_inside_no_grad_are_constants(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = a * 2.0 + 1.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_tensor_created_inside_no_grad(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_parameter_overrides_no_grad(self):
+        from repro.nn import Parameter
+        with no_grad():
+            p = Parameter(np.ones(2))
+        assert p.requires_grad
+
+
+class TestOperatorSugar:
+    def test_arith_dunders(self):
+        a = Tensor(np.array([4.0]))
+        assert (a + 1).item() == 5.0
+        assert (1 + a).item() == 5.0
+        assert (a - 1).item() == 3.0
+        assert (1 - a).item() == -3.0
+        assert (a * 2).item() == 8.0
+        assert (2 * a).item() == 8.0
+        assert (a / 2).item() == 2.0
+        assert (8 / a).item() == 2.0
+        assert (-a).item() == -4.0
+        assert (a ** 2).item() == 16.0
+
+    def test_matmul_dunder(self):
+        a = Tensor(np.eye(2))
+        b = Tensor(np.array([[1.0], [2.0]]))
+        np.testing.assert_array_equal((a @ b).numpy(), [[1.0], [2.0]])
+
+    def test_method_sugar(self):
+        t = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert t.sum().item() == 10.0
+        assert t.mean().item() == 2.5
+        assert t.max().item() == 4.0
+        assert t.min().item() == 1.0
+        assert t.reshape(4).shape == (4,)
+        assert t.transpose().shape == (2, 2)
+        assert t.exp().shape == (2, 2)
+        assert t.clip(2.0, 3.0).numpy().max() == 3.0

@@ -1,0 +1,27 @@
+"""Shared trained pipeline for the integration test modules."""
+
+import numpy as np
+import pytest
+
+from repro import TrainingConfig, TwoStageTrainer, tiny
+from repro.data import E3SMSynthetic
+from repro.data.base import train_test_windows
+
+CFG = tiny()
+
+
+@pytest.fixture(scope="session")
+def trained():
+    ds = E3SMSynthetic(t=36, h=16, w=16, seed=0, num_vars=1)
+    frames = ds.normalized_frames(0) * 4.0 + 1.0  # non-trivial scale
+    train, test = train_test_windows(frames, window=CFG.pipeline.window,
+                                     train_fraction=0.5, stride=2)
+    trainer = TwoStageTrainer(
+        CFG, TrainingConfig(vae_iters=250, diffusion_iters=600,
+                            finetune_iters=0, vae_batch=4,
+                            diffusion_batch=4, lam=1e-6,
+                            vae_lr_decay_every=100), seed=0)
+    trainer.train_vae(train)
+    trainer.train_diffusion(train)
+    compressor = trainer.build_compressor(train)
+    return trainer, compressor, frames, test

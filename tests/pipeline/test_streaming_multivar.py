@@ -1,0 +1,177 @@
+"""Streaming and multi-variable pipeline tests (use the shared trained
+tiny pipeline from conftest)."""
+
+import numpy as np
+import pytest
+
+from repro.data import E3SMSynthetic
+from repro.pipeline import (MultiVarArchive, MultiVariableCompressor,
+                            StreamArchive, StreamingCompressor)
+
+WINDOW = 6  # == tiny().pipeline.window
+
+
+class TestStreamingCompressor:
+    def test_roundtrip_matches_batch_chunks(self, trained):
+        """Streamed decode equals per-chunk batch compression."""
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor, chunk_windows=2)
+        archive = sc.compress(iter(frames))
+        assert archive.num_frames == frames.shape[0]
+        recon = sc.decompress_all(archive)
+        assert recon.shape == frames.shape
+        # each chunk is an independent blob; its decode must equal the
+        # batch pipeline run on that chunk with the same seed
+        blob0 = archive.blobs[0]
+        direct = compressor.compress(
+            frames[:blob0.shape[0]], noise_seed=blob0.noise_seed)
+        np.testing.assert_allclose(recon[:blob0.shape[0]],
+                                   direct.reconstruction, atol=1e-9)
+
+    def test_chunk_partition_no_loss_no_overlap(self, trained):
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor, chunk_windows=1)
+        results = list(sc.compress_iter(iter(frames)))
+        starts = [r.start_frame for r in results]
+        lengths = [r.num_frames for r in results]
+        assert starts[0] == 0
+        for s, prev_s, prev_n in zip(starts[1:], starts, lengths):
+            assert s == prev_s + prev_n
+        assert sum(lengths) == frames.shape[0]
+        # every chunk holds at least one full window
+        assert all(n >= WINDOW for n in lengths)
+
+    def test_tail_shorter_than_chunk_is_absorbed(self, trained):
+        """36 frames, chunk=12: tail rule keeps final chunk >= window."""
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor, chunk_windows=2)
+        lengths = [r.num_frames for r in sc.compress_iter(iter(frames))]
+        assert sum(lengths) == frames.shape[0]
+        assert lengths[-1] >= WINDOW
+
+    def test_stream_shorter_than_window_raises(self, trained):
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor)
+        with pytest.raises(ValueError):
+            list(sc.compress_iter(iter(frames[:WINDOW - 1])))
+
+    def test_rejects_non_2d_frames(self, trained):
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor)
+        with pytest.raises(ValueError):
+            list(sc.compress_iter(iter([frames])))  # one 3-D "frame"
+
+    def test_rejects_bad_chunk_windows(self, trained):
+        _, compressor, _, _ = trained
+        with pytest.raises(ValueError):
+            StreamingCompressor(compressor, chunk_windows=0)
+
+    def test_per_chunk_error_bound_holds(self, trained):
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor, chunk_windows=2)
+        bound = 0.05
+        recon_chunks = []
+        taus = []
+        pos = 0
+        for res in sc.compress_iter(iter(frames), nrmse_bound=bound):
+            chunk = frames[pos:pos + res.num_frames]
+            pos += res.num_frames
+            assert res.achieved_nrmse <= bound * (1 + 1e-9)
+            rng_ = chunk.max() - chunk.min()
+            taus.append(bound * rng_ * np.sqrt(chunk.size))
+            recon_chunks.append(sc.compressor.decompress(res.blob))
+        recon = np.concatenate(recon_chunks)
+        global_l2 = float(np.linalg.norm(frames - recon))
+        assert global_l2 <= np.sqrt(np.sum(np.square(taus))) * (1 + 1e-9)
+
+    def test_archive_serialization_roundtrip(self, trained):
+        _, compressor, frames, _ = trained
+        sc = StreamingCompressor(compressor, chunk_windows=2)
+        archive = sc.compress(iter(frames))
+        wire = archive.to_bytes()
+        restored = StreamArchive.from_bytes(wire)
+        assert restored.num_chunks == archive.num_chunks
+        np.testing.assert_allclose(sc.decompress_all(restored),
+                                   sc.decompress_all(archive))
+        # accounting denominator is the real wire size of the blobs
+        acc = archive.accounting()
+        assert acc.ratio > 1.0
+
+    def test_archive_rejects_corruption(self):
+        with pytest.raises(ValueError):
+            StreamArchive.from_bytes(b"XXXX" + b"\x00" * 16)
+        archive = StreamArchive()
+        wire = archive.to_bytes()
+        assert StreamArchive.from_bytes(wire).num_chunks == 0
+
+
+class TestMultiVariableCompressor:
+    def _stacks(self):
+        ds = E3SMSynthetic(t=12, h=16, w=16, seed=3, num_vars=2)
+        return {f"v{i}": ds.normalized_frames(i) * (2.0 + i)
+                for i in range(2)}
+
+    def test_compress_mapping_roundtrip(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor(compressor)
+        stacks = self._stacks()
+        result = mv.compress(stacks)
+        assert set(result.variables) == set(stacks)
+        assert result.ratio > 1.0
+        out = mv.decompress(result.archive())
+        for name, stack in stacks.items():
+            assert out[name].shape == stack.shape
+
+    def test_compress_array_with_names(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor(compressor)
+        stacks = self._stacks()
+        arr = np.stack(list(stacks.values()))
+        result = mv.compress(arr, names=list(stacks))
+        assert set(result.variables) == set(stacks)
+        # aggregate accounting sums the parts
+        acc = result.accounting()
+        assert acc.original_bytes == sum(
+            r.accounting.original_bytes for r in result.results.values())
+
+    def test_default_names(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor(compressor)
+        arr = np.stack(list(self._stacks().values()))
+        result = mv.compress(arr)
+        assert result.variables == ["var0", "var1"]
+
+    def test_per_variable_bound(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor(compressor)
+        result = mv.compress(self._stacks(), nrmse_bound=0.05)
+        assert result.worst_nrmse() <= 0.05 * (1 + 1e-9)
+
+    def test_archive_serialization(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor(compressor)
+        result = mv.compress(self._stacks())
+        wire = result.archive().to_bytes()
+        restored = MultiVarArchive.from_bytes(wire)
+        out = mv.decompress(restored)
+        assert set(out) == set(self._stacks())
+
+    def test_per_variable_mapping_missing_raises(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor({"v0": compressor})
+        with pytest.raises(KeyError):
+            mv.compress(self._stacks())
+
+    def test_rejects_bad_inputs(self, trained):
+        _, compressor, _, _ = trained
+        mv = MultiVariableCompressor(compressor)
+        with pytest.raises(ValueError):
+            mv.compress(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            mv.compress(np.zeros((1, 12, 16, 16)), names=["a", "b"])
+        with pytest.raises(ValueError):
+            mv.compress(self._stacks(), names=["a", "b"])
+        with pytest.raises(ValueError):
+            MultiVariableCompressor({})
+        with pytest.raises(ValueError):
+            MultiVarArchive.from_bytes(b"junkjunk")

@@ -1,0 +1,97 @@
+"""Vectorized vs reference coefficient selection in the corrector.
+
+The vectorized path is the paper's future-work "accelerated
+post-processing"; it must preserve the guarantee and agree with the
+per-block greedy loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.postprocess import ErrorBoundCorrector, ResidualPCA
+
+
+def _setup(seed=0, shape=(4, 16, 16), block=4, rank=8):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape).cumsum(axis=1)
+    x_r = x + 0.3 * rng.standard_normal(shape)
+    # structured + white training residual, as the pipeline produces
+    train_res = (x - x_r) + 0.05 * rng.standard_normal(shape)
+    pca = ResidualPCA(block=block, rank=rank).fit(train_res)
+    return x, x_r, pca
+
+
+class TestVectorizedSelection:
+    @pytest.mark.parametrize("tau_frac", [0.8, 0.4, 0.15])
+    def test_agrees_with_loop(self, tau_frac):
+        x, x_r, pca = _setup()
+        tau = tau_frac * float(np.linalg.norm(x - x_r))
+        loop = ErrorBoundCorrector(pca, vectorized=False)
+        fast = ErrorBoundCorrector(pca, vectorized=True)
+        res_l = loop.correct(x, x_r, tau)
+        res_v = fast.correct(x, x_r, tau)
+        # identical selections -> identical payloads and outputs
+        assert res_v.payload == res_l.payload
+        np.testing.assert_allclose(res_v.corrected, res_l.corrected,
+                                   atol=1e-12)
+        assert res_v.n_escape_blocks == res_l.n_escape_blocks
+        assert res_v.n_coefficients == res_l.n_coefficients
+
+    def test_bound_holds_vectorized(self):
+        x, x_r, pca = _setup(seed=1)
+        fast = ErrorBoundCorrector(pca, vectorized=True)
+        for frac in (0.9, 0.5, 0.2, 0.05):
+            tau = frac * float(np.linalg.norm(x - x_r))
+            res = fast.correct(x, x_r, tau)
+            assert res.achieved_l2 <= tau * (1 + 1e-9)
+
+    def test_apply_decodes_vectorized_payload(self):
+        x, x_r, pca = _setup(seed=2)
+        fast = ErrorBoundCorrector(pca, vectorized=True)
+        tau = 0.3 * float(np.linalg.norm(x - x_r))
+        res = fast.correct(x, x_r, tau)
+        decoded = fast.apply(x_r, res.payload)
+        np.testing.assert_allclose(decoded, res.corrected, atol=1e-12)
+
+    def test_no_active_blocks_empty_payload_paths_agree(self):
+        x, x_r, pca = _setup(seed=3)
+        # bound looser than the existing error: nothing to fix
+        tau = 2.0 * float(np.linalg.norm(x - x_r))
+        for vec in (False, True):
+            res = ErrorBoundCorrector(pca, vectorized=vec).correct(
+                x, x_r, tau)
+            assert res.n_coefficients == 0
+            assert res.n_escape_blocks == 0
+            np.testing.assert_allclose(res.corrected, x_r)
+
+    def test_escape_blocks_agree(self):
+        """Force escapes with a basis that cannot span the residual."""
+        rng = np.random.default_rng(4)
+        shape = (2, 8, 8)
+        x_r = np.zeros(shape)
+        x = rng.standard_normal(shape)  # white residual, rank-2 basis
+        pca = ResidualPCA(block=4, rank=2).fit(
+            np.ones(shape) + 0.01 * rng.standard_normal(shape))
+        tau = 0.05 * float(np.linalg.norm(x))
+        res_l = ErrorBoundCorrector(pca, vectorized=False).correct(
+            x, x_r, tau)
+        res_v = ErrorBoundCorrector(pca, vectorized=True).correct(
+            x, x_r, tau)
+        assert res_l.n_escape_blocks > 0
+        assert res_v.n_escape_blocks == res_l.n_escape_blocks
+        assert res_v.payload == res_l.payload
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6),
+           frac=st.sampled_from([0.6, 0.3, 0.1]))
+    def test_agreement_property(self, seed, frac):
+        x, x_r, pca = _setup(seed=seed)
+        tau = frac * float(np.linalg.norm(x - x_r))
+        res_l = ErrorBoundCorrector(pca, vectorized=False).correct(
+            x, x_r, tau)
+        res_v = ErrorBoundCorrector(pca, vectorized=True).correct(
+            x, x_r, tau)
+        assert res_v.payload == res_l.payload
+        assert res_v.achieved_l2 <= tau * (1 + 1e-9)

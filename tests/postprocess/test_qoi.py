@@ -1,0 +1,193 @@
+"""QoI certification tests: certificates must be theorems.
+
+Every certificate is checked against adversarially constructed
+perturbations *at* the allowed L2 radius, plus random perturbations via
+hypothesis, plus an end-to-end check through the real
+ErrorBoundCorrector payload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.postprocess import (DerivativeQoI, ErrorBoundCorrector,
+                               LinearQoI, QuadraticQoI, ResidualPCA,
+                               evaluate_qois, mean_qoi, region_average_qoi,
+                               temporal_mean_qoi)
+
+SHAPE = (4, 8, 8)
+
+
+def _perturb(x, tau, rng, worst_for=None):
+    """Perturbation of L2 norm exactly tau (optionally aligned)."""
+    if worst_for is not None:
+        direction = worst_for
+    else:
+        direction = rng.standard_normal(x.shape)
+    direction = direction / np.linalg.norm(direction)
+    return x + tau * direction
+
+
+class TestLinearQoI:
+    def test_evaluate_mean(self):
+        x = np.arange(np.prod(SHAPE), dtype=float).reshape(SHAPE)
+        q = mean_qoi(SHAPE)
+        assert np.isclose(q.evaluate(x), x.mean())
+
+    def test_certificate_tight_for_aligned_perturbation(self):
+        """Cauchy–Schwarz is met with equality at the aligned worst case."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(SHAPE)
+        q = mean_qoi(SHAPE)
+        tau = 0.37
+        x_g = _perturb(x, tau, rng, worst_for=q.weights)
+        err = abs(q.evaluate(x) - q.evaluate(x_g))
+        cert = q.certified_bound(tau)
+        assert err <= cert * (1 + 1e-9)
+        assert err >= cert * (1 - 1e-9)  # tightness
+
+    def test_region_average(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(SHAPE)
+        mask = np.zeros(SHAPE, dtype=bool)
+        mask[:, :4, :4] = True
+        q = region_average_qoi(mask)
+        assert np.isclose(q.evaluate(x), x[mask].mean())
+
+    def test_region_average_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            region_average_qoi(np.zeros(SHAPE, dtype=bool))
+
+    def test_temporal_mean_probe(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(SHAPE)
+        q = temporal_mean_qoi(SHAPE, pixel=(3, 5))
+        assert np.isclose(q.evaluate(x), x[:, 3, 5].mean())
+
+    def test_shape_mismatch_raises(self):
+        q = mean_qoi(SHAPE)
+        with pytest.raises(ValueError):
+            q.evaluate(np.zeros((2, 2)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 9),
+           tau=st.floats(1e-3, 10.0))
+    def test_certificate_holds_random(self, seed, tau):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(SHAPE)
+        q = mean_qoi(SHAPE)
+        x_g = _perturb(x, tau, rng)
+        err = abs(q.evaluate(x) - q.evaluate(x_g))
+        assert err <= q.certified_bound(tau) * (1 + 1e-9)
+
+
+class TestQuadraticQoI:
+    def test_evaluate_energy(self):
+        x = np.full(SHAPE, 2.0)
+        assert np.isclose(QuadraticQoI().evaluate(x), 4.0 * x.size)
+
+    def test_needs_reconstruction(self):
+        with pytest.raises(ValueError):
+            QuadraticQoI().certified_bound(0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 9),
+           tau=st.floats(1e-3, 5.0))
+    def test_certificate_holds_random(self, seed, tau):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(SHAPE)
+        q = QuadraticQoI()
+        x_g = _perturb(x, tau, rng)
+        err = abs(q.evaluate(x) - q.evaluate(x_g))
+        assert err <= q.certified_bound(tau, reconstruction=x_g) * (1 + 1e-9)
+
+    def test_certificate_decoder_side_only(self):
+        """Certificate computable from x_G alone covers the unseen x."""
+        rng = np.random.default_rng(3)
+        x_g = rng.standard_normal(SHAPE)
+        tau = 0.5
+        q = QuadraticQoI()
+        cert = q.certified_bound(tau, reconstruction=x_g)
+        # worst admissible original: aligned with x_g
+        x = _perturb(x_g, tau, rng, worst_for=x_g)
+        assert abs(q.evaluate(x) - q.evaluate(x_g)) <= cert * (1 + 1e-9)
+
+
+class TestDerivativeQoI:
+    def test_evaluate_matches_gradient(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(SHAPE)
+        q = DerivativeQoI(axis=1, spacing=0.5)
+        expect = np.linalg.norm(np.gradient(x, 0.5, axis=1))
+        assert np.isclose(q.evaluate(x), expect)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            DerivativeQoI(axis=0, spacing=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 9), axis=st.integers(0, 2),
+           tau=st.floats(1e-3, 5.0), spacing=st.floats(0.1, 2.0))
+    def test_certificate_holds_random(self, seed, axis, tau, spacing):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(SHAPE)
+        q = DerivativeQoI(axis=axis, spacing=spacing)
+        x_g = _perturb(x, tau, rng)
+        err = abs(q.evaluate(x) - q.evaluate(x_g))
+        assert err <= q.certified_bound(tau) * (1 + 1e-9)
+
+    def test_operator_norm_bound_not_wildly_loose(self):
+        """The sqrt(3)/h <= 2/h certificate is within ~2x of achievable."""
+        rng = np.random.default_rng(5)
+        q = DerivativeQoI(axis=2, spacing=1.0)
+        tau = 1.0
+        worst = 0.0
+        for _ in range(50):
+            e = rng.standard_normal(SHAPE)
+            e *= tau / np.linalg.norm(e)
+            worst = max(worst, np.linalg.norm(np.gradient(e, axis=2)))
+        assert worst > 0.25 * q.certified_bound(tau)
+
+
+class TestEvaluateQoIs:
+    def _qois(self):
+        return [mean_qoi(SHAPE), QuadraticQoI(),
+                DerivativeQoI(axis=1), DerivativeQoI(axis=2)]
+
+    def test_report_records_all(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(SHAPE)
+        x_g = _perturb(x, 0.2, rng)
+        records = evaluate_qois(x, x_g, self._qois(), tau=0.2)
+        assert len(records) == 4
+        assert all(r.within_bound for r in records)
+        names = [r.name for r in records]
+        assert "global-mean" in names and "energy" in names
+
+    def test_identity_reconstruction_zero_error(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(SHAPE)
+        records = evaluate_qois(x, x.copy(), self._qois(), tau=1e-6)
+        assert all(r.achieved_error == 0.0 for r in records)
+
+    def test_rejects_bad_args(self):
+        x = np.zeros(SHAPE)
+        with pytest.raises(ValueError):
+            evaluate_qois(x, np.zeros((2, 2)), self._qois(), tau=0.1)
+        with pytest.raises(ValueError):
+            evaluate_qois(x, x, self._qois(), tau=0.0)
+
+    def test_end_to_end_with_corrector(self):
+        """Certificates hold through the real PCA corrector payload."""
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(SHAPE).cumsum(axis=1)
+        x_r = x + 0.3 * rng.standard_normal(SHAPE)
+        pca = ResidualPCA(block=4, rank=8)
+        pca.fit(x - x_r + 0.05 * rng.standard_normal(SHAPE))
+        corrector = ErrorBoundCorrector(pca)
+        tau = 0.5
+        res = corrector.correct(x, x_r, tau)
+        assert res.achieved_l2 <= tau * (1 + 1e-9)
+        records = evaluate_qois(x, res.corrected, self._qois(), tau=tau)
+        assert all(r.within_bound for r in records)

@@ -1,0 +1,73 @@
+"""Tests for the qoi and spectrum CLI subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def npy_pair(tmp_path):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((4, 16, 16)).cumsum(axis=1)
+    x_g = x + 0.01 * rng.standard_normal(x.shape)
+    p0 = tmp_path / "orig.npy"
+    p1 = tmp_path / "recon.npy"
+    np.save(p0, x)
+    np.save(p1, x_g)
+    return str(p0), str(p1), x, x_g
+
+
+class TestQoICommand:
+    def test_default_tau_all_ok(self, npy_pair, capsys):
+        p0, p1, _, _ = npy_pair
+        assert main(["qoi", p0, p1]) == 0
+        out = capsys.readouterr().out
+        assert "global-mean" in out and "energy" in out
+        assert "VIOLATED" not in out
+
+    def test_explicit_tau(self, npy_pair, capsys):
+        p0, p1, x, x_g = npy_pair
+        tau = float(np.linalg.norm(x - x_g)) * 2
+        assert main(["qoi", p0, p1, "--tau", str(tau)]) == 0
+        assert f"{tau:.6g}" in capsys.readouterr().out
+
+    def test_too_small_tau_reports_violation(self, npy_pair, capsys):
+        p0, p1, x, x_g = npy_pair
+        # tau far below the actual error invalidates the certificates
+        tau = float(np.linalg.norm(x - x_g)) * 1e-6
+        rc = main(["qoi", p0, p1, "--tau", str(tau)])
+        out = capsys.readouterr().out
+        # either certificates are violated (exit 1) or, pathologically,
+        # all QoIs happen to be tiny; for this data they are not
+        assert rc == 1
+        assert "VIOLATED" in out
+
+    def test_shape_mismatch_is_error(self, npy_pair, tmp_path, capsys):
+        p0, _, _, _ = npy_pair
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.zeros((2, 8, 8)))
+        assert main(["qoi", p0, str(bad)]) == 2
+
+
+class TestSpectrumCommand:
+    def test_prints_bands(self, npy_pair, capsys):
+        p0, p1, _, _ = npy_pair
+        assert main(["spectrum", p0, p1, "--k-max", "4"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()
+                 and ln.lstrip()[0].isdigit()]
+        assert len(lines) == 5  # k = 0..4
+        assert "worst finite band error" in out
+
+    def test_identical_inputs_zero_error(self, npy_pair, capsys):
+        p0, _, _, _ = npy_pair
+        assert main(["spectrum", p0, p0]) == 0
+        out = capsys.readouterr().out
+        assert "worst finite band error: 0" in out
+
+    def test_shape_mismatch_is_error(self, npy_pair, tmp_path):
+        p0, _, _, _ = npy_pair
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.zeros((2, 8, 8)))
+        assert main(["spectrum", p0, str(bad)]) == 2

@@ -1,0 +1,91 @@
+"""Metric and accounting tests (Sec. 4.1-4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (CompressionAccounting, compression_ratio, mse,
+                           nrmse, psnr, rmse)
+
+RNG = np.random.default_rng(0)
+
+
+class TestErrors:
+    def test_mse_zero_for_identical(self):
+        x = RNG.normal(size=(4, 5))
+        assert mse(x, x.copy()) == 0.0
+
+    def test_mse_known_value(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert mse(a, b) == pytest.approx(4.0)
+        assert rmse(a, b) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_nrmse_definition(self):
+        """Eq. 12: RMSE over the original's value range."""
+        x = np.array([0.0, 10.0])
+        y = np.array([1.0, 10.0])
+        expected = np.sqrt(0.5 * 1.0) / 10.0
+        assert nrmse(x, y) == pytest.approx(expected)
+
+    def test_nrmse_constant_data(self):
+        x = np.full(5, 3.0)
+        assert nrmse(x, x) == 0.0
+        assert nrmse(x, x + 1) == np.inf
+
+    def test_nrmse_scale_invariant(self):
+        x = RNG.normal(size=(6, 6))
+        y = x + RNG.normal(size=(6, 6)) * 0.1
+        assert nrmse(x, y) == pytest.approx(nrmse(x * 100, y * 100))
+
+    def test_psnr(self):
+        x = np.array([0.0, 1.0])
+        assert psnr(x, x) == np.inf
+        y = np.array([0.1, 0.9])
+        assert 0 < psnr(x, y) < np.inf
+        # halving the error range raises PSNR
+        z = np.array([0.05, 0.95])
+        assert psnr(x, z) > psnr(x, y)
+
+
+class TestAccounting:
+    def test_ratio(self):
+        acc = CompressionAccounting(original_bytes=1000, latent_bytes=80,
+                                    guarantee_bytes=20)
+        assert acc.compressed_bytes == 100
+        assert acc.ratio == pytest.approx(10.0)
+
+    def test_zero_compressed(self):
+        acc = CompressionAccounting(100, 0, 0)
+        assert acc.ratio == np.inf
+
+    def test_addition(self):
+        a = CompressionAccounting(100, 10, 5)
+        b = CompressionAccounting(200, 20, 15)
+        c = a + b
+        assert c.original_bytes == 300
+        assert c.latent_bytes == 30
+        assert c.guarantee_bytes == 20
+
+    def test_compression_ratio_helper(self):
+        x = np.zeros((10, 10), dtype=np.float64)
+        assert compression_ratio(x, 100) == pytest.approx(8.0)
+        assert compression_ratio(x, 100, dtype_bytes=4) == pytest.approx(4.0)
+        assert compression_ratio(x, 80, guarantee_bytes=20,
+                                 dtype_bytes=4) == pytest.approx(4.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10_000))
+def test_nrmse_nonnegative_and_bounded_property(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(4, 4)) * rng.uniform(0.1, 100)
+    y = x + rng.normal(size=(4, 4)) * rng.uniform(0, 1)
+    v = nrmse(x, y)
+    assert v >= 0
+    assert np.isfinite(v)

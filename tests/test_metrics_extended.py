@@ -1,0 +1,116 @@
+"""SSIM and temporal-correlation metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (decorrelation_time, ssim,
+                           temporal_autocorrelation)
+
+
+def _frames(t=16, h=16, w=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((t, h, w))
+
+
+class TestSSIM:
+    def test_identity_is_one(self):
+        x = _frames()
+        assert ssim(x, x.copy()) == pytest.approx(1.0)
+
+    def test_bounded_above_by_one(self):
+        x = _frames(seed=1)
+        y = x + 0.1 * _frames(seed=2)
+        assert ssim(x, y) <= 1.0
+
+    def test_noise_monotone(self):
+        """More noise, lower SSIM."""
+        rng = np.random.default_rng(3)
+        x = np.cumsum(rng.standard_normal((8, 32, 32)), axis=1)
+        noise = rng.standard_normal(x.shape)
+        vals = [ssim(x, x + s * noise) for s in (0.01, 0.1, 0.5, 2.0)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_2d_input_accepted(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((32, 32))
+        assert ssim(x, x) == pytest.approx(1.0)
+
+    def test_constant_images(self):
+        x = np.full((8, 8), 3.0)
+        assert ssim(x, x.copy()) == 1.0
+        assert ssim(x, x + 1.0) == 0.0  # zero range, unequal
+
+    def test_mean_shift_hurts_less_than_structure_loss(self):
+        """SSIM's point: luminance shifts are mild, shuffles are fatal."""
+        rng = np.random.default_rng(5)
+        x = np.cumsum(rng.standard_normal((4, 32, 32)), axis=2)
+        shift = x + 0.05 * (x.max() - x.min())
+        shuffled = rng.permutation(x.ravel()).reshape(x.shape)
+        assert ssim(x, shift) > ssim(x, shuffled)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            ssim(np.zeros(4), np.zeros(4))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), scale=st.floats(0.01, 10.0))
+    def test_scale_invariance_with_explicit_range(self, seed, scale):
+        """SSIM(ax, ay) with data_range a*r equals SSIM(x, y) with r."""
+        rng = np.random.default_rng(seed)
+        x = np.cumsum(rng.standard_normal((2, 16, 16)), axis=1)
+        y = x + 0.1 * rng.standard_normal(x.shape)
+        r = float(x.max() - x.min())
+        a = ssim(x, y, data_range=r)
+        b = ssim(scale * x, scale * y, data_range=scale * r)
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestTemporalAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rho = temporal_autocorrelation(_frames())
+        assert rho[0] == 1.0
+
+    def test_white_noise_decorrelates_immediately(self):
+        rho = temporal_autocorrelation(_frames(t=64, seed=6))
+        assert abs(rho[1]) < 0.2
+
+    def test_static_structure_plus_noise(self):
+        """A frozen pattern with tiny noise stays correlated."""
+        rng = np.random.default_rng(7)
+        pattern = rng.standard_normal((1, 16, 16))
+        x = np.tile(pattern, (32, 1, 1))
+        # per-pixel centring kills a constant sequence; add slow drift
+        drift = np.linspace(0, 1, 32)[:, None, None] * pattern
+        rho = temporal_autocorrelation(x + drift
+                                       + 0.01 * rng.standard_normal(x.shape))
+        assert rho[1] > 0.8
+
+    def test_max_lag_truncates(self):
+        rho = temporal_autocorrelation(_frames(t=10), max_lag=3)
+        assert rho.shape == (4,)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            temporal_autocorrelation(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            temporal_autocorrelation(np.zeros((1, 4, 4)))
+
+    def test_decorrelation_time_orderings(self):
+        """Climate-like drift outlives turbulence-like churn."""
+        from repro.data import E3SMSynthetic, JHTDBSynthetic
+        smooth = E3SMSynthetic(t=32, h=16, w=16, seed=0).frames(0)
+        churn = JHTDBSynthetic(t=32, h=16, w=16, seed=0).frames(0)
+        assert (decorrelation_time(smooth)
+                >= decorrelation_time(churn))
+
+    def test_decorrelation_time_white_noise_is_short(self):
+        assert decorrelation_time(_frames(t=64, seed=8)) <= 2
+
+    def test_never_decorrelates_returns_max_lag(self):
+        """Unreachable threshold exercises the no-crossing fallback."""
+        x = _frames(t=16, seed=9)
+        assert decorrelation_time(x, threshold=-2.0) == 15
