@@ -1,0 +1,103 @@
+"""Codec-registry smoke benchmark: perf baseline for every codec.
+
+Times compress and decompress of **every registered codec** on one
+fixed synthetic workload (E3SM-like, 12x16x16, seed 11) and appends a
+record to the ``BENCH_codecs.json`` trajectory file at the repo root,
+so future PRs that touch a codec or the engine have a
+commit-over-commit perf baseline to diff against.
+
+Learned codecs run *untrained* — this is a throughput smoke test of
+the encode/decode machinery (VAE transforms, entropy coding, reverse
+diffusion), not a rate-distortion measurement; untrained weights
+execute the identical compute graph.  Bounded codecs run at a fixed
+relative bound of 1e-2.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.codecs import get_codec, list_codecs
+from repro.data import E3SMSynthetic
+from repro.pipeline.engine import CodecEngine
+
+from .conftest import save_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_codecs.json"
+
+REL_BOUND = 1e-2
+
+
+def _workload() -> np.ndarray:
+    return E3SMSynthetic(t=12, h=16, w=16, seed=11).frames(0)
+
+
+def _bound_for(codec, frames):
+    if codec.capabilities.bound_kind == "l2":
+        return None  # unbounded: untrained codecs have no corrector
+    rng_ = float(frames.max() - frames.min())
+    return REL_BOUND * rng_
+
+
+def test_codec_registry_smoke(benchmark):
+    frames = _workload()
+    rows = {}
+    for name in list_codecs():
+        codec = get_codec(name)
+        bound = _bound_for(codec, frames)
+        t0 = time.perf_counter()
+        res = codec.compress(frames, bound, seed=0)
+        t_enc = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rec = codec.decompress(res.payload)
+        t_dec = time.perf_counter() - t0
+        assert rec.shape == frames.shape
+        np.testing.assert_allclose(rec, res.reconstruction, atol=1e-9)
+        rows[name] = {
+            "compress_seconds": round(t_enc, 6),
+            "decompress_seconds": round(t_dec, 6),
+            "payload_bytes": len(res.payload),
+            "ratio": round(float(res.ratio), 3),
+            "bound_kind": codec.capabilities.bound_kind,
+        }
+
+    # engine smoke on the fastest codec: the parallel path stays sane
+    engine_batch = CodecEngine("szlike", max_workers=4).compress(
+        [frames, frames * 0.5], nrmse_bound=0.05)
+    engine_row = {
+        "windows": len(engine_batch.results),
+        "wall_seconds": round(engine_batch.wall_seconds, 6),
+        "cpu_seconds": round(engine_batch.cpu_seconds, 6),
+        "speedup": round(engine_batch.speedup, 3),
+    }
+
+    print(f"\n{'codec':10s} {'enc s':>10s} {'dec s':>10s} "
+          f"{'bytes':>8s} {'ratio':>8s}")
+    for name, r in rows.items():
+        print(f"{name:10s} {r['compress_seconds']:10.4f} "
+              f"{r['decompress_seconds']:10.4f} "
+              f"{r['payload_bytes']:8d} {r['ratio']:8.2f}")
+
+    record = {"workload": "e3sm-12x16x16-seed11",
+              "rel_bound": REL_BOUND,
+              "codecs": rows, "engine": engine_row}
+    save_json("codec_registry_smoke", record)
+
+    # append to the trajectory file so PRs can diff perf over time
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(record)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2))
+
+    assert set(rows) == set(list_codecs())
+
+    # benchmark fixture: the registry's hot rule-based path
+    codec = get_codec("szlike")
+    eb = REL_BOUND * float(frames.max() - frames.min())
+    benchmark(lambda: codec.compress(frames, eb))

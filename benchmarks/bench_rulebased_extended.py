@@ -8,6 +8,11 @@ our analogue of *every* surveyed family over the same three datasets
 and error-bound sweep, printing one rate-distortion table per dataset
 (series saved to ``out/rulebased_extended.json``).
 
+The methods come straight from the codec registry — every registered
+non-learned codec participates, under the one ``compress(frames,
+bound)`` contract (the TTHRESH ``rmse`` vs pointwise divergence that
+this bench used to special-case is normalized by the codec layer).
+
 Assertions pin the orderings that are structural rather than tuned:
 
 * every method honours its error-bound contract and round-trips;
@@ -27,9 +32,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines import (DPCMCompressor, FAZLikeCompressor,
-                             MGARDLikeCompressor, SZLikeCompressor,
-                             TTHRESHLikeCompressor, ZFPLikeCompressor)
+from repro.codecs import get_codec, list_codecs
 from repro.metrics import nrmse
 
 from .conftest import dataset_frames, save_json
@@ -41,43 +44,39 @@ DATASETS = ("e3sm", "s3d", "jhtdb")
 
 
 def _methods():
-    return {
-        "SZ3-like": SZLikeCompressor(),
-        "ZFP-like": ZFPLikeCompressor(),
-        "TTHRESH-like": TTHRESHLikeCompressor(),
-        "MGARD-like": MGARDLikeCompressor(levels=3),
-        "DPCM": DPCMCompressor(order=2),
-        "FAZ-like": FAZLikeCompressor(levels=3),
-    }
+    """Every registered rule-based codec, keyed by its display label."""
+    codecs = [get_codec(name) for name in list_codecs()]
+    return {c.label: c for c in codecs
+            if not c.capabilities.learned}
 
 
-def _run_method(name, method, frames, rel_bound):
-    """Returns (ratio, nrmse, bound_honored)."""
+def _run_method(codec, frames, rel_bound):
+    """Returns (ratio, nrmse, bound_honored) under the codec contract."""
     rng_ = float(frames.max() - frames.min())
     eb = rel_bound * rng_
-    if isinstance(method, TTHRESHLikeCompressor):
-        # TTHRESH's contract is RMSE; use the pointwise budget's RMSE
-        # equivalent so operating points line up across methods
-        stream = method.compress(frames, rmse_bound=eb / np.sqrt(3.0))
-        rec = method.decompress(stream)
-        honored = (np.sqrt(((frames - rec) ** 2).mean())
-                   <= eb / np.sqrt(3.0) * (1 + 1e-9))
+    # operating-point alignment across bound kinds: an RMSE-bounded
+    # codec gets the pointwise budget's RMSE equivalent
+    bound = eb if codec.capabilities.bound_kind == "pointwise" \
+        else eb / np.sqrt(3.0)
+    res = codec.compress(frames, bound)
+    rec = codec.decompress(res.payload)
+    if codec.capabilities.bound_kind == "pointwise":
+        honored = np.abs(frames - rec).max() <= bound * (1 + 1e-9)
     else:
-        stream = method.compress(frames, error_bound=eb)
-        rec = method.decompress(stream)
-        honored = np.abs(frames - rec).max() <= eb * (1 + 1e-9)
-    ratio = frames.size * 4 / len(stream)
-    return float(ratio), float(nrmse(frames, rec)), bool(honored)
+        honored = (np.sqrt(((frames - rec) ** 2).mean())
+                   <= bound * (1 + 1e-9))
+    assert np.array_equal(rec, res.reconstruction)
+    return float(res.ratio), float(nrmse(frames, rec)), bool(honored)
 
 
 @pytest.mark.parametrize("dataset", DATASETS)
 def test_rulebased_extended(dataset, benchmark):
     frames = dataset_frames(dataset)
     rows = {}
-    for name, method in _methods().items():
+    for name, codec in _methods().items():
         rows[name] = []
         for rb in REL_BOUNDS:
-            ratio, err, honored = _run_method(name, method, frames, rb)
+            ratio, err, honored = _run_method(codec, frames, rb)
             assert honored, f"{name} violated its bound at {rb}"
             rows[name].append({"rel_bound": rb, "ratio": ratio,
                                "nrmse": err})
@@ -105,26 +104,27 @@ def test_rulebased_extended(dataset, benchmark):
         assert pts[0]["ratio"] > 1.0, f"{name} failed to compress"
 
     # FAZ auto-tuning sanity: never worse than its own wavelet module
-    faz = FAZLikeCompressor(levels=3)
+    faz = get_codec("fazlike")
     eb = REL_BOUNDS[1] * float(frames.max() - frames.min())
-    combined = faz.compress(frames, error_bound=eb)
-    wav = faz.wavelet.compress(frames, error_bound=eb)
-    assert len(combined) <= len(wav) + 5
+    combined = faz.compress(frames, eb)
+    wav = faz.impl.wavelet.compress(frames, error_bound=eb)
+    assert len(combined.payload) <= len(wav) + 5
 
-    sz = SZLikeCompressor()
+    sz = get_codec("szlike")
     eb_mid = REL_BOUNDS[1] * float(frames.max() - frames.min())
-    benchmark(lambda: sz.compress(frames, error_bound=eb_mid))
+    benchmark(lambda: sz.compress(frames, eb_mid))
 
 
 def test_mgard_progressive_decode(benchmark):
     """Progressive MGARD reads: error shrinks monotonically with level."""
     frames = dataset_frames("e3sm")
-    comp = MGARDLikeCompressor(levels=3)
+    codec = get_codec("mgard", levels=3)
+    assert codec.capabilities.progressive
     eb = 1e-3 * float(frames.max() - frames.min())
-    stream = comp.compress(frames, error_bound=eb)
+    res = codec.compress(frames, eb)
     errs = []
     for lvl in (3, 2, 1, 0):
-        rec = comp.decompress(stream, max_level=lvl)
+        rec = codec.decompress(res.payload, max_level=lvl)
         errs.append(float(np.abs(frames - rec).max()))
     print(f"\nMGARD-like progressive max-error by level (3->0): "
           f"{['%.3g' % e for e in errs]}")
@@ -135,4 +135,4 @@ def test_mgard_progressive_decode(benchmark):
     # than the full decode
     assert all(e >= errs[-1] for e in errs[:-1])
 
-    benchmark(lambda: comp.decompress(stream))
+    benchmark(lambda: codec.decompress(res.payload))

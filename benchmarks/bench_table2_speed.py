@@ -1,7 +1,10 @@
 """Table 2 — encoding/decoding speed of the generative compressors.
 
 Measures MB/s of ours (at several step counts) against CDC-eps, CDC-X
-and GCD on this host.  The paper's table spans two GPUs; the absolute
+and GCD on this host.  All methods run through the unified codec
+contract (``repro.codecs``): decode timing is a real
+``codec.decompress(payload)`` on a serialized stream, not an internal
+reconstruction call.  The paper's table spans two GPUs; the absolute
 MB/s here are CPU-substrate numbers, but the architectural orderings it
 demonstrates are asserted:
 
@@ -16,6 +19,8 @@ import time
 
 import numpy as np
 import pytest
+
+from repro.codecs import LatentDiffusionCodec, as_codec
 
 from .conftest import dataset_frames, save_json
 
@@ -45,26 +50,27 @@ def speed_table(ours_by_dataset, cdc_pair_e3sm, gcd_e3sm):
     for steps in (16, 8, 4):
         cfg = replace(comp.config, sampler="ddim", sample_steps=steps)
         from repro import LatentDiffusionCompressor
-        fast = LatentDiffusionCompressor(comp.vae, comp.ddpm, cfg,
-                                         corrector=comp.corrector)
+        fast = LatentDiffusionCodec(LatentDiffusionCompressor(
+            comp.vae, comp.ddpm, cfg, corrector=comp.corrector))
         res = fast.compress(frames)
         # encode: VAE analysis + entropy coding of keyframes only
-        t_enc = _time(lambda: fast.vae.compress(
+        t_enc = _time(lambda: fast.impl.vae.compress(
             frames[:, None].astype(np.float64)[: comp.config.window]))
-        t_dec = _time(lambda: fast.decompress(res.blob))
+        t_dec = _time(lambda: fast.decompress(res.payload))
         rows[f"Ours-{steps} steps"] = {
             "encode_mbps": _mbps(data_bytes, t_enc * 6),  # scaled to T
             "decode_mbps": _mbps(data_bytes, t_dec),
         }
 
-    for name, model in (("CDC-eps", cdc_pair_e3sm["eps"]),
-                        ("CDC-X", cdc_pair_e3sm["x"]),
-                        ("GCD", gcd_e3sm)):
+    for model in (cdc_pair_e3sm["eps"], cdc_pair_e3sm["x"], gcd_e3sm):
+        codec = as_codec(model)
+        name = codec.label
         norm = frames / np.ptp(frames)
         t_enc = _time(lambda: model.vae.compress(
             norm[:6][:, None] if name == "GCD"
             else norm[:6].reshape(2, 3, *frames.shape[1:])))
-        t_dec = _time(lambda: model._reconstruct(norm, seed=0))
+        res = codec.compress(norm)
+        t_dec = _time(lambda: codec.decompress(res.payload))
         rows[name] = {
             "encode_mbps": _mbps(data_bytes, t_enc * 6),
             "decode_mbps": _mbps(data_bytes, t_dec),
@@ -95,9 +101,9 @@ def test_table2_inference_speed(speed_table, benchmark, ours_by_dataset):
     assert rows["Ours-4 steps"]["decode_mbps"] >= \
         rows["Ours-16 steps"]["decode_mbps"]
 
-    # benchmark: the deployable decode path
+    # benchmark: the deployable decode path through the codec contract
     frames = dataset_frames("e3sm")
-    comp = ours_by_dataset["e3sm"]
-    blob = comp.compress(frames).blob
-    benchmark.pedantic(lambda: comp.decompress(blob), rounds=1,
+    codec = as_codec(ours_by_dataset["e3sm"])
+    payload = codec.compress(frames).payload
+    benchmark.pedantic(lambda: codec.decompress(payload), rounds=1,
                        iterations=1)

@@ -18,8 +18,8 @@ import numpy as np
 import pytest
 
 from repro import TrainingConfig, TwoStageTrainer, tiny
-from repro.baselines import (CDCCompressor, GCDCompressor, SZLikeCompressor,
-                             VAESRCompressor, ZFPLikeCompressor)
+from repro.baselines import CDCCompressor, GCDCompressor, VAESRCompressor
+from repro.codecs import get_codec
 from repro.config import DiffusionConfig, VAEConfig
 from repro.data import DATASETS
 from repro.data.base import train_test_windows
@@ -126,5 +126,6 @@ def gcd_e3sm(frames_by_dataset):
 
 @pytest.fixture(scope="session")
 def rule_based():
-    return {"SZ3-like": SZLikeCompressor(),
-            "ZFP-like": ZFPLikeCompressor()}
+    """The two rule-based families Fig. 3 plots, from the registry."""
+    return {codec.label: codec.impl
+            for codec in (get_codec("szlike"), get_codec("zfplike"))}

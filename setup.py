@@ -3,9 +3,17 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.2.0",
+    description=("Reproduction of 'Generative Latent Diffusion for "
+                 "Efficient Spatiotemporal Data Reduction' with a "
+                 "unified codec registry and parallel execution engine"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
 )

@@ -28,14 +28,17 @@ from .config import (DiffusionConfig, PipelineConfig, ReproConfig, VAEConfig,
 from .metrics import (CompressionAccounting, compression_ratio,
                       decorrelation_time, mse, nrmse, psnr, rmse, ssim,
                       temporal_autocorrelation)
-from .pipeline import (CompressedBlob, CompressionResult,
-                       LatentDiffusionCompressor, MultiVarArchive,
-                       MultiVariableCompressor, MultiVarResult,
-                       StreamArchive, StreamingCompressor, TrainingConfig,
-                       TwoStageTrainer, compress_windows_parallel,
+from .pipeline import (BatchResult, CodecEngine, CompressedBlob,
+                       CompressionResult, LatentDiffusionCompressor,
+                       MultiVarArchive, MultiVariableCompressor,
+                       MultiVarResult, StreamArchive, StreamingCompressor,
+                       TrainingConfig, TwoStageTrainer,
+                       compress_windows_parallel, load_bundle, save_bundle,
                        train_compressor)
+from .codecs import (Codec, CodecResult, as_codec, get_codec, list_codecs,
+                     register_codec)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "VAEConfig", "DiffusionConfig", "PipelineConfig", "ReproConfig",
@@ -44,7 +47,10 @@ __all__ = [
     "decorrelation_time", "CompressionAccounting", "compression_ratio",
     "LatentDiffusionCompressor", "CompressionResult", "CompressedBlob",
     "TwoStageTrainer", "TrainingConfig", "train_compressor",
-    "compress_windows_parallel",
+    "save_bundle", "load_bundle",
+    "compress_windows_parallel", "CodecEngine", "BatchResult",
+    "Codec", "CodecResult", "register_codec", "get_codec", "list_codecs",
+    "as_codec",
     "StreamingCompressor", "StreamArchive",
     "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",
     "__version__",

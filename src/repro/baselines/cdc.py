@@ -15,7 +15,7 @@ Table 2 quantifies.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from ..diffusion.unet import DenoisingUNet
 from ..nn import Tensor, no_grad
 from ..nn import functional as F
 from ..nn.optim import Adam, clip_grad_norm
-from .common import LearnedBaseline, normalize_frames, stream_bytes
+from .common import LearnedBaseline, normalize_frames
 
 __all__ = ["CDCCompressor"]
 
@@ -159,19 +159,22 @@ class CDCCompressor(LearnedBaseline):
         self.unet.eval()
 
     # ------------------------------------------------------------------
-    def _reconstruct(self, frames_norm: np.ndarray, seed: int
-                     ) -> Tuple[np.ndarray, int]:
-        T = frames_norm.shape[0]
+    def _encode(self, frames_norm: np.ndarray) -> list:
         groups = self._group(frames_norm)
-        streams, y_int = self.vae.compress(groups)
+        streams, _ = self.vae.compress(groups)
+        return [streams]
+
+    def _decode(self, streams: list, num_frames: int,
+                seed: int) -> np.ndarray:
+        y_int = self.vae.decompress_latents(streams[0])
         cond = self._cond_channels(y_int)
+        shape = (y_int.shape[0], self.GROUP, *cond.shape[2:])
         rng = np.random.default_rng(seed)
-        x = rng.standard_normal(groups.shape)
+        x = rng.standard_normal(shape)
         for t in range(self.schedule.steps, 0, -1):
             eps_hat = self._denoise(x, cond, t)
             noise = (rng.standard_normal(x.shape) if t > 1
                      else np.zeros_like(x))
             x = self.schedule.posterior_step(x, t, eps_hat, noise,
                                              clip_x0=(-1.5, 1.5))
-        recon = x.reshape(-1, *frames_norm.shape[1:])[:T]
-        return recon, stream_bytes(streams)
+        return x.reshape(-1, *shape[2:])[:num_frames]

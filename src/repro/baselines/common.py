@@ -11,7 +11,7 @@ only implements its decoder and training loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,11 +61,32 @@ class LearnedBaseline:
         self.corrector: Optional[ErrorBoundCorrector] = None
 
     # -- subclass interface ------------------------------------------------
-    def _reconstruct(self, frames_norm: np.ndarray, seed: int
-                     ) -> tuple:
-        """Return ``(reconstruction_norm, coded_bytes)`` for normalized
-        frames ``(T, H, W)``."""
+    def _encode(self, frames_norm: np.ndarray) -> List[Dict]:
+        """Entropy-code normalized ``(T, H, W)`` frames.
+
+        Returns the list of VAE stream bundles (one or more dicts in
+        the ``VAEHyperprior.compress`` format) that, together with the
+        frame count and a noise seed, fully determine the decode.
+        """
         raise NotImplementedError
+
+    def _decode(self, streams: List[Dict], num_frames: int,
+                seed: int) -> np.ndarray:
+        """Reconstruct normalized frames from :meth:`_encode` streams.
+
+        This *is* the decompressor: it must depend only on the coded
+        streams, the frame count and the seed — never on the original
+        frames — so a serialized payload decodes to exactly the
+        reconstruction reported at compression time.
+        """
+        raise NotImplementedError
+
+    def _reconstruct(self, frames_norm: np.ndarray, seed: int
+                     ) -> Tuple[np.ndarray, int]:
+        """Encode + decode; returns ``(reconstruction_norm, bytes)``."""
+        streams = self._encode(frames_norm)
+        recon = self._decode(streams, frames_norm.shape[0], seed)
+        return recon, sum(stream_bytes(s) for s in streams)
 
     # -- shared pipeline -----------------------------------------------------
     def compress(self, frames: np.ndarray,

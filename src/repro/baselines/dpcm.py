@@ -83,19 +83,21 @@ class DPCMCompressor:
         q_all, pos = decode_ints(data, pos)
         q_all = q_all.reshape(T, H, W)
         recon = np.empty((T, H, W))
-        saved_order, self.order = self.order, order
-        try:
-            for t in range(T):
-                recon[t] = self._predict(recon, t) + q_all[t] * (2 * eb)
-        finally:
-            self.order = saved_order
+        # order comes from the stream, not self — decompress must stay
+        # free of instance mutation so codec engines can run it from
+        # several threads at once
+        for t in range(T):
+            recon[t] = (self._predict(recon, t, order=order)
+                        + q_all[t] * (2 * eb))
         return recon
 
     # ------------------------------------------------------------------
-    def _predict(self, recon: np.ndarray, t: int) -> np.ndarray:
+    def _predict(self, recon: np.ndarray, t: int,
+                 order: int = None) -> np.ndarray:
         """Predict frame ``t`` from already-reconstructed history."""
+        order = self.order if order is None else order
         if t == 0:
             return np.zeros(recon.shape[1:])
-        if t == 1 or self.order == 1:
+        if t == 1 or order == 1:
             return recon[t - 1]
         return 2.0 * recon[t - 1] - recon[t - 2]

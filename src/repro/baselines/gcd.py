@@ -10,7 +10,7 @@ diffusion (Table 2 shows GCD as the slowest decoder).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..diffusion.unet import DenoisingUNet
 from ..nn import Tensor, no_grad
 from ..nn import functional as F
 from ..nn.optim import Adam, clip_grad_norm
-from .common import LearnedBaseline, normalize_frames, stream_bytes
+from .common import LearnedBaseline, normalize_frames
 
 __all__ = ["GCDCompressor"]
 
@@ -118,20 +118,28 @@ class GCDCompressor(LearnedBaseline):
         self.unet.eval()
 
     # ------------------------------------------------------------------
-    def _reconstruct(self, frames_norm: np.ndarray, seed: int
-                     ) -> Tuple[np.ndarray, int]:
+    def _encode(self, frames_norm: np.ndarray) -> list:
         from ..pipeline.compressor import window_starts
-        T = frames_norm.shape[0]
-        rng = np.random.default_rng(seed)
-        recon = np.zeros_like(frames_norm)
-        total_bytes = 0
-        for start in window_starts(T, self.window):
+        out = []
+        for start in window_starts(frames_norm.shape[0], self.window):
             chunk = frames_norm[start:start + self.window]
-            streams, y_int = self.vae.compress(chunk[:, None])
-            total_bytes += stream_bytes(streams)
+            streams, _ = self.vae.compress(chunk[:, None])
+            out.append(streams)
+        return out
+
+    def _decode(self, streams: list, num_frames: int,
+                seed: int) -> np.ndarray:
+        from ..pipeline.compressor import window_starts
+        rng = np.random.default_rng(seed)
+        recon: Optional[np.ndarray] = None
+        for wdw, start in zip(streams,
+                              window_starts(num_frames, self.window)):
+            y_int = self.vae.decompress_latents(wdw)
             cond = self._cond_window(y_int)
-            x = rng.standard_normal((1, self.window, 1,
-                                     *frames_norm.shape[1:]))
+            h, w = cond.shape[3:]
+            if recon is None:
+                recon = np.zeros((num_frames, h, w))
+            x = rng.standard_normal((1, self.window, 1, h, w))
             for t in range(self.schedule.steps, 0, -1):
                 inp = np.concatenate([x, cond], axis=2)
                 with no_grad():
@@ -141,4 +149,4 @@ class GCDCompressor(LearnedBaseline):
                 x = self.schedule.posterior_step(x, t, eps_hat, noise,
                                                  clip_x0=(-1.5, 1.5))
             recon[start:start + self.window] = x[0, :, 0]
-        return recon, total_bytes
+        return recon

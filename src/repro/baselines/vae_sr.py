@@ -9,7 +9,7 @@ frame, which is exactly the cost the keyframe-diffusion scheme avoids.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from ..config import VAEConfig
 from ..nn import Conv2d, Module, Sequential, SiLU, Tensor, no_grad
 from ..nn import functional as F
 from ..nn.optim import Adam, clip_grad_norm
-from .common import LearnedBaseline, normalize_frames, stream_bytes
+from .common import LearnedBaseline, normalize_frames
 
 __all__ = ["VAESRCompressor", "SRModule"]
 
@@ -91,11 +91,14 @@ class VAESRCompressor(LearnedBaseline):
         self.sr.eval()
 
     # ------------------------------------------------------------------
-    def _reconstruct(self, frames_norm: np.ndarray, seed: int
-                     ) -> Tuple[np.ndarray, int]:
-        x = frames_norm[:, None]
-        streams, y_int = self.vae.compress(x)
+    def _encode(self, frames_norm: np.ndarray) -> list:
+        streams, _ = self.vae.compress(frames_norm[:, None])
+        return [streams]
+
+    def _decode(self, streams: list, num_frames: int,
+                seed: int) -> np.ndarray:
+        y_int = self.vae.decompress_latents(streams[0])
         dec = self.vae.decode_latents(y_int)
         with no_grad():
             refined = self.sr(Tensor(dec)).numpy()
-        return refined[:, 0], stream_bytes(streams)
+        return refined[:, 0]

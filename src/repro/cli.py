@@ -1,11 +1,16 @@
-"""Command-line interface: ``python -m repro.cli <command>``.
+"""Command-line interface: ``python -m repro.cli <command>`` (or the
+``repro`` console script).
 
 Subcommands
 -----------
 ``train``       train the two-stage pipeline on a ``.npy`` frame stack
                 and save a model bundle (``.npz``);
-``compress``    compress a ``.npy`` frame stack with a trained bundle;
-``decompress``  reconstruct frames from a compressed stream;
+``codecs``      list every registered codec and its contract;
+``compress``    compress a ``.npy`` frame stack (``--codec`` selects
+                any registered codec; the default is the trained
+                latent-diffusion pipeline);
+``decompress``  reconstruct frames from a compressed stream (codec
+                auto-detected from the stream envelope);
 ``info``        inspect a compressed stream's accounting;
 ``qoi``         certify quantities of interest of a reconstruction
                 against the original (Sec. 3.5 bound propagation);
@@ -14,89 +19,54 @@ Subcommands
 
 The model bundle holds the VAE, diffusion and PCA-corrector state plus
 the configuration, so a single file moves a trained compressor between
-machines.
+machines.  Model-free codecs (the rule-based families) take ``-`` in
+place of the bundle path.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import io
-import json
 import sys
 from typing import Optional
 
 import numpy as np
 
-from . import (CompressedBlob, LatentDiffusionCompressor, TrainingConfig,
-               TwoStageTrainer, nrmse, small, tiny)
-from .config import DiffusionConfig, PipelineConfig, ReproConfig, VAEConfig
+from . import (CompressedBlob, TrainingConfig, TwoStageTrainer, small,
+               tiny)
+from .codecs import (LatentDiffusionCodec, codec_specs, get_codec,
+                     is_envelope, list_codecs, pack_envelope,
+                     unpack_envelope)
 from .data.base import train_test_windows
-from .diffusion import ConditionalDDPM
-from .compression import VAEHyperprior
-from .postprocess import ErrorBoundCorrector, ResidualPCA
+from .pipeline.bundle import load_bundle, save_bundle
 
 __all__ = ["main", "save_bundle", "load_bundle"]
 
 _PRESETS = {"tiny": tiny, "small": small}
 
-
-# ----------------------------------------------------------------------
-# Model bundle persistence
-# ----------------------------------------------------------------------
-def save_bundle(path: str, compressor: LatentDiffusionCompressor) -> None:
-    """Serialize a trained compressor (weights + config + corrector)."""
-    cfg = {
-        "vae": dataclasses.asdict(compressor.vae.cfg),
-        "diffusion": dataclasses.asdict(compressor.ddpm.cfg),
-        "pipeline": dataclasses.asdict(compressor.config),
-        "schedule_steps": compressor.ddpm.schedule.steps,
-        "original_dtype_bytes": compressor.original_dtype_bytes,
-    }
-    arrays = {}
-    for name, arr in compressor.vae.state_dict().items():
-        arrays[f"vae/{name}"] = arr
-    for name, arr in compressor.ddpm.state_dict().items():
-        arrays[f"ddpm/{name}"] = arr
-    if compressor.corrector is not None:
-        pca = compressor.corrector.pca
-        arrays["pca/basis"] = pca.basis
-        cfg["pca"] = {"block": pca.block, "rank": pca.rank,
-                      "coeff_quant_bits":
-                          compressor.corrector.coeff_quant_bits}
-    arrays["config_json"] = np.frombuffer(
-        json.dumps(cfg).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+#: the default codec — the paper's pipeline, loaded from a bundle
+_DEFAULT_CODEC = "ours"
 
 
-def load_bundle(path: str) -> LatentDiffusionCompressor:
-    """Inverse of :func:`save_bundle`."""
-    with np.load(path) as archive:
-        cfg = json.loads(bytes(archive["config_json"]).decode())
-        vae_cfg = VAEConfig(**cfg["vae"])
-        diff_cfg = DiffusionConfig(
-            **{k: tuple(v) if k == "channel_mults" else v
-               for k, v in cfg["diffusion"].items()})
-        pipe_cfg = PipelineConfig(**cfg["pipeline"])
-        vae = VAEHyperprior(vae_cfg)
-        vae.load_state_dict({k[len("vae/"):]: archive[k]
-                             for k in archive.files
-                             if k.startswith("vae/")})
-        ddpm = ConditionalDDPM(diff_cfg)
-        ddpm.load_state_dict({k[len("ddpm/"):]: archive[k]
-                              for k in archive.files
-                              if k.startswith("ddpm/")})
-        ddpm.set_schedule(int(cfg["schedule_steps"]))
-        corrector = None
-        if "pca/basis" in archive.files:
-            pca = ResidualPCA.from_state({
-                "block": cfg["pca"]["block"], "rank": cfg["pca"]["rank"],
-                "basis": archive["pca/basis"]})
-            corrector = ErrorBoundCorrector(
-                pca, coeff_quant_bits=cfg["pca"]["coeff_quant_bits"])
-        return LatentDiffusionCompressor(
-            vae, ddpm, pipe_cfg, corrector=corrector,
-            original_dtype_bytes=int(cfg["original_dtype_bytes"]))
+class _CodecCliError(Exception):
+    """CLI-level codec selection problem (printed, not raised raw)."""
+
+
+def _codec_for(name: str, model: Optional[str]):
+    """Build the selected codec, loading the model bundle if needed."""
+    if name == _DEFAULT_CODEC:
+        if not model or model == "-":
+            raise _CodecCliError(
+                "codec 'ours' needs a trained model bundle (.npz)")
+        return LatentDiffusionCodec.from_bundle(model)
+    try:
+        codec = get_codec(name)
+    except KeyError as exc:
+        raise _CodecCliError(exc.args[0]) from None
+    if codec.capabilities.needs_training:
+        raise _CodecCliError(
+            f"codec {name!r} is learning-based; only 'ours' supports "
+            f"bundle loading from the CLI so far")
+    return codec
 
 
 # ----------------------------------------------------------------------
@@ -130,24 +100,72 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'label':14s} {'bound':10s} "
+          f"{'trained':8s} class")
+    for name in list_codecs():
+        spec = codec_specs()[name]
+        codec = get_codec(name)
+        caps = codec.capabilities
+        print(f"{name:10s} {codec.label:14s} {caps.bound_kind:10s} "
+              f"{'yes' if caps.needs_training else 'no':8s} "
+              f"{spec.cls.__name__}")
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
-    compressor = load_bundle(args.model)
     frames = np.load(args.data)
-    result = compressor.compress(frames, nrmse_bound=args.nrmse_bound,
-                                 error_bound=args.error_bound,
-                                 noise_seed=args.seed)
+    try:
+        codec = _codec_for(args.codec, args.model)
+    except _CodecCliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if (codec.capabilities.requires_bound and args.error_bound is None
+            and args.nrmse_bound is None):
+        print(f"error: codec {args.codec!r} requires --error-bound "
+              f"or --nrmse-bound", file=sys.stderr)
+        return 2
+    result = codec.compress_bounded(frames, error_bound=args.error_bound,
+                                    nrmse_bound=args.nrmse_bound,
+                                    seed=args.seed)
+    # the default pipeline writes its native blob format (readable by
+    # older revisions); every other codec gets a tagged envelope
+    payload = (result.payload if args.codec == _DEFAULT_CODEC
+               else pack_envelope(codec.name, result.payload))
     with open(args.output, "wb") as fh:
-        fh.write(result.blob.to_bytes())
+        fh.write(payload)
     print(f"ratio={result.ratio:.2f}x nrmse={result.achieved_nrmse:.6f} "
-          f"bytes={result.blob.total_bytes()}")
+          f"bytes={len(payload)}")
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    compressor = load_bundle(args.model)
     with open(args.data, "rb") as fh:
-        blob = CompressedBlob.from_bytes(fh.read())
-    frames = compressor.decompress(blob)
+        data = fh.read()
+    if is_envelope(data):
+        name, payload = unpack_envelope(data)
+        if args.codec and args.codec != name:
+            print(f"error: stream was written by codec {name!r}, "
+                  f"not {args.codec!r}", file=sys.stderr)
+            return 2
+        try:
+            codec = _codec_for(name, args.model)
+        except _CodecCliError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        frames = codec.decompress(payload)
+    else:
+        # raw pipeline blob (legacy format, no envelope)
+        if args.codec and args.codec != _DEFAULT_CODEC:
+            print(f"error: stream is a raw pipeline blob, not a "
+                  f"{args.codec!r} envelope", file=sys.stderr)
+            return 2
+        if not args.model or args.model == "-":
+            print("error: raw pipeline streams need a trained model "
+                  "bundle (.npz)", file=sys.stderr)
+            return 2
+        compressor = load_bundle(args.model)
+        frames = compressor.decompress(CompressedBlob.from_bytes(data))
     np.save(args.output, frames)
     print(f"wrote {frames.shape} to {args.output}")
     return 0
@@ -155,7 +173,14 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.data, "rb") as fh:
-        blob = CompressedBlob.from_bytes(fh.read())
+        data = fh.read()
+    if is_envelope(data):
+        name, payload = unpack_envelope(data)
+        print(f"codec            : {name}")
+        print(f"total bytes      : {len(data)}")
+        print(f"  payload        : {len(payload)}")
+        return 0
+    blob = CompressedBlob.from_bytes(data)
     total = blob.total_bytes()
     print(f"shape            : {blob.shape}")
     print(f"window           : {blob.window}")
@@ -238,19 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0)
     t.set_defaults(fn=_cmd_train)
 
+    cl = sub.add_parser("codecs", help="list registered codecs")
+    cl.set_defaults(fn=_cmd_codecs)
+
     c = sub.add_parser("compress", help="compress a .npy stack")
-    c.add_argument("model", help="model bundle (.npz)")
+    c.add_argument("model", help="model bundle (.npz); '-' for "
+                                 "model-free codecs")
     c.add_argument("data", help="(T, H, W) .npy file")
     c.add_argument("output", help="output compressed stream")
+    c.add_argument("--codec", default=_DEFAULT_CODEC,
+                   help="registered codec name (see 'repro codecs')")
     c.add_argument("--nrmse-bound", type=float, default=None)
-    c.add_argument("--error-bound", type=float, default=None)
+    c.add_argument("--error-bound", type=float, default=None,
+                   help="absolute L2 bound tau (normalized onto the "
+                        "codec's native bound metric)")
     c.add_argument("--seed", type=int, default=0)
     c.set_defaults(fn=_cmd_compress)
 
     d = sub.add_parser("decompress", help="reconstruct a stream")
-    d.add_argument("model", help="model bundle (.npz)")
+    d.add_argument("model", help="model bundle (.npz); '-' for "
+                                 "model-free codecs")
     d.add_argument("data", help="compressed stream file")
     d.add_argument("output", help="output .npy path")
+    d.add_argument("--codec", default=None,
+                   help="expected codec (auto-detected from the stream)")
     d.set_defaults(fn=_cmd_decompress)
 
     i = sub.add_parser("info", help="inspect a compressed stream")

@@ -1,0 +1,250 @@
+"""The unified codec contract every compressor in this repo satisfies.
+
+Historically each baseline exposed a slightly different ad-hoc
+``compress`` signature: pointwise coders took ``error_bound`` and
+returned raw ``bytes``, TTHRESH took ``rmse_bound``, the learned
+baselines took ``error_bound``/``nrmse_bound`` and returned a result
+object without any serialized stream, and the latent-diffusion pipeline
+took ``noise_seed`` and returned a :class:`~repro.pipeline.blob.
+CompressedBlob`.  Benchmarks and the CLI hand-wired every one of them.
+
+This module defines the single contract that replaces that divergence:
+
+* :class:`Codec` — ``compress(frames, bound) -> CodecResult`` and
+  ``decompress(payload) -> frames``, where ``payload`` is always a
+  self-contained byte string and ``bound`` is expressed in the codec's
+  *native* guarantee metric (declared by its capabilities);
+* :class:`CodecCapabilities` — what kind of bound the codec guarantees
+  (``pointwise`` / ``rmse`` / ``l2``), whether it needs training,
+  whether decoding is deterministic;
+* :meth:`Codec.compress_bounded` — the one place where the legacy
+  ``error_bound`` (absolute L2 ``tau``) / ``nrmse_bound`` vocabulary is
+  normalized onto each codec's native bound, so callers never special-
+  case bound semantics again;
+* a tiny *envelope* format that tags a payload with its codec name, so
+  archives and the CLI can dispatch streams back to the right codec.
+
+Conversions used by :meth:`Codec.compress_bounded` (``R`` the data
+range, ``n`` the element count):
+
+=============  =======================  =========================
+native kind    from ``nrmse_bound``      from ``error_bound`` (L2)
+=============  =======================  =========================
+``pointwise``  ``eb = nrmse * R``       ``eb = tau / sqrt(n)``
+``rmse``       ``rmse = nrmse * R``     ``rmse = tau / sqrt(n)``
+``l2``         ``tau = nrmse*R*sqrt(n)``  ``tau`` (identity)
+=============  =======================  =========================
+
+The ``rmse``/``l2`` conversions are exact (``L2 = rmse * sqrt(n)``);
+the ``pointwise`` ones are conservative (``rmse <= max|err|``), so a
+requested NRMSE or L2 target always holds regardless of codec family.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from ..metrics import CompressionAccounting
+
+__all__ = ["Codec", "CodecCapabilities", "CodecResult",
+           "pack_envelope", "unpack_envelope", "is_envelope",
+           "ENVELOPE_MAGIC"]
+
+#: Bound kinds a codec may declare.
+BOUND_KINDS = ("pointwise", "rmse", "l2")
+
+ENVELOPE_MAGIC = b"CDX1"
+
+
+@dataclass(frozen=True)
+class CodecCapabilities:
+    """Declared properties of a codec (used for dispatch, not hints)."""
+
+    #: metric of the native guarantee: "pointwise" (max abs error),
+    #: "rmse", or "l2" (absolute L2 norm, the pipeline's tau)
+    bound_kind: str
+    #: the codec holds model state that must be trained before use
+    needs_training: bool = False
+    #: ``decompress(payload)`` is bit-identical across calls
+    deterministic: bool = True
+    #: the codec cannot compress without a bound (rule-based coders
+    #: quantize against the bound; there is no "lossless-ish" default)
+    requires_bound: bool = False
+    #: learning-based family (stores latents for every frame)
+    learned: bool = False
+    #: supports reduced-resolution/progressive decodes
+    progressive: bool = False
+
+    def __post_init__(self):
+        if self.bound_kind not in BOUND_KINDS:
+            raise ValueError(f"bound_kind must be one of {BOUND_KINDS}, "
+                             f"got {self.bound_kind!r}")
+
+
+@dataclass
+class CodecResult:
+    """Outcome of :meth:`Codec.compress` — uniform across all codecs.
+
+    ``payload`` is the self-contained compressed stream.  Codecs whose
+    native result already carries a serializable blob (``detail.blob``)
+    may leave ``payload_bytes`` unset — serialization then happens
+    lazily on first access, so blob-native callers (window-parallel
+    batches, blob archives) never pay for bytes they discard.
+    """
+
+    codec: str                       # registry name of the producer
+    reconstruction: np.ndarray       # the decompressor's exact output
+    accounting: CompressionAccounting
+    achieved_nrmse: float
+    seed: int = 0
+    encode_seconds: float = 0.0
+    #: the codec-native result object (e.g. the pipeline's
+    #: CompressionResult with its CompressedBlob), when one exists
+    detail: Any = None
+    #: eagerly-built stream; None defers to ``detail.blob.to_bytes()``
+    payload_bytes: Optional[bytes] = None
+
+    @property
+    def payload(self) -> bytes:
+        """Self-contained compressed stream (built lazily if needed)."""
+        if self.payload_bytes is None:
+            blob = self.blob
+            if blob is None:
+                raise ValueError(
+                    f"{self.codec} result carries no payload")
+            self.payload_bytes = blob.to_bytes()
+        return self.payload_bytes
+
+    @property
+    def ratio(self) -> float:
+        return self.accounting.ratio
+
+    @property
+    def blob(self):
+        """Native :class:`CompressedBlob` if the codec produced one."""
+        return getattr(self.detail, "blob", None)
+
+
+class Codec(abc.ABC):
+    """Abstract compressor contract (see module docstring).
+
+    Subclasses set :attr:`capabilities` and implement
+    :meth:`compress` / :meth:`decompress`.  ``compress`` must return a
+    :class:`CodecResult` whose ``payload`` decodes — via
+    :meth:`decompress` on the *same* codec instance — to exactly the
+    ``reconstruction`` it reports.
+    """
+
+    #: registry name; assigned by :func:`repro.codecs.register_codec`
+    codec_id: str = "unregistered"
+    capabilities: CodecCapabilities = CodecCapabilities(bound_kind="l2")
+    #: smallest frame count ``compress`` accepts
+    min_frames: int = 1
+    #: natural temporal batching unit (1 = frames are independent)
+    window: int = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Registry name (stable identifier, used in envelopes)."""
+        return self.codec_id
+
+    @property
+    def label(self) -> str:
+        """Human-readable name (matches the paper's method names)."""
+        impl = getattr(self, "_impl", None)
+        return getattr(impl, "name", None) or self.codec_id
+
+    @property
+    def impl(self):
+        """Underlying native compressor object, when one exists."""
+        return getattr(self, "_impl", None)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def compress(self, frames: np.ndarray, bound: Optional[float] = None,
+                 *, seed: int = 0) -> CodecResult:
+        """Compress a ``(T, H, W)`` stack under the *native* bound."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct frames from a :attr:`CodecResult.payload`."""
+
+    # ------------------------------------------------------------------
+    def native_bound(self, frames: np.ndarray,
+                     error_bound: Optional[float] = None,
+                     nrmse_bound: Optional[float] = None
+                     ) -> Optional[float]:
+        """Map legacy bound vocabulary onto this codec's native metric.
+
+        ``error_bound`` is the pipeline's absolute L2 ``tau``;
+        ``nrmse_bound`` a target NRMSE (Eq. 12).  See the module
+        docstring for the conversion table.
+        """
+        if error_bound is not None and nrmse_bound is not None:
+            raise ValueError("give either error_bound or nrmse_bound")
+        if error_bound is None and nrmse_bound is None:
+            return None
+        frames = np.asarray(frames)
+        n = frames.size
+        kind = self.capabilities.bound_kind
+        if kind == "l2":
+            if error_bound is not None:
+                return float(error_bound)
+            rng = float(frames.max() - frames.min())
+            return float(nrmse_bound * rng * np.sqrt(n))
+        # pointwise and rmse share the same formulas (rmse <= max|err|)
+        if error_bound is not None:
+            return float(error_bound) / np.sqrt(n)
+        rng = float(frames.max() - frames.min())
+        return float(nrmse_bound * rng)
+
+    def compress_bounded(self, frames: np.ndarray,
+                         error_bound: Optional[float] = None,
+                         nrmse_bound: Optional[float] = None,
+                         seed: int = 0) -> CodecResult:
+        """:meth:`compress` with legacy bound kwargs, normalized."""
+        bound = self.native_bound(frames, error_bound=error_bound,
+                                  nrmse_bound=nrmse_bound)
+        return self.compress(frames, bound, seed=seed)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"({self.capabilities.bound_kind}-bounded)>")
+
+
+# ----------------------------------------------------------------------
+# Envelope: tags a payload with its codec so containers can dispatch.
+# ----------------------------------------------------------------------
+def pack_envelope(codec_name: str, payload: bytes) -> bytes:
+    """Wrap ``payload`` in a self-describing codec envelope."""
+    tag = codec_name.encode()
+    if not 0 < len(tag) <= 255:
+        raise ValueError(f"bad codec name {codec_name!r}")
+    return b"".join([ENVELOPE_MAGIC, struct.pack("<B", len(tag)), tag,
+                     struct.pack("<Q", len(payload)), payload])
+
+
+def is_envelope(data: bytes) -> bool:
+    return data[:4] == ENVELOPE_MAGIC
+
+
+def unpack_envelope(data: bytes) -> Tuple[str, bytes]:
+    """Inverse of :func:`pack_envelope`; returns ``(name, payload)``."""
+    if not is_envelope(data):
+        raise ValueError("not a codec envelope (bad magic)")
+    tlen, = struct.unpack_from("<B", data, 4)
+    name = data[5:5 + tlen].decode()
+    pos = 5 + tlen
+    n, = struct.unpack_from("<Q", data, pos)
+    pos += 8
+    payload = data[pos:pos + n]
+    if len(payload) != n:
+        raise ValueError("truncated codec envelope")
+    return name, payload

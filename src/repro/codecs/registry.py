@@ -1,0 +1,115 @@
+"""Decorator-based codec registry.
+
+Every compressor family registers itself under a short stable name::
+
+    @register_codec("szlike")
+    class SZCodec(RuleBasedCodec):
+        ...
+
+and callers obtain ready instances through :func:`get_codec`::
+
+    codec = get_codec("szlike")
+    result = codec.compress(frames, bound)
+
+The registry is the single source of truth the CLI (``repro codecs``,
+``--codec NAME``), the execution engine, the benchmark drivers and the
+contract tests iterate over — adding a new codec is one decorated class,
+everything downstream picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Type
+
+from .base import Codec
+
+__all__ = ["register_codec", "get_codec", "list_codecs", "codec_specs",
+           "as_codec", "CodecSpec"]
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """One registry entry: class plus default construction kwargs."""
+
+    name: str
+    cls: Type[Codec]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, **kwargs) -> Codec:
+        merged = {**self.defaults, **kwargs}
+        return self.cls(**merged)
+
+
+_REGISTRY: Dict[str, CodecSpec] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_codec(name: str, **defaults) -> Callable[[Type[Codec]],
+                                                      Type[Codec]]:
+    """Class decorator: register ``cls`` under ``name``.
+
+    ``defaults`` are constructor kwargs applied by :func:`get_codec`
+    unless overridden by the caller.
+    """
+    key = _canonical(name)
+
+    def deco(cls: Type[Codec]) -> Type[Codec]:
+        if key in _REGISTRY:
+            raise ValueError(f"codec {key!r} is already registered "
+                             f"(by {_REGISTRY[key].cls.__name__})")
+        if not issubclass(cls, Codec):
+            raise TypeError(f"{cls.__name__} does not implement Codec")
+        cls.codec_id = key
+        _REGISTRY[key] = CodecSpec(name=key, cls=cls, defaults=defaults)
+        return cls
+
+    return deco
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate the codec registered under ``name``.
+
+    ``kwargs`` override the registered defaults and are passed to the
+    codec's constructor (e.g. model configs for learned codecs).
+    """
+    key = _canonical(name)
+    spec = _REGISTRY.get(key)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown codec {name!r}; registered: {known}")
+    return spec.build(**kwargs)
+
+
+def list_codecs() -> List[str]:
+    """Sorted names of every registered codec."""
+    return sorted(_REGISTRY)
+
+
+def codec_specs() -> Dict[str, CodecSpec]:
+    """Snapshot of the registry (name -> spec)."""
+    return dict(_REGISTRY)
+
+
+def as_codec(obj) -> Codec:
+    """Coerce ``obj`` to a :class:`Codec`.
+
+    Accepts a codec instance (returned as-is), a registry name, or a
+    native compressor object of any registered codec class (wrapped via
+    the class's ``wrap`` hook) — e.g. a trained
+    ``LatentDiffusionCompressor`` or a ``SZLikeCompressor``.
+    """
+    if isinstance(obj, Codec):
+        return obj
+    if isinstance(obj, str):
+        return get_codec(obj)
+    for spec in _REGISTRY.values():
+        wrapped = spec.cls.wrap(obj) if hasattr(spec.cls, "wrap") else None
+        if wrapped is not None:
+            return wrapped
+    raise TypeError(f"cannot interpret {type(obj).__name__} as a codec; "
+                    f"pass a Codec, a registered name, or a native "
+                    f"compressor of a registered codec")

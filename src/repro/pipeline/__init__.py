@@ -7,8 +7,13 @@
   public compress/decompress API;
 * :mod:`repro.pipeline.training` — the two-stage training protocol of
   Sec. 3.4 plus few-step fine-tuning and corrector fitting;
-* :mod:`repro.pipeline.parallel` — window-parallel compression over a
-  worker pool for multi-variable archives;
+* :mod:`repro.pipeline.bundle` — single-file persistence of a trained
+  compressor (weights + configs + corrector);
+* :mod:`repro.pipeline.engine` — the batched parallel execution engine
+  that runs any registered codec over windows/variables with
+  deterministic seeding and per-window accounting;
+* :mod:`repro.pipeline.parallel` — legacy window-parallel shim over the
+  engine;
 * :mod:`repro.pipeline.streaming` — constant-memory chunked compression
   of frame iterators into a :class:`~repro.pipeline.streaming.StreamArchive`;
 * :mod:`repro.pipeline.multivar` — multi-variable (V, T, H, W) archives
@@ -16,7 +21,9 @@
 """
 
 from .blob import CompressedBlob, WindowStreams
+from .bundle import load_bundle, save_bundle
 from .compressor import CompressionResult, LatentDiffusionCompressor
+from .engine import BatchResult, CodecEngine, WindowReport, parallel_map
 from .multivar import (MultiVarArchive, MultiVariableCompressor,
                        MultiVarResult)
 from .parallel import compress_windows_parallel
@@ -26,7 +33,9 @@ from .training import TrainingConfig, TwoStageTrainer, train_compressor
 __all__ = [
     "CompressedBlob", "WindowStreams", "LatentDiffusionCompressor",
     "CompressionResult", "TwoStageTrainer", "TrainingConfig",
-    "train_compressor", "compress_windows_parallel",
+    "train_compressor", "save_bundle", "load_bundle",
+    "CodecEngine", "BatchResult", "WindowReport", "parallel_map",
+    "compress_windows_parallel",
     "StreamingCompressor", "StreamArchive", "ChunkResult",
     "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",
 ]

@@ -1,0 +1,78 @@
+"""Model-bundle persistence for the latent-diffusion compressor.
+
+A bundle is a single ``.npz`` holding the VAE, diffusion and
+PCA-corrector state plus the configuration — one file moves a trained
+compressor between machines.  Historically this lived in the CLI; it
+is pipeline infrastructure (the codec layer and examples load bundles
+too), so it now lives here and the CLI re-exports it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+
+from ..compression import VAEHyperprior
+from ..config import DiffusionConfig, PipelineConfig, VAEConfig
+from ..diffusion import ConditionalDDPM
+from ..postprocess import ErrorBoundCorrector, ResidualPCA
+from .compressor import LatentDiffusionCompressor
+
+__all__ = ["save_bundle", "load_bundle"]
+
+
+def save_bundle(path: str, compressor: LatentDiffusionCompressor) -> None:
+    """Serialize a trained compressor (weights + config + corrector)."""
+    cfg = {
+        "vae": dataclasses.asdict(compressor.vae.cfg),
+        "diffusion": dataclasses.asdict(compressor.ddpm.cfg),
+        "pipeline": dataclasses.asdict(compressor.config),
+        "schedule_steps": compressor.ddpm.schedule.steps,
+        "original_dtype_bytes": compressor.original_dtype_bytes,
+    }
+    arrays = {}
+    for name, arr in compressor.vae.state_dict().items():
+        arrays[f"vae/{name}"] = arr
+    for name, arr in compressor.ddpm.state_dict().items():
+        arrays[f"ddpm/{name}"] = arr
+    if compressor.corrector is not None:
+        pca = compressor.corrector.pca
+        arrays["pca/basis"] = pca.basis
+        cfg["pca"] = {"block": pca.block, "rank": pca.rank,
+                      "coeff_quant_bits":
+                          compressor.corrector.coeff_quant_bits}
+    arrays["config_json"] = np.frombuffer(
+        json.dumps(cfg).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_bundle(path: str) -> LatentDiffusionCompressor:
+    """Inverse of :func:`save_bundle`."""
+    with np.load(path) as archive:
+        cfg = json.loads(bytes(archive["config_json"]).decode())
+        vae_cfg = VAEConfig(**cfg["vae"])
+        diff_cfg = DiffusionConfig(
+            **{k: tuple(v) if k == "channel_mults" else v
+               for k, v in cfg["diffusion"].items()})
+        pipe_cfg = PipelineConfig(**cfg["pipeline"])
+        vae = VAEHyperprior(vae_cfg)
+        vae.load_state_dict({k[len("vae/"):]: archive[k]
+                             for k in archive.files
+                             if k.startswith("vae/")})
+        ddpm = ConditionalDDPM(diff_cfg)
+        ddpm.load_state_dict({k[len("ddpm/"):]: archive[k]
+                              for k in archive.files
+                              if k.startswith("ddpm/")})
+        ddpm.set_schedule(int(cfg["schedule_steps"]))
+        corrector = None
+        if "pca/basis" in archive.files:
+            pca = ResidualPCA.from_state({
+                "block": cfg["pca"]["block"], "rank": cfg["pca"]["rank"],
+                "basis": archive["pca/basis"]})
+            corrector = ErrorBoundCorrector(
+                pca, coeff_quant_bits=cfg["pca"]["coeff_quant_bits"])
+        return LatentDiffusionCompressor(
+            vae, ddpm, pipe_cfg, corrector=corrector,
+            original_dtype_bytes=int(cfg["original_dtype_bytes"]))

@@ -2,16 +2,24 @@
 
 The paper's datasets bundle several physical variables (E3SM: 5 climate
 variables; S3D: 58 species; Table 1), each compressed as its own
-``(T, H, W)`` stack.  This module drives a trained compressor across a
-``(V, T, H, W)`` array (or a mapping of named variables), aggregates
+``(T, H, W)`` stack.  This module drives *any registered codec* across
+a ``(V, T, H, W)`` array (or a mapping of named variables), aggregates
 the Eq. 11 accounting over all variables, and serializes everything
 into one archive.
 
-A single trained model is shared across variables by default — the
-per-frame normalization (Sec. 4.3) maps every variable into the same
+A single codec is shared across variables by default — the per-frame
+normalization (Sec. 4.3) maps every variable into the same
 zero-mean/unit-range domain the model was trained on.  A per-variable
-compressor mapping can be supplied when variables differ enough to
-merit dedicated models.
+mapping can be supplied when variables differ enough to merit dedicated
+models.  Accepted codec descriptions (normalized via
+:func:`repro.codecs.as_codec`): a :class:`~repro.codecs.base.Codec`, a
+registry name (``"szlike"``), or a native compressor such as a trained
+:class:`~repro.pipeline.compressor.LatentDiffusionCompressor`.
+
+Variables are independent, so compression fans out over the
+:func:`~repro.pipeline.engine.parallel_map` worker pool
+(``max_workers``) with the deterministic per-variable seeding the
+serial path used — results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -22,21 +30,30 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..metrics import CompressionAccounting, nrmse
+from ..metrics import CompressionAccounting
 from .blob import CompressedBlob
-from .compressor import CompressionResult, LatentDiffusionCompressor
+from .compressor import LatentDiffusionCompressor
+from .engine import parallel_map
 
 __all__ = ["MultiVarResult", "MultiVarArchive", "MultiVariableCompressor"]
 
 _MAGIC = b"LDMV"
 _VERSION = 1
+_VERSION_CODEC = 2     # adds envelope (non-blob codec) entries
+
+_ENTRY_BLOB = 0
+_ENTRY_ENVELOPE = 1
+
+#: per-variable seed stride (prime; historical value kept so archives
+#: produced by older revisions stay reproducible)
+VAR_SEED_STRIDE = 104729
 
 
 @dataclass
 class MultiVarResult:
-    """Per-variable results plus dataset-level accounting."""
+    """Per-variable codec results plus dataset-level accounting."""
 
-    results: Dict[str, CompressionResult]
+    results: Dict[str, "object"]   # name -> CodecResult
 
     @property
     def variables(self) -> List[str]:
@@ -59,25 +76,52 @@ class MultiVarResult:
         return max(r.achieved_nrmse for r in self.results.values())
 
     def archive(self) -> "MultiVarArchive":
-        return MultiVarArchive(
-            blobs={name: r.blob for name, r in self.results.items()})
+        """Serializable container; blob-native codecs store their blob,
+        every other codec stores its tagged payload envelope."""
+        from ..codecs import pack_envelope
+        blobs: Dict[str, CompressedBlob] = {}
+        envelopes: Dict[str, bytes] = {}
+        for name, r in self.results.items():
+            blob = getattr(r, "blob", None)
+            if blob is not None:
+                blobs[name] = blob
+            else:
+                envelopes[name] = pack_envelope(r.codec, r.payload)
+        return MultiVarArchive(blobs=blobs, envelopes=envelopes)
 
 
 @dataclass
 class MultiVarArchive:
-    """Named blob collection with binary (de)serialization."""
+    """Named compressed-variable collection with (de)serialization.
+
+    ``blobs`` holds latent-diffusion streams in their native
+    :class:`CompressedBlob` form; ``envelopes`` holds any other codec's
+    payload wrapped in a codec envelope.  The wire format stays at
+    version 1 (bit-compatible with older archives) unless envelope
+    entries are present.
+    """
 
     blobs: Dict[str, CompressedBlob] = field(default_factory=dict)
+    envelopes: Dict[str, bytes] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.blobs) + len(self.envelopes)
 
     def to_bytes(self) -> bytes:
-        parts = [_MAGIC, struct.pack("<BI", _VERSION, len(self.blobs))]
-        for name, blob in self.blobs.items():
+        version = _VERSION if not self.envelopes else _VERSION_CODEC
+        parts = [_MAGIC, struct.pack("<BI", version, len(self))]
+        entries = [(name, _ENTRY_BLOB, blob.to_bytes())
+                   for name, blob in self.blobs.items()]
+        entries += [(name, _ENTRY_ENVELOPE, env)
+                    for name, env in self.envelopes.items()]
+        for name, kind, payload in entries:
             tag = name.encode()
             if len(tag) > 255:
                 raise ValueError(f"variable name too long: {name!r}")
-            payload = blob.to_bytes()
             parts.append(struct.pack("<B", len(tag)))
             parts.append(tag)
+            if version == _VERSION_CODEC:
+                parts.append(struct.pack("<B", kind))
             parts.append(struct.pack("<I", len(payload)))
             parts.append(payload)
         return b"".join(parts)
@@ -87,58 +131,77 @@ class MultiVarArchive:
         if data[:4] != _MAGIC:
             raise ValueError("not a multi-variable archive (bad magic)")
         version, count = struct.unpack_from("<BI", data, 4)
-        if version != _VERSION:
+        if version not in (_VERSION, _VERSION_CODEC):
             raise ValueError(f"unsupported archive version {version}")
         pos = 4 + struct.calcsize("<BI")
         blobs: Dict[str, CompressedBlob] = {}
+        envelopes: Dict[str, bytes] = {}
         for _ in range(count):
             tlen, = struct.unpack_from("<B", data, pos)
             pos += 1
             name = data[pos:pos + tlen].decode()
             pos += tlen
+            kind = _ENTRY_BLOB
+            if version == _VERSION_CODEC:
+                kind, = struct.unpack_from("<B", data, pos)
+                pos += 1
             n, = struct.unpack_from("<I", data, pos)
             pos += 4
             payload = data[pos:pos + n]
             if len(payload) != n:
-                raise ValueError("truncated archive: blob incomplete")
-            blobs[name] = CompressedBlob.from_bytes(payload)
+                raise ValueError("truncated archive: entry incomplete")
+            if kind == _ENTRY_BLOB:
+                blobs[name] = CompressedBlob.from_bytes(payload)
+            elif kind == _ENTRY_ENVELOPE:
+                envelopes[name] = payload
+            else:
+                raise ValueError(f"unknown archive entry kind {kind}")
             pos += n
-        return cls(blobs=blobs)
+        return cls(blobs=blobs, envelopes=envelopes)
+
+
+CodecLike = Union[LatentDiffusionCompressor, str, "object"]
 
 
 class MultiVariableCompressor:
     """Compress/decompress a set of variables with shared or dedicated
-    models.
+    codecs.
 
     Parameters
     ----------
     compressor:
-        Either one shared :class:`LatentDiffusionCompressor` or a
-        mapping ``variable name -> compressor`` (every variable to be
-        compressed must then have an entry).
+        One shared codec description, or a mapping ``variable name ->
+        codec description`` (every variable to be compressed must then
+        have an entry).  See the module docstring for accepted forms.
+    max_workers:
+        Worker threads for per-variable fan-out (1 = serial; results
+        are bit-identical regardless).
     """
 
-    def __init__(self, compressor: Union[
-            LatentDiffusionCompressor,
-            Mapping[str, LatentDiffusionCompressor]]):
-        self._shared: Optional[LatentDiffusionCompressor]
-        self._per_var: Mapping[str, LatentDiffusionCompressor]
-        if isinstance(compressor, LatentDiffusionCompressor):
-            self._shared = compressor
-            self._per_var = {}
-        else:
+    def __init__(self, compressor: Union[CodecLike,
+                                         Mapping[str, CodecLike]],
+                 max_workers: int = 1):
+        from ..codecs import as_codec
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._shared = None
+        self._per_var: Dict[str, "object"] = {}
+        if isinstance(compressor, Mapping):
             if not compressor:
                 raise ValueError("empty compressor mapping")
-            self._shared = None
-            self._per_var = dict(compressor)
+            self._per_var = {str(k): as_codec(v)
+                             for k, v in compressor.items()}
+        else:
+            self._shared = as_codec(compressor)
 
-    def _for(self, name: str) -> LatentDiffusionCompressor:
+    def _for(self, name: str):
         if self._shared is not None:
             return self._shared
         try:
             return self._per_var[name]
         except KeyError:
-            raise KeyError(f"no compressor for variable {name!r}") from None
+            raise KeyError(f"no codec for variable {name!r}") from None
 
     # ------------------------------------------------------------------
     def compress(self, data: Union[np.ndarray, Mapping[str, np.ndarray]],
@@ -150,22 +213,53 @@ class MultiVariableCompressor:
 
         ``data`` is either a ``(V, T, H, W)`` array (variables named
         ``names`` or ``var0..var{V-1}``) or an explicit name→stack
-        mapping.  Bounds apply per variable.
+        mapping.  Bounds apply per variable (``error_bound`` is the
+        absolute L2 tau; both are normalized onto each codec's native
+        bound metric).
         """
         stacks = self._as_mapping(data, names)
-        results: Dict[str, CompressionResult] = {}
-        for vi, (name, stack) in enumerate(stacks.items()):
-            comp = self._for(name)
-            results[name] = comp.compress(
+        # resolve codecs eagerly so a missing mapping entry raises
+        # before any work is scheduled
+        jobs = [(vi, name, stack, self._for(name))
+                for vi, (name, stack) in enumerate(stacks.items())]
+
+        def task(job):
+            vi, name, stack, codec = job
+            return name, codec.compress_bounded(
                 stack, error_bound=error_bound, nrmse_bound=nrmse_bound,
-                noise_seed=noise_seed + 104729 * vi)
-        return MultiVarResult(results=results)
+                seed=noise_seed + VAR_SEED_STRIDE * vi)
+
+        results = dict(parallel_map(task, jobs, self.max_workers))
+        # parallel_map preserves order, but rebuild by stack order for
+        # deterministic iteration anyway
+        return MultiVarResult(
+            results={name: results[name] for name in stacks})
 
     def decompress(self, archive: MultiVarArchive
                    ) -> Dict[str, np.ndarray]:
         """Reconstruct every variable from an archive."""
-        return {name: self._for(name).decompress(blob)
-                for name, blob in archive.blobs.items()}
+        from ..codecs import unpack_envelope
+        jobs = []
+        for name, blob in archive.blobs.items():
+            jobs.append((name, blob, None))
+        for name, env in archive.envelopes.items():
+            jobs.append((name, None, env))
+
+        def task(job):
+            name, blob, env = job
+            codec = self._for(name)
+            if blob is not None:
+                if hasattr(codec, "decompress_blob"):
+                    return name, codec.decompress_blob(blob)
+                return name, codec.decompress(blob.to_bytes())
+            codec_name, payload = unpack_envelope(env)
+            if codec_name != codec.name:
+                raise ValueError(
+                    f"variable {name!r} was written by codec "
+                    f"{codec_name!r} but {codec.name!r} is configured")
+            return name, codec.decompress(payload)
+
+        return dict(parallel_map(task, jobs, self.max_workers))
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,20 +1,23 @@
-"""Window-parallel compression over a worker pool.
+"""Window-parallel compression (legacy shim).
 
-Scientific archives hold many independent variables/windows; their
-compression is embarrassingly parallel.  This module fans window
-compression out over a thread pool — NumPy's BLAS kernels release the
-GIL, so threads scale for the matrix-heavy encoder/sampler work without
-the pickling cost a process pool would add for model weights.
+The worker-pool logic that used to live here is now the general
+:class:`~repro.pipeline.engine.CodecEngine`, which runs *any*
+registered codec over batches of windows.  This module keeps the
+original convenience function for existing callers: it compresses many
+stacks with a trained :class:`~repro.pipeline.compressor.
+LatentDiffusionCompressor` and returns the native
+:class:`~repro.pipeline.compressor.CompressionResult` objects, with
+the historical deterministic seeding (``base_seed + 7919 * i``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .compressor import CompressionResult, LatentDiffusionCompressor
+from .engine import SEED_STRIDE, CodecEngine
 
 __all__ = ["compress_windows_parallel"]
 
@@ -32,20 +35,8 @@ def compress_windows_parallel(compressor: LatentDiffusionCompressor,
     its position, so results are reproducible regardless of scheduling
     order.
     """
-    if max_workers < 1:
-        raise ValueError("max_workers must be >= 1")
-
-    def task(i_stack):
-        i, stack = i_stack
-        return i, compressor.compress(
-            np.asarray(stack), error_bound=error_bound,
-            nrmse_bound=nrmse_bound, noise_seed=base_seed + 7919 * i)
-
-    if max_workers == 1 or len(stacks) == 1:
-        return [task((i, s))[1] for i, s in enumerate(stacks)]
-
-    results: List[Optional[CompressionResult]] = [None] * len(stacks)
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        for i, res in pool.map(task, enumerate(stacks)):
-            results[i] = res
-    return results  # type: ignore[return-value]
+    engine = CodecEngine(compressor, max_workers=max_workers,
+                         base_seed=base_seed, seed_stride=SEED_STRIDE)
+    batch = engine.compress(stacks, error_bound=error_bound,
+                            nrmse_bound=nrmse_bound)
+    return [r.detail for r in batch.results]

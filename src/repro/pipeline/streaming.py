@@ -2,10 +2,8 @@
 
 The paper's datasets are tens of GB (Table 1) — far beyond what a
 compressor should hold in memory at once.  This module feeds a frame
-*iterator* through the trained
-:class:`~repro.pipeline.compressor.LatentDiffusionCompressor` in
-bounded chunks and packs the resulting blobs into a self-describing
-:class:`StreamArchive`:
+*iterator* through any registered codec in bounded chunks and packs the
+resulting streams into a self-describing :class:`StreamArchive`:
 
 * memory stays ``O(chunk_frames)`` regardless of simulation length;
 * a chunk is only emitted while at least one more full window of
@@ -16,6 +14,12 @@ bounded chunks and packs the resulting blobs into a self-describing
   ``||x - x̂||_2 <= sqrt(sum_i tau_i^2)`` (for an NRMSE target each
   chunk uses its own range, which is the conservative direction
   whenever chunk ranges are below the global range).
+
+The compressor may be a trained
+:class:`~repro.pipeline.compressor.LatentDiffusionCompressor` (legacy
+form — chunks are archived as native blobs), any
+:class:`~repro.codecs.base.Codec`, or a registry name; non-blob codecs
+archive their chunks as tagged codec envelopes.
 
 Decompression is symmetric: :meth:`StreamingCompressor.decompress_stream`
 yields one chunk of frames at a time.
@@ -31,12 +35,16 @@ import numpy as np
 
 from ..metrics import CompressionAccounting
 from .blob import CompressedBlob
-from .compressor import LatentDiffusionCompressor
+from .engine import SEED_STRIDE
 
 __all__ = ["StreamArchive", "StreamingCompressor", "ChunkResult"]
 
 _MAGIC = b"LDSA"
 _VERSION = 1
+_VERSION_CODEC = 2     # adds envelope (non-blob codec) entries
+
+_ENTRY_BLOB = 0
+_ENTRY_ENVELOPE = 1
 
 
 @dataclass
@@ -46,30 +54,46 @@ class ChunkResult:
     index: int
     start_frame: int
     num_frames: int
-    blob: CompressedBlob
+    blob: Optional[CompressedBlob]
     achieved_nrmse: float
+    #: uniform codec result (payload, accounting, timing)
+    result: "object" = None
+
+    @property
+    def payload(self) -> bytes:
+        return self.result.payload if self.result is not None else b""
 
 
 @dataclass
 class StreamArchive:
-    """Ordered collection of chunk blobs with aggregate accounting."""
+    """Ordered collection of chunk streams with aggregate accounting.
+
+    Chunks are either native blobs (latent-diffusion codec) or
+    ``(shape, envelope)`` pairs for any other codec.
+    """
 
     blobs: List[CompressedBlob] = field(default_factory=list)
+    #: non-blob chunks: ((T, H, W), envelope bytes), in stream order
+    envelopes: List[tuple] = field(default_factory=list)
     original_dtype_bytes: int = 4
 
     @property
     def num_chunks(self) -> int:
-        return len(self.blobs)
+        return len(self.blobs) + len(self.envelopes)
 
     @property
     def num_frames(self) -> int:
-        return sum(b.shape[0] for b in self.blobs)
+        return (sum(b.shape[0] for b in self.blobs)
+                + sum(shape[0] for shape, _ in self.envelopes))
 
     def accounting(self) -> CompressionAccounting:
         """Eq. 11 over the whole stream (all headers included)."""
-        original = sum(int(np.prod(b.shape)) for b in self.blobs
-                       ) * self.original_dtype_bytes
-        latent = sum(b.latent_bytes() for b in self.blobs)
+        original = (sum(int(np.prod(b.shape)) for b in self.blobs)
+                    + sum(int(np.prod(shape))
+                          for shape, _ in self.envelopes)
+                    ) * self.original_dtype_bytes
+        latent = (sum(b.latent_bytes() for b in self.blobs)
+                  + sum(len(env) for _, env in self.envelopes))
         guarantee = sum(b.guarantee_bytes() for b in self.blobs)
         return CompressionAccounting(original_bytes=original,
                                      latent_bytes=latent,
@@ -77,10 +101,18 @@ class StreamArchive:
 
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        parts = [_MAGIC, struct.pack("<BII", _VERSION, len(self.blobs),
+        version = _VERSION if not self.envelopes else _VERSION_CODEC
+        parts = [_MAGIC, struct.pack("<BII", version, self.num_chunks,
                                      self.original_dtype_bytes)]
-        for blob in self.blobs:
-            payload = blob.to_bytes()
+        entries = [(_ENTRY_BLOB, None, blob.to_bytes())
+                   for blob in self.blobs]
+        entries += [(_ENTRY_ENVELOPE, shape, env)
+                    for shape, env in self.envelopes]
+        for kind, shape, payload in entries:
+            if version == _VERSION_CODEC:
+                parts.append(struct.pack("<B", kind))
+                if kind == _ENTRY_ENVELOPE:
+                    parts.append(struct.pack("<III", *shape))
             parts.append(struct.pack("<I", len(payload)))
             parts.append(payload)
         return b"".join(parts)
@@ -90,44 +122,71 @@ class StreamArchive:
         if data[:4] != _MAGIC:
             raise ValueError("not a stream archive (bad magic)")
         version, count, dtype_bytes = struct.unpack_from("<BII", data, 4)
-        if version != _VERSION:
+        if version not in (_VERSION, _VERSION_CODEC):
             raise ValueError(f"unsupported archive version {version}")
         pos = 4 + struct.calcsize("<BII")
         blobs = []
+        envelopes = []
         for _ in range(count):
+            kind = _ENTRY_BLOB
+            shape = None
+            if version == _VERSION_CODEC:
+                kind, = struct.unpack_from("<B", data, pos)
+                pos += 1
+                if kind == _ENTRY_ENVELOPE:
+                    shape = struct.unpack_from("<III", data, pos)
+                    pos += struct.calcsize("<III")
             n, = struct.unpack_from("<I", data, pos)
             pos += 4
             payload = data[pos:pos + n]
             if len(payload) != n:
-                raise ValueError("truncated archive: blob incomplete")
-            blobs.append(CompressedBlob.from_bytes(payload))
+                raise ValueError("truncated archive: chunk incomplete")
+            if kind == _ENTRY_BLOB:
+                blobs.append(CompressedBlob.from_bytes(payload))
+            elif kind == _ENTRY_ENVELOPE:
+                envelopes.append((tuple(shape), payload))
+            else:
+                raise ValueError(f"unknown archive entry kind {kind}")
             pos += n
-        return cls(blobs=blobs, original_dtype_bytes=dtype_bytes)
+        return cls(blobs=blobs, envelopes=envelopes,
+                   original_dtype_bytes=dtype_bytes)
 
 
 class StreamingCompressor:
-    """Chunked wrapper around a trained compressor.
+    """Chunked wrapper around any codec.
 
     Parameters
     ----------
     compressor:
-        The trained end-to-end compressor (with a fitted corrector if
-        bounded compression is requested).
+        A trained ``LatentDiffusionCompressor``, a codec instance, or a
+        registry name (with a fitted corrector attached if bounded
+        compression is requested).
     chunk_windows:
-        Nominal diffusion windows per chunk; memory usage scales with
+        Nominal codec windows per chunk; memory usage scales with
         ``chunk_windows * window`` frames.
     """
 
-    def __init__(self, compressor: LatentDiffusionCompressor,
-                 chunk_windows: int = 4):
+    def __init__(self, compressor, chunk_windows: int = 4):
+        from ..codecs import as_codec
         if chunk_windows < 1:
             raise ValueError("chunk_windows must be >= 1")
-        self.compressor = compressor
+        self.codec = as_codec(compressor)
+        # legacy attribute: the native compressor object when one exists
+        self.compressor = (self.codec.impl if self.codec.impl is not None
+                           else self.codec)
         self.chunk_windows = chunk_windows
 
     @property
+    def window(self) -> int:
+        return max(self.codec.window, self.codec.min_frames, 1)
+
+    @property
     def chunk_frames(self) -> int:
-        return self.chunk_windows * self.compressor.config.window
+        return self.chunk_windows * self.window
+
+    @property
+    def original_dtype_bytes(self) -> int:
+        return getattr(self.codec.impl, "original_dtype_bytes", 4)
 
     # ------------------------------------------------------------------
     def compress_iter(self, frames: Iterable[np.ndarray],
@@ -140,7 +199,7 @@ class StreamingCompressor:
         the per-chunk L2 bound; ``nrmse_bound`` a per-chunk NRMSE
         target.
         """
-        window = self.compressor.config.window
+        window = self.window
         buffer: List[np.ndarray] = []
         index = 0
         start = 0
@@ -173,31 +232,50 @@ class StreamingCompressor:
                  nrmse_bound: Optional[float] = None,
                  noise_seed: int = 0) -> StreamArchive:
         """Drain :meth:`compress_iter` into a :class:`StreamArchive`."""
+        from ..codecs import pack_envelope
         archive = StreamArchive(
-            original_dtype_bytes=self.compressor.original_dtype_bytes)
+            original_dtype_bytes=self.original_dtype_bytes)
         for res in self.compress_iter(frames, error_bound=error_bound,
                                       nrmse_bound=nrmse_bound,
                                       noise_seed=noise_seed):
-            archive.blobs.append(res.blob)
+            if res.blob is not None:
+                archive.blobs.append(res.blob)
+            else:
+                shape = (res.num_frames,
+                         *res.result.reconstruction.shape[1:])
+                archive.envelopes.append(
+                    (shape, pack_envelope(res.result.codec,
+                                          res.result.payload)))
         return archive
 
     def _compress_chunk(self, chunk: np.ndarray, index: int, start: int,
                         error_bound: Optional[float],
                         nrmse_bound: Optional[float],
                         noise_seed: int) -> ChunkResult:
-        res = self.compressor.compress(chunk, error_bound=error_bound,
-                                       nrmse_bound=nrmse_bound,
-                                       noise_seed=noise_seed + 7919 * index)
+        res = self.codec.compress_bounded(
+            chunk, error_bound=error_bound, nrmse_bound=nrmse_bound,
+            seed=noise_seed + SEED_STRIDE * index)
         return ChunkResult(index=index, start_frame=start,
                            num_frames=chunk.shape[0], blob=res.blob,
-                           achieved_nrmse=res.achieved_nrmse)
+                           achieved_nrmse=res.achieved_nrmse, result=res)
 
     # ------------------------------------------------------------------
     def decompress_stream(self, archive: StreamArchive
                           ) -> Iterator[np.ndarray]:
         """Yield reconstructed chunks in order (constant memory)."""
+        from ..codecs import unpack_envelope
         for blob in archive.blobs:
-            yield self.compressor.decompress(blob)
+            if hasattr(self.codec, "decompress_blob"):
+                yield self.codec.decompress_blob(blob)
+            else:
+                yield self.codec.decompress(blob.to_bytes())
+        for _, env in archive.envelopes:
+            codec_name, payload = unpack_envelope(env)
+            if codec_name != self.codec.name:
+                raise ValueError(
+                    f"archive chunk was written by codec {codec_name!r} "
+                    f"but {self.codec.name!r} is configured")
+            yield self.codec.decompress(payload)
 
     def decompress_all(self, archive: StreamArchive) -> np.ndarray:
         """Concatenate every chunk (convenience; loads everything)."""

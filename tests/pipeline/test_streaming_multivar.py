@@ -11,6 +11,64 @@ from repro.pipeline import (MultiVarArchive, MultiVariableCompressor,
 WINDOW = 6  # == tiny().pipeline.window
 
 
+class TestCodecBackedContainers:
+    """Streaming/multivar drive any registry codec, not just ours."""
+
+    def _frames(self):
+        ds = E3SMSynthetic(t=20, h=16, w=16, seed=9)
+        return ds.normalized_frames(0) * 2.0
+
+    def test_streaming_with_rule_based_codec(self):
+        frames = self._frames()
+        sc = StreamingCompressor("szlike", chunk_windows=6)
+        archive = sc.compress(iter(frames), nrmse_bound=0.05)
+        assert archive.num_frames == frames.shape[0]
+        assert not archive.blobs and archive.envelopes
+        restored = StreamArchive.from_bytes(archive.to_bytes())
+        recon = sc.decompress_all(restored)
+        assert recon.shape == frames.shape
+        assert archive.accounting().ratio > 1.0
+        # per-chunk NRMSE bound holds through the codec normalization
+        from repro.metrics import nrmse
+        assert nrmse(frames, recon) <= 0.05 * (1 + 1e-9)
+
+    def test_streaming_codec_mismatch_rejected(self):
+        frames = self._frames()
+        archive = StreamingCompressor("szlike", chunk_windows=6).compress(
+            iter(frames), nrmse_bound=0.05)
+        other = StreamingCompressor("mgard", chunk_windows=6)
+        with pytest.raises(ValueError, match="szlike"):
+            other.decompress_all(archive)
+
+    def test_multivar_with_codec_names(self):
+        ds = E3SMSynthetic(t=12, h=16, w=16, seed=3, num_vars=2)
+        stacks = {f"v{i}": ds.normalized_frames(i) * (2.0 + i)
+                  for i in range(2)}
+        mv = MultiVariableCompressor(
+            {"v0": "szlike", "v1": "dpcm"}, max_workers=2)
+        result = mv.compress(stacks, nrmse_bound=0.05)
+        assert result.worst_nrmse() <= 0.05 * (1 + 1e-9)
+        archive = result.archive()
+        assert set(archive.envelopes) == {"v0", "v1"}
+        restored = MultiVarArchive.from_bytes(archive.to_bytes())
+        out = mv.decompress(restored)
+        for name, stack in stacks.items():
+            assert out[name].shape == stack.shape
+
+    def test_multivar_parallel_matches_serial(self, trained):
+        _, compressor, _, _ = trained
+        ds = E3SMSynthetic(t=12, h=16, w=16, seed=3, num_vars=2)
+        stacks = {f"v{i}": ds.normalized_frames(i) * (2.0 + i)
+                  for i in range(2)}
+        serial = MultiVariableCompressor(compressor, max_workers=1) \
+            .compress(stacks, nrmse_bound=0.05)
+        parallel = MultiVariableCompressor(compressor, max_workers=2) \
+            .compress(stacks, nrmse_bound=0.05)
+        for name in stacks:
+            assert serial.results[name].payload == \
+                parallel.results[name].payload
+
+
 class TestStreamingCompressor:
     def test_roundtrip_matches_batch_chunks(self, trained):
         """Streamed decode equals per-chunk batch compression."""
