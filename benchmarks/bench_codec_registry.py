@@ -11,6 +11,18 @@ the encode/decode machinery (VAE transforms, entropy coding, reverse
 diffusion), not a rate-distortion measurement; untrained weights
 execute the identical compute graph.  Bounded codecs run at a fixed
 relative bound of 1e-2.
+
+The record also carries an **executor comparison**: the same shard
+plan (E3SM-like, 8 time shards) run through the serial, thread and
+process backends for a sample of rule-based codecs, so the engine's
+backend dispatch has its own perf trajectory.  Process pools are kept
+warm across repetitions (fork cost is a per-sweep constant, not a
+per-batch one) and reconstructions stay in the workers
+(``keep_reconstruction=False``), matching how production sweeps run.
+On a single-CPU box the thread and process backends measure within a
+few percent of serial (there is nothing to parallelize); the process
+pool's advantage over the GIL-bound codec loops appears with real
+cores.
 """
 
 from __future__ import annotations
@@ -22,8 +34,11 @@ import time
 import numpy as np
 
 from repro.codecs import get_codec, list_codecs
-from repro.data import E3SMSynthetic
+from repro.data import get_dataset_spec
 from repro.pipeline.engine import CodecEngine
+from repro.pipeline.executors import (ProcessExecutor, SerialExecutor,
+                                      ThreadExecutor)
+from repro.pipeline.plan import plan_shards
 
 from .conftest import save_json
 
@@ -32,9 +47,16 @@ TRAJECTORY = REPO_ROOT / "BENCH_codecs.json"
 
 REL_BOUND = 1e-2
 
+#: executor-comparison workload: one E3SM variable, 8 time shards
+EXEC_CODECS = ("szlike", "dpcm", "fazlike")
+EXEC_SHARDS = 8
+EXEC_WORKERS = 4
+EXEC_REPS = 3  # min-of-reps after an untimed warmup pass
+
 
 def _workload() -> np.ndarray:
-    return E3SMSynthetic(t=12, h=16, w=16, seed=11).frames(0)
+    return get_dataset_spec("e3sm", t=12, h=16, w=16, seed=11) \
+        .build().frames(0)
 
 
 def _bound_for(codec, frames):
@@ -66,14 +88,46 @@ def test_codec_registry_smoke(benchmark):
             "bound_kind": codec.capabilities.bound_kind,
         }
 
-    # engine smoke on the fastest codec: the parallel path stays sane
-    engine_batch = CodecEngine("szlike", max_workers=4).compress(
-        [frames, frames * 0.5], nrmse_bound=0.05)
+    # executor comparison: one plan, three backends, identical streams
+    plan = plan_shards("e3sm", variables=[0], shards=EXEC_SHARDS,
+                       t=48, h=48, w=48, seed=11)
+    executors = {"serial": SerialExecutor(),
+                 "thread": ThreadExecutor(EXEC_WORKERS),
+                 "process": ProcessExecutor(EXEC_WORKERS)}
+    exec_rows = {}
+    try:
+        for codec_name in EXEC_CODECS:
+            per_codec = {}
+            payloads = {}
+            for exec_name, ex in executors.items():
+                engine = CodecEngine(codec_name, executor=ex)
+                # untimed warmup over the full plan: forks the pool at
+                # full width and fills every worker's generation cache
+                engine.compress_plan(plan, nrmse_bound=REL_BOUND,
+                                     keep_reconstruction=False)
+                walls = []
+                for _ in range(EXEC_REPS):
+                    batch = engine.compress_plan(
+                        plan, nrmse_bound=REL_BOUND,
+                        keep_reconstruction=False)
+                    walls.append(batch.wall_seconds)
+                per_codec[exec_name] = round(min(walls), 6)
+                payloads[exec_name] = [r.payload for r in batch.results]
+            # backends must be interchangeable, not just comparable
+            assert payloads["thread"] == payloads["serial"]
+            assert payloads["process"] == payloads["serial"]
+            exec_rows[codec_name] = per_codec
+    finally:
+        for ex in executors.values():
+            ex.close()
+
+    totals = {name: round(sum(r[name] for r in exec_rows.values()), 6)
+              for name in executors}
     engine_row = {
-        "windows": len(engine_batch.results),
-        "wall_seconds": round(engine_batch.wall_seconds, 6),
-        "cpu_seconds": round(engine_batch.cpu_seconds, 6),
-        "speedup": round(engine_batch.speedup, 3),
+        "workload": f"e3sm-48x48x48-seed11-x{EXEC_SHARDS}shards",
+        "workers": EXEC_WORKERS,
+        "per_codec_wall_seconds": exec_rows,
+        "total_wall_seconds": totals,
     }
 
     print(f"\n{'codec':10s} {'enc s':>10s} {'dec s':>10s} "
@@ -82,10 +136,17 @@ def test_codec_registry_smoke(benchmark):
         print(f"{name:10s} {r['compress_seconds']:10.4f} "
               f"{r['decompress_seconds']:10.4f} "
               f"{r['payload_bytes']:8d} {r['ratio']:8.2f}")
+    print(f"\n{'executor':10s} " + " ".join(f"{c:>10s}"
+                                            for c in EXEC_CODECS)
+          + f" {'total':>10s}")
+    for exec_name in executors:
+        cells = " ".join(f"{exec_rows[c][exec_name]:10.4f}"
+                         for c in EXEC_CODECS)
+        print(f"{exec_name:10s} {cells} {totals[exec_name]:10.4f}")
 
     record = {"workload": "e3sm-12x16x16-seed11",
               "rel_bound": REL_BOUND,
-              "codecs": rows, "engine": engine_row}
+              "codecs": rows, "executors": engine_row}
     save_json("codec_registry_smoke", record)
 
     # append to the trajectory file so PRs can diff perf over time

@@ -3,9 +3,9 @@
 
 Mirrors the paper's E3SM use case (Sec. 4.2): several climate variables
 share one trained compressor; each variable's frame stack is compressed
-independently — here fanned out over a worker pool
-(:func:`repro.pipeline.compress_windows_parallel`) — and compared
-against the rule-based SZ3/ZFP analogues at a matched error level.
+independently — here fanned out through the execution engine
+(:class:`repro.pipeline.CodecEngine`) — and compared against the
+rule-based SZ3/ZFP analogues at a matched error level.
 
 Run time: ~2 minutes on a laptop CPU.
 
@@ -18,7 +18,7 @@ from repro import TrainingConfig, TwoStageTrainer, tiny
 from repro.baselines import SZLikeCompressor, ZFPLikeCompressor
 from repro.data import E3SMSynthetic
 from repro.data.base import train_test_windows
-from repro.pipeline import compress_windows_parallel
+from repro.pipeline import CodecEngine
 
 
 def main() -> None:
@@ -44,8 +44,9 @@ def main() -> None:
     target = 0.02
     print(f"compressing {num_vars} variables in parallel "
           f"(NRMSE bound {target}) ...")
-    results = compress_windows_parallel(compressor, stacks,
-                                        nrmse_bound=target, max_workers=3)
+    engine = CodecEngine(compressor, max_workers=3)
+    batch = engine.compress(stacks, nrmse_bound=target)
+    results = [r.detail for r in batch.results]
 
     print(f"\n{'variable':>9} | {'ours CR':>8} | {'SZ3-like CR':>11} | "
           f"{'ZFP-like CR':>11} | {'NRMSE':>8}")

@@ -6,11 +6,14 @@ Subcommands
 ``train``       train the two-stage pipeline on a ``.npy`` frame stack
                 and save a model bundle (``.npz``);
 ``codecs``      list every registered codec and its contract;
-``compress``    compress a ``.npy`` frame stack (``--codec`` selects
-                any registered codec; the default is the trained
-                latent-diffusion pipeline);
-``decompress``  reconstruct frames from a compressed stream (codec
-                auto-detected from the stream envelope);
+``datasets``    list every registered synthetic dataset;
+``compress``    compress a ``.npy`` frame stack — or a registered
+                dataset via ``--dataset NAME`` — with any registered
+                codec (``--codec``), optionally sharded over the time
+                axis (``--shards N``) and executed on a pluggable
+                backend (``--executor serial|thread|process``);
+``decompress``  reconstruct frames from a compressed stream (codec and
+                shard archives auto-detected from the stream);
 ``info``        inspect a compressed stream's accounting;
 ``qoi``         certify quantities of interest of a reconstruction
                 against the original (Sec. 3.5 bound propagation);
@@ -37,7 +40,15 @@ from .codecs import (LatentDiffusionCodec, codec_specs, get_codec,
                      is_envelope, list_codecs, pack_envelope,
                      unpack_envelope)
 from .data.base import train_test_windows
+from .data.registry import (dataset_entries, get_dataset_spec,
+                            list_datasets)
 from .pipeline.bundle import load_bundle, save_bundle
+from .pipeline.engine import CodecEngine
+from .pipeline.executors import list_executors
+from .pipeline.plan import (ShardEntry, assemble_shards,
+                            is_shard_archive, pack_shard_archive,
+                            plan_shards, time_slices,
+                            unpack_shard_archive)
 
 __all__ = ["main", "save_bundle", "load_bundle"]
 
@@ -113,8 +124,51 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':8s} {'domain':12s} {'default (VxTxHxW)':18s} "
+          f"{'paper shape':20s} {'paper GB':>9s} class")
+    for name in list_datasets():
+        entry = dataset_entries()[name]
+        spec = get_dataset_spec(name)
+        info = entry.cls.info
+        default_shape = "x".join(str(d) for d in spec.shape)
+        paper_shape = "x".join(str(d) for d in info.paper_shape)
+        print(f"{name:8s} {info.domain:12s} {default_shape:18s} "
+              f"{paper_shape:20s} {info.paper_size_gb:9.1f} "
+              f"{entry.cls.__name__}")
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
-    frames = np.load(args.data)
+    if args.dataset is not None:
+        # dataset mode takes no input file, so re-bind the positionals
+        # as (model?, output?): `compress --dataset d out.cdx` and
+        # `compress --dataset d model.npz out.ldc` both do what they say
+        pos = [p for p in (args.model, args.data, args.output)
+               if p is not None]
+        args.model, args.data, args.output = "-", None, None
+        if len(pos) == 1:
+            if pos[0].endswith(".npz"):
+                args.model = pos[0]
+            elif pos[0] != "-":
+                args.output = pos[0]
+        elif len(pos) >= 2:
+            args.model = pos[0]
+            if pos[-1] != "-":
+                args.output = pos[-1]
+            if len(pos) == 3 and pos[1] != "-":
+                print("error: --dataset generates its own frames; drop "
+                      "the input file argument", file=sys.stderr)
+                return 2
+    elif not args.data or args.data == "-":
+        print("error: give a .npy input file or --dataset NAME "
+              f"(registered: {', '.join(list_datasets())})",
+              file=sys.stderr)
+        return 2
+    elif not args.output:
+        print("error: output path required", file=sys.stderr)
+        return 2
+
     try:
         codec = _codec_for(args.codec, args.model)
     except _CodecCliError as exc:
@@ -122,26 +176,111 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         return 2
     if (codec.capabilities.requires_bound and args.error_bound is None
             and args.nrmse_bound is None):
-        print(f"error: codec {args.codec!r} requires --error-bound "
-              f"or --nrmse-bound", file=sys.stderr)
+        if args.dataset is None:
+            print(f"error: codec {args.codec!r} requires --error-bound "
+                  f"or --nrmse-bound", file=sys.stderr)
+            return 2
+        # dataset sweeps default to the benchmarks' relative bound
+        args.nrmse_bound = 1e-2
+        print(f"note: codec {args.codec!r} requires a bound; "
+              f"defaulting to --nrmse-bound 0.01")
+
+    # single-window file compression: the legacy path, byte-identical
+    # to previous releases (raw blob for the pipeline, envelope else)
+    if args.dataset is None and args.shards <= 1:
+        frames = np.load(args.data)
+        result = codec.compress_bounded(frames,
+                                        error_bound=args.error_bound,
+                                        nrmse_bound=args.nrmse_bound,
+                                        seed=args.seed)
+        payload = (result.payload if args.codec == _DEFAULT_CODEC
+                   else pack_envelope(codec.name, result.payload))
+        with open(args.output, "wb") as fh:
+            fh.write(payload)
+        print(f"ratio={result.ratio:.2f}x "
+              f"nrmse={result.achieved_nrmse:.6f} bytes={len(payload)}")
+        return 0
+
+    # sharded path: plan -> engine (pluggable backend) -> shard archive
+    try:
+        engine = CodecEngine(codec, max_workers=args.workers,
+                             base_seed=args.seed, executor=args.executor)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    result = codec.compress_bounded(frames, error_bound=args.error_bound,
-                                    nrmse_bound=args.nrmse_bound,
-                                    seed=args.seed)
-    # the default pipeline writes its native blob format (readable by
-    # older revisions); every other codec gets a tagged envelope
-    payload = (result.payload if args.codec == _DEFAULT_CODEC
-               else pack_envelope(codec.name, result.payload))
-    with open(args.output, "wb") as fh:
-        fh.write(payload)
-    print(f"ratio={result.ratio:.2f}x nrmse={result.achieved_nrmse:.6f} "
-          f"bytes={len(payload)}")
+
+    if args.dataset is not None:
+        try:
+            spec = get_dataset_spec(args.dataset)
+            plan = plan_shards(spec, variables=[args.variable],
+                               shards=args.shards, base_seed=args.seed)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        try:
+            batch = engine.compress_plan(plan,
+                                         error_bound=args.error_bound,
+                                         nrmse_bound=args.nrmse_bound)
+        except TypeError as exc:  # codec not spec-portable
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        meta = [(t.shard_id, t.variable, t.t0, t.t1) for t in plan]
+        output = args.output or f"{args.dataset}-{args.codec}.cdx"
+    else:
+        frames = np.load(args.data)
+        slices = time_slices(frames.shape[0], shards=args.shards)
+        stem = args.data.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        meta = [(f"{stem}/v0/t{a:04d}-{b:04d}", 0, a, b)
+                for a, b in slices]
+        try:
+            batch = engine.compress([frames[a:b] for a, b in slices],
+                                    error_bound=args.error_bound,
+                                    nrmse_bound=args.nrmse_bound)
+        except TypeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        output = args.output
+
+    entries = [ShardEntry(shard_id=sid, variable=var, t0=t0, t1=t1,
+                          payload=pack_envelope(codec.name, r.payload))
+               for (sid, var, t0, t1), r in zip(meta, batch.results)]
+    archive = pack_shard_archive(entries)
+    with open(output, "wb") as fh:
+        fh.write(archive)
+    acc = batch.accounting()
+    print(f"ratio={acc.ratio:.2f}x nrmse={batch.worst_nrmse():.6f} "
+          f"bytes={len(archive)} shards={len(entries)} "
+          f"executor={engine.executor.name} "
+          f"wall={batch.wall_seconds:.3f}s -> {output}")
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.data, "rb") as fh:
         data = fh.read()
+    if is_shard_archive(data):
+        entries = unpack_shard_archive(data)
+        codecs = {}
+        arrays = []
+        for e in entries:
+            name, payload = unpack_envelope(e.payload)
+            if args.codec and args.codec != name:
+                print(f"error: shard {e.shard_id!r} was written by "
+                      f"codec {name!r}, not {args.codec!r}",
+                      file=sys.stderr)
+                return 2
+            if name not in codecs:
+                try:
+                    codecs[name] = _codec_for(name, args.model)
+                except _CodecCliError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+            arrays.append(codecs[name].decompress(payload))
+        frames = assemble_shards(entries, arrays)
+        np.save(args.output, frames)
+        print(f"wrote {frames.shape} ({len(entries)} shards) to "
+              f"{args.output}")
+        return 0
     if is_envelope(data):
         name, payload = unpack_envelope(data)
         if args.codec and args.codec != name:
@@ -174,6 +313,17 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.data, "rb") as fh:
         data = fh.read()
+    if is_shard_archive(data):
+        entries = unpack_shard_archive(data)
+        variables = sorted({e.variable for e in entries})
+        print(f"shard archive    : {len(entries)} shards, "
+              f"{len(variables)} variable(s)")
+        print(f"total bytes      : {len(data)}")
+        for e in entries:
+            name, payload = unpack_envelope(e.payload)
+            print(f"  {e.shard_id:28s} codec={name:10s} "
+                  f"frames=[{e.t0},{e.t1}) bytes={len(payload)}")
+        return 0
     if is_envelope(data):
         name, payload = unpack_envelope(data)
         print(f"codec            : {name}")
@@ -266,13 +416,34 @@ def build_parser() -> argparse.ArgumentParser:
     cl = sub.add_parser("codecs", help="list registered codecs")
     cl.set_defaults(fn=_cmd_codecs)
 
-    c = sub.add_parser("compress", help="compress a .npy stack")
-    c.add_argument("model", help="model bundle (.npz); '-' for "
-                                 "model-free codecs")
-    c.add_argument("data", help="(T, H, W) .npy file")
-    c.add_argument("output", help="output compressed stream")
+    dl = sub.add_parser("datasets", help="list registered datasets")
+    dl.set_defaults(fn=_cmd_datasets)
+
+    c = sub.add_parser("compress", help="compress a .npy stack or a "
+                                        "registered dataset")
+    c.add_argument("model", nargs="?", default="-",
+                   help="model bundle (.npz); '-' for model-free codecs")
+    c.add_argument("data", nargs="?", default=None,
+                   help="(T, H, W) .npy file (omit with --dataset)")
+    c.add_argument("output", nargs="?", default=None,
+                   help="output compressed stream (defaults to "
+                        "<dataset>-<codec>.cdx in dataset mode)")
     c.add_argument("--codec", default=_DEFAULT_CODEC,
                    help="registered codec name (see 'repro codecs')")
+    c.add_argument("--dataset", default=None,
+                   help="compress a registered synthetic dataset "
+                        "instead of a file (see 'repro datasets')")
+    c.add_argument("--variable", type=int, default=0,
+                   help="dataset variable index (with --dataset)")
+    c.add_argument("--shards", type=int, default=1,
+                   help="split the time axis into N shards and write "
+                        "a shard archive")
+    c.add_argument("--executor", default="thread",
+                   choices=list_executors(),
+                   help="execution backend for sharded compression")
+    c.add_argument("--workers", type=int, default=None,
+                   help="pool width (default: one per CPU, clamped to "
+                        "the shard count)")
     c.add_argument("--nrmse-bound", type=float, default=None)
     c.add_argument("--error-bound", type=float, default=None,
                    help="absolute L2 bound tau (normalized onto the "

@@ -214,6 +214,33 @@ class Codec(abc.ABC):
         return self.compress(frames, bound, seed=seed)
 
     # ------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Portable ``{"codec": name, "params": kwargs}`` recipe.
+
+        The spec is picklable and cheap to ship to process-pool
+        workers, where :func:`repro.codecs.codec_from_spec` rebuilds an
+        equivalent codec (bit-identical for stateless codecs and for
+        untrained learned codecs, whose weight init is seeded by
+        config).  Codecs adopted around pre-built native objects record
+        no constructor kwargs and raise ``TypeError`` — trained state
+        moves via model bundles, not specs.
+        """
+        params = getattr(self, "_spec_params", None)
+        if params is None:
+            raise TypeError(
+                f"{type(self).__name__} ({self.name!r}) holds wrapped "
+                f"or trained state that a spec cannot rebuild; move "
+                f"trained models via bundles, or construct the codec "
+                f"from kwargs (get_codec) to make it spec-portable")
+        return {"codec": self.codec_id, "params": dict(params)}
+
+    @staticmethod
+    def from_spec(spec: dict) -> "Codec":
+        """Inverse of :meth:`to_spec` (dispatches via the registry)."""
+        from .registry import codec_from_spec  # local: registry imports base
+        return codec_from_spec(spec)
+
+    # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<{type(self).__name__} {self.name!r} "
                 f"({self.capabilities.bound_kind}-bounded)>")

@@ -41,6 +41,8 @@ class LatentDiffusionCodec(Codec):
     def __init__(self, compressor: Optional[LatentDiffusionCompressor]
                  = None, preset: str = "tiny"):
         if compressor is None:
+            # preset-built (untrained, seeded init): spec-portable
+            self._spec_params = {"preset": preset}
             cfg = _PRESETS[preset]()
             ddpm = ConditionalDDPM(cfg.diffusion)
             compressor = LatentDiffusionCompressor(

@@ -98,6 +98,11 @@ class LearnedCodec(Codec):
     def __init__(self, impl=None, **impl_kwargs):
         if impl is not None and impl_kwargs:
             raise ValueError("give either impl or constructor kwargs")
+        if impl is None:
+            # spec-portable: configs are plain dataclasses and weight
+            # init is seeded, so from_spec rebuilds bit-identically
+            # (valid until train()/fit_corrector() mutate the model)
+            self._spec_params = dict(impl_kwargs)
         self._impl = impl if impl is not None else self.impl_cls(
             **impl_kwargs)
 
@@ -110,9 +115,11 @@ class LearnedCodec(Codec):
     # -- training passthrough ------------------------------------------
     def train(self, windows, **kwargs) -> None:
         """Train the underlying model (kwargs are family-specific)."""
+        self._spec_params = None  # trained state is not spec-portable
         self._impl.train(windows, **kwargs)
 
     def fit_corrector(self, windows, **kwargs) -> None:
+        self._spec_params = None
         self._impl.fit_corrector(windows, **kwargs)
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Type
 from .base import Codec
 
 __all__ = ["register_codec", "get_codec", "list_codecs", "codec_specs",
-           "as_codec", "CodecSpec"]
+           "as_codec", "codec_from_spec", "CodecSpec"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,17 @@ def list_codecs() -> List[str]:
 def codec_specs() -> Dict[str, CodecSpec]:
     """Snapshot of the registry (name -> spec)."""
     return dict(_REGISTRY)
+
+
+def codec_from_spec(spec: Mapping[str, Any]) -> Codec:
+    """Rebuild a codec from its :meth:`Codec.to_spec` recipe.
+
+    The construction is deterministic (stateless codecs trivially;
+    learned codecs seed their weight init from the config), so a spec
+    shipped to a process-pool worker rebuilds a codec whose streams are
+    bit-identical to the parent's.
+    """
+    return get_codec(spec["codec"], **dict(spec.get("params", {})))
 
 
 def as_codec(obj) -> Codec:

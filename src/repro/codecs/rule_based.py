@@ -44,6 +44,9 @@ class RuleBasedCodec(Codec):
                  **impl_kwargs):
         if impl is not None and impl_kwargs:
             raise ValueError("give either impl or constructor kwargs")
+        if impl is None:
+            self._spec_params = dict(impl_kwargs,
+                                     original_dtype_bytes=original_dtype_bytes)
         self._impl = impl if impl is not None else self.impl_cls(
             **impl_kwargs)
         self.original_dtype_bytes = original_dtype_bytes

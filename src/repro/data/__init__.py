@@ -6,9 +6,21 @@ Each generator here synthesizes fields with the statistical character
 that matters to the compressor (see DESIGN.md §2 for the substitution
 rationale), is fully seeded, and records the paper-scale shape and
 size for the Table 1 reproduction.
+
+Generators register themselves with :mod:`repro.data.registry`
+(``@register_dataset``), the data-side twin of the codec registry: the
+CLI, the shard planner and the benchmark grids all iterate
+:func:`list_datasets` / build through :func:`get_dataset`, and
+:class:`DatasetSpec` gives every dataset a picklable form that
+process-pool workers rebuild bit-identically.
 """
 
 from .base import DatasetInfo, SpatiotemporalDataset, train_test_windows
+from .registry import (DatasetEntry, DatasetSpec, dataset_entries,
+                       dataset_from_spec, get_dataset, get_dataset_spec,
+                       list_datasets, register_dataset, spec_of)
+
+# Importing the generator modules populates the registry.
 from .e3sm import E3SMSynthetic
 from .jhtdb import JHTDBSynthetic
 from .projection import cube_to_latlon, latlon_to_cube
@@ -17,11 +29,11 @@ from .s3d import S3DSynthetic
 __all__ = ["DatasetInfo", "SpatiotemporalDataset", "train_test_windows",
            "E3SMSynthetic", "S3DSynthetic", "JHTDBSynthetic",
            "latlon_to_cube", "cube_to_latlon",
+           "DatasetSpec", "DatasetEntry", "register_dataset",
+           "get_dataset", "get_dataset_spec", "list_datasets",
+           "dataset_entries", "dataset_from_spec", "spec_of",
            "DATASETS"]
 
-#: Registry used by examples and the benchmark harness.
-DATASETS = {
-    "e3sm": E3SMSynthetic,
-    "s3d": S3DSynthetic,
-    "jhtdb": JHTDBSynthetic,
-}
+#: Legacy name -> class mapping (kept for existing callers; the
+#: registry is the source of truth).
+DATASETS = {name: entry.cls for name, entry in dataset_entries().items()}

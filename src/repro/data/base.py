@@ -80,6 +80,12 @@ class SpatiotemporalDataset:
                   variable: int) -> np.ndarray:
         raise NotImplementedError
 
+    def to_spec(self):
+        """Portable :class:`~repro.data.registry.DatasetSpec` of this
+        instance (picklable, cheap to ship to workers)."""
+        from .registry import spec_of  # local: registry imports base
+        return spec_of(self)
+
 
 def train_test_windows(frames: np.ndarray, window: int,
                        train_fraction: float = 0.5,

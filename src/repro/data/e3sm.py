@@ -20,10 +20,12 @@ from __future__ import annotations
 import numpy as np
 
 from .base import DatasetInfo, SpatiotemporalDataset
+from .registry import register_dataset
 
 __all__ = ["E3SMSynthetic"]
 
 
+@register_dataset("e3sm")
 class E3SMSynthetic(SpatiotemporalDataset):
     """Climate-like smooth advecting fields."""
 

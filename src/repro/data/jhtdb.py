@@ -19,10 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from .base import DatasetInfo, SpatiotemporalDataset
+from .registry import register_dataset
 
 __all__ = ["JHTDBSynthetic"]
 
 
+@register_dataset("jhtdb")
 class JHTDBSynthetic(SpatiotemporalDataset):
     """Turbulence-like broadband fields with scale-dependent decorrelation."""
 

@@ -1,0 +1,204 @@
+"""Decorator-based dataset registry (the data-side twin of
+:mod:`repro.codecs.registry`).
+
+Every synthetic generator registers itself under a short stable name::
+
+    @register_dataset("s3d")
+    class S3DSynthetic(SpatiotemporalDataset):
+        ...
+
+and callers obtain ready instances through :func:`get_dataset`::
+
+    ds = get_dataset("s3d", t=16, seed=3)
+    frames = ds.frames(0)
+
+The registry is what the CLI (``repro datasets``, ``--dataset NAME``),
+the shard planner and the benchmark grids iterate over — adding a
+dataset is one decorated class, everything downstream picks it up.
+
+:class:`DatasetSpec` is the *portable* form of a dataset: a frozen,
+picklable record (name + shape + seed + extra generator parameters)
+that is cheap to ship to process-pool workers, where
+:func:`dataset_from_spec` rebuilds the generator.  Because generation
+is deterministic in ``(seed, variable)``, a spec round-trip reproduces
+frames bit-for-bit on any worker.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Tuple, Type
+
+from .base import SpatiotemporalDataset
+
+__all__ = ["DatasetSpec", "DatasetEntry", "register_dataset",
+           "get_dataset", "get_dataset_spec", "list_datasets",
+           "dataset_entries", "dataset_from_spec", "spec_of"]
+
+#: constructor parameters every :class:`SpatiotemporalDataset` shares;
+#: anything else in a subclass signature is a generator parameter and
+#: travels in :attr:`DatasetSpec.params`.
+_COMMON_PARAMS = ("t", "h", "w", "num_vars", "seed")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Picklable recipe for one dataset instance.
+
+    ``params`` holds the generator-specific constructor kwargs as a
+    sorted tuple of ``(name, value)`` pairs so the spec is hashable and
+    its repr is stable (used as a cache key by process workers).
+    """
+
+    name: str
+    t: int
+    h: int
+    w: int
+    num_vars: int = 1
+    seed: int = 0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        """Full ``(vars, T, H, W)`` extent this spec generates."""
+        return (self.num_vars, self.t, self.h, self.w)
+
+    def kwargs(self) -> Dict[str, Any]:
+        """Constructor kwargs reproducing the instance."""
+        out = {"t": self.t, "h": self.h, "w": self.w,
+               "num_vars": self.num_vars, "seed": self.seed}
+        out.update(dict(self.params))
+        return out
+
+    def build(self) -> SpatiotemporalDataset:
+        """Instantiate the generator this spec describes."""
+        return dataset_from_spec(self)
+
+    def override(self, **changes) -> "DatasetSpec":
+        """Spec with some fields replaced (extra kwargs go to params)."""
+        common = {k: v for k, v in changes.items()
+                  if k in _COMMON_PARAMS or k == "name"}
+        extra = {k: v for k, v in changes.items() if k not in common}
+        spec = replace(self, **common) if common else self
+        if extra:
+            merged = dict(spec.params)
+            merged.update(extra)
+            spec = replace(spec, params=tuple(sorted(merged.items())))
+        return spec
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One registry row: generator class plus registration defaults."""
+
+    name: str
+    cls: Type[SpatiotemporalDataset]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, **kwargs) -> SpatiotemporalDataset:
+        merged = {**self.defaults, **kwargs}
+        return self.cls(**merged)
+
+
+_REGISTRY: Dict[str, DatasetEntry] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_dataset(name: str, **defaults) -> Callable[
+        [Type[SpatiotemporalDataset]], Type[SpatiotemporalDataset]]:
+    """Class decorator: register ``cls`` under ``name``.
+
+    ``defaults`` are constructor kwargs applied by :func:`get_dataset`
+    unless overridden by the caller.
+    """
+    key = _canonical(name)
+
+    def deco(cls: Type[SpatiotemporalDataset]
+             ) -> Type[SpatiotemporalDataset]:
+        if key in _REGISTRY:
+            raise ValueError(f"dataset {key!r} is already registered "
+                             f"(by {_REGISTRY[key].cls.__name__})")
+        if not issubclass(cls, SpatiotemporalDataset):
+            raise TypeError(f"{cls.__name__} is not a "
+                            f"SpatiotemporalDataset")
+        cls.dataset_id = key
+        _REGISTRY[key] = DatasetEntry(name=key, cls=cls, defaults=defaults)
+        return cls
+
+    return deco
+
+
+def get_dataset(name: str, **overrides) -> SpatiotemporalDataset:
+    """Instantiate the dataset registered under ``name``.
+
+    ``overrides`` replace the registered defaults and the class's own
+    constructor defaults (e.g. ``t=16, seed=3``).
+    """
+    key = _canonical(name)
+    entry = _REGISTRY.get(key)
+    if entry is None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown dataset {name!r}; registered: {known}")
+    return entry.build(**overrides)
+
+
+def get_dataset_spec(name: str, **overrides) -> DatasetSpec:
+    """Portable :class:`DatasetSpec` for a registered dataset."""
+    return spec_of(get_dataset(name, **overrides))
+
+
+def list_datasets() -> List[str]:
+    """Sorted names of every registered dataset."""
+    return sorted(_REGISTRY)
+
+
+def dataset_entries() -> Dict[str, DatasetEntry]:
+    """Snapshot of the registry (name -> entry)."""
+    return dict(_REGISTRY)
+
+
+def dataset_from_spec(spec: DatasetSpec) -> SpatiotemporalDataset:
+    """Rebuild the generator a :class:`DatasetSpec` describes.
+
+    Inverse of :func:`spec_of`; the round-trip is exact because specs
+    capture every constructor parameter.
+    """
+    key = _canonical(spec.name)
+    entry = _REGISTRY.get(key)
+    if entry is None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"spec names unknown dataset {spec.name!r}; "
+                       f"registered: {known}")
+    return entry.cls(**spec.kwargs())
+
+
+def spec_of(dataset: SpatiotemporalDataset) -> DatasetSpec:
+    """Extract the portable spec of a registered dataset instance.
+
+    Generator parameters are read off the instance by constructor-
+    signature introspection, which relies on the repo-wide convention
+    that every ``__init__`` parameter is stored under the same
+    attribute name.
+    """
+    name = getattr(type(dataset), "dataset_id", None)
+    if name is None:
+        raise TypeError(f"{type(dataset).__name__} is not a registered "
+                        f"dataset (no @register_dataset decorator)")
+    params = {}
+    sig = inspect.signature(type(dataset).__init__)
+    for pname in sig.parameters:
+        if pname == "self" or pname in _COMMON_PARAMS:
+            continue
+        if not hasattr(dataset, pname):
+            raise TypeError(
+                f"{type(dataset).__name__}.{pname} is a constructor "
+                f"parameter but not an instance attribute; cannot "
+                f"build a faithful DatasetSpec")
+        params[pname] = getattr(dataset, pname)
+    return DatasetSpec(name=name, t=dataset.t, h=dataset.h, w=dataset.w,
+                       num_vars=dataset.num_vars, seed=dataset.seed,
+                       params=tuple(sorted(params.items())))

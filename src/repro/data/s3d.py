@@ -19,10 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from .base import DatasetInfo, SpatiotemporalDataset
+from .registry import register_dataset
 
 __all__ = ["S3DSynthetic"]
 
 
+@register_dataset("s3d")
 class S3DSynthetic(SpatiotemporalDataset):
     """Combustion-like expanding sharp fronts."""
 

@@ -12,8 +12,14 @@
 * :mod:`repro.pipeline.engine` — the batched parallel execution engine
   that runs any registered codec over windows/variables with
   deterministic seeding and per-window accounting;
-* :mod:`repro.pipeline.parallel` — legacy window-parallel shim over the
-  engine;
+* :mod:`repro.pipeline.executors` — the pluggable execution backends
+  (serial / thread / process) the engine delegates to;
+* :mod:`repro.pipeline.plan` — the deterministic shard planner turning
+  ``dataset x variables x window`` grids into picklable
+  :class:`~repro.pipeline.plan.ShardTask` lists, plus the shard
+  archive container;
+* :mod:`repro.pipeline.parallel` — deprecated window-parallel shim over
+  the engine;
 * :mod:`repro.pipeline.streaming` — constant-memory chunked compression
   of frame iterators into a :class:`~repro.pipeline.streaming.StreamArchive`;
 * :mod:`repro.pipeline.multivar` — multi-variable (V, T, H, W) archives
@@ -24,9 +30,14 @@ from .blob import CompressedBlob, WindowStreams
 from .bundle import load_bundle, save_bundle
 from .compressor import CompressionResult, LatentDiffusionCompressor
 from .engine import BatchResult, CodecEngine, WindowReport, parallel_map
+from .executors import (Executor, ProcessExecutor, SerialExecutor,
+                        ThreadExecutor, get_executor, list_executors)
 from .multivar import (MultiVarArchive, MultiVariableCompressor,
                        MultiVarResult)
 from .parallel import compress_windows_parallel
+from .plan import (ShardEntry, ShardPlan, ShardTask, assemble_shards,
+                   is_shard_archive, pack_shard_archive, plan_shards,
+                   time_slices, unpack_shard_archive)
 from .streaming import ChunkResult, StreamArchive, StreamingCompressor
 from .training import TrainingConfig, TwoStageTrainer, train_compressor
 
@@ -35,6 +46,11 @@ __all__ = [
     "CompressionResult", "TwoStageTrainer", "TrainingConfig",
     "train_compressor", "save_bundle", "load_bundle",
     "CodecEngine", "BatchResult", "WindowReport", "parallel_map",
+    "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+    "get_executor", "list_executors",
+    "ShardTask", "ShardPlan", "ShardEntry", "plan_shards",
+    "time_slices", "pack_shard_archive", "unpack_shard_archive",
+    "is_shard_archive", "assemble_shards",
     "compress_windows_parallel",
     "StreamingCompressor", "StreamArchive", "ChunkResult",
     "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",

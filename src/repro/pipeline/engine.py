@@ -2,23 +2,25 @@
 
 Scientific archives hold many independent windows/variables; their
 compression is embarrassingly parallel.  :class:`CodecEngine` runs any
-:class:`~repro.codecs.base.Codec` over a batch of frame stacks with a
-thread pool (NumPy's kernels release the GIL, so threads scale for the
-matrix-heavy work without the pickling cost a process pool would add
-for model weights), while guaranteeing:
+:class:`~repro.codecs.base.Codec` over a batch of frame stacks — or a
+:class:`~repro.pipeline.plan.ShardPlan` of dataset-backed shard tasks —
+through a pluggable :class:`~repro.pipeline.executors.Executor`
+backend (``serial`` / ``thread`` / ``process``), while guaranteeing:
 
 * **deterministic per-window seeding** — stack ``i`` always gets seed
-  ``base_seed + seed_stride * i``, independent of scheduling order;
-* **bit-identical-to-serial results** — outputs are keyed by index and
-  every codec's compress path is free of shared mutable state, so
-  ``max_workers=8`` produces byte-for-byte the streams of
-  ``max_workers=1``;
+  ``base_seed + seed_stride * i`` (plan-backed shards carry their own
+  planner-assigned seeds), independent of scheduling order or backend;
+* **bit-identical results across backends** — outputs are keyed by
+  index and every codec's compress path is free of shared mutable
+  state; process workers rebuild codec and dataset from picklable
+  specs whose construction is deterministic, so all three backends
+  produce byte-for-byte the same streams;
 * **per-window timing and accounting aggregation** — each
   :class:`WindowReport` carries its wall time and the
   :class:`BatchResult` sums Eq. 11 accounting across the batch.
 
 The legacy :func:`repro.pipeline.parallel.compress_windows_parallel`
-helper is now a thin shim over this engine.
+helper is a deprecated shim over this engine.
 """
 
 from __future__ import annotations
@@ -26,11 +28,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, TypeVar, Union)
 
 import numpy as np
 
 from ..metrics import CompressionAccounting
+from .executors import Executor, get_executor
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -47,6 +51,8 @@ def parallel_map(fn: Callable[[T], U], items: Sequence[T],
     """Ordered map over a thread pool (serial when it cannot help).
 
     Exceptions propagate to the caller exactly as in the serial path.
+    (Legacy helper; new code should go through an
+    :class:`~repro.pipeline.executors.Executor`.)
     """
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
@@ -65,6 +71,8 @@ class WindowReport:
     seed: int
     seconds: float
     result: "object"  # CodecResult (duck-typed to avoid an import cycle)
+    #: planner-assigned stable ID when the window came from a ShardPlan
+    shard_id: Optional[str] = None
 
 
 @dataclass
@@ -104,10 +112,81 @@ class BatchResult:
         Upper-bound proxy for parallel efficiency: per-window clocks
         include time spent waiting on the GIL under contention, so for
         GIL-heavy codecs this overestimates the true wall-clock gain —
-        compare wall_seconds against a ``max_workers=1`` run for an
-        honest number.
+        compare wall_seconds against a serial run for an honest number.
         """
         return self.cpu_seconds / max(self.wall_seconds, 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.  Module-level (not closures) so process-pool
+# backends can pickle the function and its arguments.
+# ----------------------------------------------------------------------
+@dataclass
+class _WindowJob:
+    """Everything one worker needs to compress one window."""
+
+    index: int
+    seed: int
+    #: a live Codec (serial/thread) or its spec dict (process)
+    codec_ref: Any
+    #: materialized frames, or None when ``source`` generates them
+    stack: Optional[np.ndarray] = None
+    #: object with ``materialize() -> ndarray`` (a ShardTask)
+    source: Any = None
+    shard_id: Optional[str] = None
+    bound: Optional[float] = None
+    error_bound: Optional[float] = None
+    nrmse_bound: Optional[float] = None
+    keep_reconstruction: bool = True
+
+
+@dataclass
+class _DecodeJob:
+    codec_ref: Any
+    payload: bytes
+
+
+#: per-process cache of codecs rebuilt from specs (keyed by spec repr),
+#: so a worker builds each codec once per sweep, not once per window.
+_SPEC_CACHE: Dict[str, Any] = {}
+
+
+def _resolve_codec(ref):
+    """Turn a job's codec reference back into a live codec."""
+    from ..codecs import Codec, codec_from_spec
+    if isinstance(ref, Codec):
+        return ref
+    key = repr(sorted(ref.items()))
+    codec = _SPEC_CACHE.get(key)
+    if codec is None:
+        codec = codec_from_spec(ref)
+        _SPEC_CACHE[key] = codec
+    return codec
+
+
+def _run_window_job(job: _WindowJob) -> WindowReport:
+    codec = _resolve_codec(job.codec_ref)
+    stack = job.stack if job.stack is not None else job.source.materialize()
+    stack = np.asarray(stack)
+    t0 = time.perf_counter()
+    if job.bound is not None or (job.error_bound is None
+                                 and job.nrmse_bound is None):
+        res = codec.compress(stack, job.bound, seed=job.seed)
+    else:
+        res = codec.compress_bounded(stack, error_bound=job.error_bound,
+                                     nrmse_bound=job.nrmse_bound,
+                                     seed=job.seed)
+    if not job.keep_reconstruction:
+        res.payload  # force lazy serialization before detail is dropped
+        res.reconstruction = None
+        res.detail = None
+    return WindowReport(index=job.index, seed=job.seed,
+                        seconds=time.perf_counter() - t0,
+                        result=res, shard_id=job.shard_id)
+
+
+def _run_decode_job(job: _DecodeJob) -> np.ndarray:
+    return _resolve_codec(job.codec_ref).decompress(job.payload)
 
 
 class CodecEngine:
@@ -120,18 +199,25 @@ class CodecEngine:
         :func:`repro.codecs.as_codec` accepts (a registry name, a
         trained ``LatentDiffusionCompressor``, a native baseline).
     max_workers:
-        Thread-pool width; ``1`` executes serially.
+        Pool-width upper bound; defaults to ``os.cpu_count()`` and is
+        clamped to the number of windows/shards at execution time.
     base_seed, seed_stride:
-        Stack ``i`` compresses with ``base_seed + seed_stride * i``.
+        Stack ``i`` compresses with ``base_seed + seed_stride * i``
+        (:meth:`compress_plan` uses the planner's per-shard seeds
+        instead).
+    executor:
+        Backend name (``"serial"`` / ``"thread"`` / ``"process"``) or a
+        ready :class:`~repro.pipeline.executors.Executor` instance
+        (which then carries its own ``max_workers``).
     """
 
-    def __init__(self, codec, max_workers: int = 4, base_seed: int = 0,
-                 seed_stride: int = SEED_STRIDE):
-        if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
+    def __init__(self, codec, max_workers: Optional[int] = None,
+                 base_seed: int = 0, seed_stride: int = SEED_STRIDE,
+                 executor: Union[str, Executor] = "thread"):
         from ..codecs import as_codec  # local: codecs imports pipeline
         self.codec = as_codec(codec)
-        self.max_workers = max_workers
+        self.executor = get_executor(executor, max_workers=max_workers)
+        self.max_workers = self.executor.max_workers
         self.base_seed = base_seed
         self.seed_stride = seed_stride
 
@@ -139,48 +225,87 @@ class CodecEngine:
     def seed_for(self, index: int) -> int:
         return self.base_seed + self.seed_stride * index
 
+    def _codec_ref(self):
+        """The codec as this backend wants it shipped."""
+        if not self.executor.wants_specs:
+            return self.codec
+        try:
+            return self.codec.to_spec()
+        except TypeError as exc:
+            raise TypeError(
+                f"codec {self.codec.name!r} cannot be shipped to a "
+                f"{self.executor.name!r} executor ({exc}); use the "
+                f"serial or thread backend for stateful codecs"
+            ) from None
+
+    @staticmethod
+    def _check_bounds(bound, error_bound, nrmse_bound):
+        if bound is not None and (error_bound is not None
+                                  or nrmse_bound is not None):
+            raise ValueError("give bound or error_bound/nrmse_bound, "
+                             "not both")
+
+    def _execute(self, jobs: List[_WindowJob]) -> BatchResult:
+        t0 = time.perf_counter()
+        reports = self.executor.map(_run_window_job, jobs)
+        return BatchResult(reports=reports,
+                           wall_seconds=time.perf_counter() - t0)
+
     # ------------------------------------------------------------------
     def compress(self, stacks: Sequence[np.ndarray],
                  bound: Optional[float] = None,
                  error_bound: Optional[float] = None,
-                 nrmse_bound: Optional[float] = None) -> BatchResult:
+                 nrmse_bound: Optional[float] = None,
+                 keep_reconstruction: bool = True) -> BatchResult:
         """Compress every stack; bounds apply per stack.
 
         ``bound`` is in the codec's native metric; ``error_bound`` /
         ``nrmse_bound`` use the legacy vocabulary and are normalized
         per stack via :meth:`Codec.native_bound` (an NRMSE target uses
         each stack's own range, matching the serial pipeline).
+        ``keep_reconstruction=False`` drops reconstructions (and
+        codec-native detail objects) from the reports once payloads and
+        metrics are computed — essential for large sweeps and for
+        process backends, where reconstructions would otherwise be
+        pickled back to the parent for nothing.
         """
-        if bound is not None and (error_bound is not None
-                                  or nrmse_bound is not None):
-            raise ValueError("give bound or error_bound/nrmse_bound, "
-                             "not both")
-        stacks = list(stacks)
+        self._check_bounds(bound, error_bound, nrmse_bound)
+        ref = self._codec_ref()
+        jobs = [_WindowJob(index=i, seed=self.seed_for(i), codec_ref=ref,
+                           stack=np.asarray(stack), bound=bound,
+                           error_bound=error_bound,
+                           nrmse_bound=nrmse_bound,
+                           keep_reconstruction=keep_reconstruction)
+                for i, stack in enumerate(stacks)]
+        return self._execute(jobs)
 
-        def task(item):
-            i, stack = item
-            stack = np.asarray(stack)
-            t0 = time.perf_counter()
-            if bound is not None or (error_bound is None
-                                     and nrmse_bound is None):
-                res = self.codec.compress(stack, bound,
-                                          seed=self.seed_for(i))
-            else:
-                res = self.codec.compress_bounded(
-                    stack, error_bound=error_bound,
-                    nrmse_bound=nrmse_bound, seed=self.seed_for(i))
-            return WindowReport(index=i, seed=self.seed_for(i),
-                                seconds=time.perf_counter() - t0,
-                                result=res)
+    # ------------------------------------------------------------------
+    def compress_plan(self, plan: Iterable,
+                      bound: Optional[float] = None,
+                      error_bound: Optional[float] = None,
+                      nrmse_bound: Optional[float] = None,
+                      keep_reconstruction: bool = True) -> BatchResult:
+        """Compress every shard of a :class:`ShardPlan`.
 
-        t0 = time.perf_counter()
-        reports = parallel_map(task, list(enumerate(stacks)),
-                               self.max_workers)
-        return BatchResult(reports=reports,
-                           wall_seconds=time.perf_counter() - t0)
+        Shards are *recipes*: workers materialize the frames from the
+        task's dataset spec, so a process backend ships a few hundred
+        bytes per shard instead of the frames themselves.  Seeds come
+        from the planner (``base_seed + 7919 * i`` in plan order), not
+        from this engine's ``base_seed``.
+        """
+        self._check_bounds(bound, error_bound, nrmse_bound)
+        ref = self._codec_ref()
+        jobs = [_WindowJob(index=i, seed=task.seed, codec_ref=ref,
+                           source=task, shard_id=task.shard_id,
+                           bound=bound, error_bound=error_bound,
+                           nrmse_bound=nrmse_bound,
+                           keep_reconstruction=keep_reconstruction)
+                for i, task in enumerate(plan)]
+        return self._execute(jobs)
 
     # ------------------------------------------------------------------
     def decompress(self, payloads: Sequence[bytes]) -> List[np.ndarray]:
         """Decode every payload (ordered, parallel)."""
-        return parallel_map(self.codec.decompress, list(payloads),
-                            self.max_workers)
+        ref = self._codec_ref()
+        jobs = [_DecodeJob(codec_ref=ref, payload=p) for p in payloads]
+        return self.executor.map(_run_decode_job, jobs)

@@ -1,0 +1,197 @@
+"""Pluggable execution backends for the :class:`CodecEngine`.
+
+The engine used to hardwire one ``ThreadPoolExecutor``.  Execution is
+now a strategy — an :class:`Executor` maps a function over work items
+in order — with three interchangeable backends:
+
+``serial``
+    Plain list comprehension.  The reference semantics every other
+    backend must reproduce byte-for-byte.
+``thread``
+    :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy kernels
+    release the GIL, so threads scale the matrix-heavy codecs without
+    any serialization cost.
+``process``
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``fork`` context
+    where available).  Sidesteps the GIL for the pure-Python codec hot
+    loops; work items must be picklable, which is why the engine ships
+    codec/dataset *specs* (see :attr:`Executor.wants_specs`) and lets
+    workers rebuild them.  The pool is created lazily and kept warm
+    across batches, amortizing the fork cost over a whole sweep.
+
+All three produce **ordered** results and propagate worker exceptions
+to the caller, so swapping backends never changes observable behavior
+— only wall-clock.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar, Union
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+__all__ = ["Executor", "SerialExecutor", "ThreadExecutor",
+           "ProcessExecutor", "get_executor", "list_executors",
+           "default_workers", "EXECUTORS"]
+
+
+def default_workers() -> int:
+    """Default pool width: one worker per available CPU."""
+    return os.cpu_count() or 4
+
+
+class Executor(abc.ABC):
+    """Ordered-map strategy over a batch of independent work items.
+
+    ``max_workers`` is an upper bound; every backend clamps the actual
+    pool width to the number of items (no idle workers for small
+    batches).
+    """
+
+    #: registry name (set on subclasses)
+    name: str = "abstract"
+    #: True if work must be shipped as picklable *specs* that workers
+    #: rebuild (process pools), rather than live object references.
+    wants_specs: bool = False
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is None:
+            max_workers = default_workers()
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], U], items: Sequence[T]) -> List[U]:
+        """Apply ``fn`` to every item, preserving order.
+
+        Exceptions raised by ``fn`` propagate to the caller exactly as
+        in the serial path.
+        """
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"max_workers={self.max_workers}>")
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution (the reference backend)."""
+
+    name = "serial"
+
+    def map(self, fn, items):
+        return [fn(it) for it in items]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution; zero serialization, GIL-sharing."""
+
+    name = "thread"
+
+    def map(self, fn, items):
+        items = list(items)
+        workers = min(self.max_workers, len(items))
+        if workers <= 1:
+            return [fn(it) for it in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution; work ships as picklable specs.
+
+    The underlying pool is created on first use and reused across
+    :meth:`map` calls (fork cost is paid once per sweep, not per
+    batch); :meth:`close` shuts it down.  Unlike threads — which may
+    oversubscribe usefully while peers block in GIL-releasing kernels
+    — process workers are fully CPU-bound, so the pool width is
+    additionally clamped to the core count.
+    """
+
+    name = "process"
+    wants_specs = True
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 mp_context: Optional[str] = None):
+        super().__init__(max_workers)
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        self.mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+
+    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_workers < workers:
+            self.close()  # grow the pool to the new width
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp.get_context(self.mp_context))
+            self._pool_workers = workers
+        return self._pool
+
+    def map(self, fn, items):
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.max_workers, len(items), default_workers())
+        pool = self._get_pool(workers)
+        chunksize = max(1, len(items) // (workers * 4))
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+EXECUTORS: Dict[str, Type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def list_executors() -> List[str]:
+    """Sorted names of every execution backend."""
+    return sorted(EXECUTORS)
+
+
+def get_executor(executor: Union[str, Executor],
+                 max_workers: Optional[int] = None) -> Executor:
+    """Resolve a backend name (or pass through an instance).
+
+    An already-built :class:`Executor` is returned as-is — it carries
+    its own ``max_workers``.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    key = str(executor).strip().lower()
+    cls = EXECUTORS.get(key)
+    if cls is None:
+        known = ", ".join(sorted(EXECUTORS))
+        raise KeyError(f"unknown executor {executor!r}; "
+                       f"registered: {known}")
+    return cls(max_workers=max_workers)

@@ -1,17 +1,16 @@
-"""Window-parallel compression (legacy shim).
+"""Window-parallel compression (deprecated legacy shim).
 
 The worker-pool logic that used to live here is now the general
 :class:`~repro.pipeline.engine.CodecEngine`, which runs *any*
-registered codec over batches of windows.  This module keeps the
-original convenience function for existing callers: it compresses many
-stacks with a trained :class:`~repro.pipeline.compressor.
-LatentDiffusionCompressor` and returns the native
-:class:`~repro.pipeline.compressor.CompressionResult` objects, with
-the historical deterministic seeding (``base_seed + 7919 * i``).
+registered codec over batches of windows through pluggable executor
+backends.  This module keeps the original convenience function for
+existing callers — with a :class:`DeprecationWarning` — preserving the
+historical deterministic seeding (``base_seed + 7919 * i``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -31,10 +30,17 @@ def compress_windows_parallel(compressor: LatentDiffusionCompressor,
                               ) -> List[CompressionResult]:
     """Compress many independent frame stacks concurrently.
 
-    Each stack gets a deterministic seed derived from ``base_seed`` and
-    its position, so results are reproducible regardless of scheduling
-    order.
+    .. deprecated::
+        Use :class:`repro.pipeline.engine.CodecEngine` — it runs any
+        registered codec, not just the trained pipeline, and supports
+        serial/thread/process executor backends.  Seeding is
+        unchanged, so migrated callers reproduce the same streams.
     """
+    warnings.warn(
+        "compress_windows_parallel is deprecated; use "
+        "repro.pipeline.engine.CodecEngine (same seeding rule, any "
+        "registered codec, pluggable executor backends)",
+        DeprecationWarning, stacklevel=2)
     engine = CodecEngine(compressor, max_workers=max_workers,
                          base_seed=base_seed, seed_stride=SEED_STRIDE)
     batch = engine.compress(stacks, error_bound=error_bound,

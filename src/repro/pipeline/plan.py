@@ -1,0 +1,285 @@
+"""Deterministic shard planning for dataset-scale sweeps.
+
+The paper's evaluation is a ``dataset x variables x time-window`` grid.
+:func:`plan_shards` turns one :class:`~repro.data.registry.DatasetSpec`
+into an ordered :class:`ShardPlan` of :class:`ShardTask`\\ s — each a
+*recipe* (dataset spec + variable + time slice + seed), not an array —
+so a plan is tiny, picklable and cheap to ship to any executor backend,
+including process pools on other cores (and, later, other nodes).
+
+Determinism guarantees:
+
+* **stable IDs** — ``<dataset>/s<seed>/v<var>/t<t0>-<t1>`` identifies a
+  shard independently of plan order, worker or machine;
+* **stable seeds** — shard ``i`` (in plan order) compresses with
+  ``base_seed + 7919 * i``, the same prime-stride rule the engine has
+  always used for window batches, so re-planning the same grid always
+  reproduces the same streams;
+* **stable order** — variables iterate outermost, time windows
+  innermost, both ascending.
+
+The module also defines the *shard archive*: a container that holds
+one envelope-wrapped payload per shard plus enough geometry
+(variable, time slice) to stitch the decoded shards back into a
+``(T, H, W)`` or ``(V, T, H, W)`` array.  The CLI writes it for
+``repro compress --dataset ... --shards N`` and auto-detects it on
+decompress.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.base import SpatiotemporalDataset
+from ..data.registry import (DatasetSpec, dataset_from_spec,
+                             get_dataset_spec, spec_of)
+
+__all__ = ["ShardTask", "ShardPlan", "plan_shards", "time_slices",
+           "ShardEntry", "pack_shard_archive", "unpack_shard_archive",
+           "is_shard_archive", "assemble_shards", "SHARD_MAGIC"]
+
+#: Per-shard seed stride; must match
+#: :data:`repro.pipeline.engine.SEED_STRIDE` (kept literal here to
+#: avoid an import cycle — the engine consumes plans, not vice versa).
+SEED_STRIDE = 7919
+
+SHARD_MAGIC = b"SHRD"
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of planned work: frames ``[t0:t1)`` of one variable.
+
+    Frozen, hashable and picklable; :meth:`materialize` regenerates the
+    frames deterministically wherever the task lands.
+    """
+
+    shard_id: str
+    index: int
+    dataset: DatasetSpec
+    variable: int
+    t0: int
+    t1: int
+    seed: int
+
+    @property
+    def frames_shape(self) -> Tuple[int, int, int]:
+        return (self.t1 - self.t0, self.dataset.h, self.dataset.w)
+
+    def materialize(self) -> np.ndarray:
+        """Generate this shard's ``(t1-t0, H, W)`` frames.
+
+        Generation is memoized per ``(spec, variable)`` so the shards
+        of one variable share a single generation pass — without the
+        cache an N-shard plan would regenerate the full variable N
+        times (once per task, in whichever process runs it).
+        """
+        return _variable_frames(self.dataset,
+                                self.variable)[self.t0:self.t1].copy()
+
+
+@lru_cache(maxsize=8)
+def _variable_frames(spec: DatasetSpec, variable: int) -> np.ndarray:
+    """One variable's full frame stack (deterministic, cache-safe)."""
+    return dataset_from_spec(spec).frames(variable)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Ordered, deterministic list of shard tasks for one dataset."""
+
+    dataset: DatasetSpec
+    tasks: Tuple[ShardTask, ...]
+    base_seed: int = 0
+    seed_stride: int = SEED_STRIDE
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __getitem__(self, i):
+        return self.tasks[i]
+
+    @property
+    def variables(self) -> Tuple[int, ...]:
+        return tuple(sorted({t.variable for t in self.tasks}))
+
+    def total_frames(self) -> int:
+        return sum(t.t1 - t.t0 for t in self.tasks)
+
+
+def time_slices(t: int, window: Optional[int] = None,
+                shards: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Split ``[0, t)`` into contiguous ``(t0, t1)`` slices.
+
+    ``window`` gives fixed-length windows (last one may be short);
+    ``shards`` gives that many contiguous chunks whose lengths differ
+    by at most one frame (short chunks first).  Giving neither returns
+    the whole range; giving both is an error.
+    """
+    if t < 1:
+        raise ValueError(f"need at least one frame, got t={t}")
+    if window is not None and shards is not None:
+        raise ValueError("give window or shards, not both")
+    if window is not None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        return [(s, min(s + window, t)) for s in range(0, t, window)]
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        shards = min(shards, t)
+        bounds = np.linspace(0, t, shards + 1).astype(int)
+        return [(int(bounds[i]), int(bounds[i + 1]))
+                for i in range(shards)]
+    return [(0, t)]
+
+
+def plan_shards(dataset: Union[str, DatasetSpec, SpatiotemporalDataset],
+                variables: Optional[Sequence[int]] = None,
+                window: Optional[int] = None,
+                shards: Optional[int] = None,
+                base_seed: int = 0,
+                seed_stride: int = SEED_STRIDE,
+                **dataset_overrides) -> ShardPlan:
+    """Plan the ``variables x time-slices`` grid of one dataset.
+
+    ``dataset`` may be a registry name (``dataset_overrides`` are
+    forwarded to :func:`~repro.data.registry.get_dataset`), a
+    :class:`DatasetSpec`, or a dataset instance.  ``variables`` defaults
+    to every variable of the dataset; the time axis splits per
+    :func:`time_slices`.
+    """
+    if isinstance(dataset, str):
+        spec = get_dataset_spec(dataset, **dataset_overrides)
+    elif isinstance(dataset, DatasetSpec):
+        spec = dataset.override(**dataset_overrides) \
+            if dataset_overrides else dataset
+    elif isinstance(dataset, SpatiotemporalDataset):
+        if dataset_overrides:
+            raise ValueError("dataset overrides require a name or spec")
+        spec = spec_of(dataset)
+    else:
+        raise TypeError(f"cannot plan over {type(dataset).__name__}; "
+                        f"pass a dataset name, DatasetSpec or instance")
+
+    if variables is None:
+        variables = range(spec.num_vars)
+    variables = list(variables)
+    for v in variables:
+        if not 0 <= v < spec.num_vars:
+            raise ValueError(f"variable {v} outside "
+                             f"[0, {spec.num_vars})")
+
+    slices = time_slices(spec.t, window=window, shards=shards)
+    tasks = []
+    for var in variables:
+        for t0, t1 in slices:
+            i = len(tasks)
+            tasks.append(ShardTask(
+                shard_id=(f"{spec.name}/s{spec.seed}/v{var}/"
+                          f"t{t0:04d}-{t1:04d}"),
+                index=i, dataset=spec, variable=var, t0=t0, t1=t1,
+                seed=base_seed + seed_stride * i))
+    return ShardPlan(dataset=spec, tasks=tuple(tasks),
+                     base_seed=base_seed, seed_stride=seed_stride)
+
+
+# ----------------------------------------------------------------------
+# Shard archive: container stitching sharded payloads back together.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardEntry:
+    """One archived shard: geometry plus its (enveloped) payload."""
+
+    shard_id: str
+    variable: int
+    t0: int
+    t1: int
+    payload: bytes
+
+
+def pack_shard_archive(entries: Sequence[ShardEntry]) -> bytes:
+    """Serialize shard entries into a self-contained archive."""
+    parts = [SHARD_MAGIC, struct.pack("<HI", 1, len(entries))]
+    for e in entries:
+        sid = e.shard_id.encode()
+        if not 0 < len(sid) <= 0xFFFF:
+            raise ValueError(f"bad shard id {e.shard_id!r}")
+        parts.append(struct.pack("<H", len(sid)))
+        parts.append(sid)
+        parts.append(struct.pack("<IIIQ", e.variable, e.t0, e.t1,
+                                 len(e.payload)))
+        parts.append(e.payload)
+    return b"".join(parts)
+
+
+def is_shard_archive(data: bytes) -> bool:
+    return data[:4] == SHARD_MAGIC
+
+
+def unpack_shard_archive(data: bytes) -> List[ShardEntry]:
+    """Inverse of :func:`pack_shard_archive`."""
+    if not is_shard_archive(data):
+        raise ValueError("not a shard archive (bad magic)")
+    version, count = struct.unpack_from("<HI", data, 4)
+    if version != 1:
+        raise ValueError(f"unsupported shard archive version {version}")
+    pos = 4 + struct.calcsize("<HI")
+    entries = []
+    for _ in range(count):
+        slen, = struct.unpack_from("<H", data, pos)
+        pos += 2
+        sid = data[pos:pos + slen].decode()
+        pos += slen
+        variable, t0, t1, n = struct.unpack_from("<IIIQ", data, pos)
+        pos += struct.calcsize("<IIIQ")
+        payload = data[pos:pos + n]
+        if len(payload) != n:
+            raise ValueError("truncated shard archive")
+        pos += n
+        entries.append(ShardEntry(shard_id=sid, variable=variable,
+                                  t0=t0, t1=t1, payload=payload))
+    return entries
+
+
+def assemble_shards(entries: Sequence[ShardEntry],
+                    arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Stitch decoded shard arrays back into one stack.
+
+    Returns ``(T, H, W)`` for a single-variable archive and
+    ``(V, T, H, W)`` otherwise (variables indexed in sorted order).
+    """
+    if len(entries) != len(arrays):
+        raise ValueError("one decoded array per entry required")
+    if not entries:
+        raise ValueError("empty shard archive")
+    variables = sorted({e.variable for e in entries})
+    var_index = {v: i for i, v in enumerate(variables)}
+    t_total = max(e.t1 for e in entries)
+    h, w = np.asarray(arrays[0]).shape[-2:]
+    out = np.zeros((len(variables), t_total, h, w),
+                   dtype=np.asarray(arrays[0]).dtype)
+    seen = np.zeros((len(variables), t_total), dtype=bool)
+    for e, arr in zip(entries, arrays):
+        arr = np.asarray(arr)
+        if arr.shape != (e.t1 - e.t0, h, w):
+            raise ValueError(f"shard {e.shard_id!r} decoded to "
+                             f"{arr.shape}, expected "
+                             f"{(e.t1 - e.t0, h, w)}")
+        vi = var_index[e.variable]
+        if seen[vi, e.t0:e.t1].any():
+            raise ValueError(f"shard {e.shard_id!r} overlaps another "
+                             f"shard")
+        out[vi, e.t0:e.t1] = arr
+        seen[vi, e.t0:e.t1] = True
+    if not seen.all():
+        raise ValueError("shard archive leaves gaps in the time axis")
+    return out[0] if len(variables) == 1 else out

@@ -1,0 +1,90 @@
+"""Dataset registry and DatasetSpec round-trip tests."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data import (DATASETS, DatasetSpec, E3SMSynthetic,
+                        dataset_entries, dataset_from_spec, get_dataset,
+                        get_dataset_spec, list_datasets, spec_of)
+from repro.data.base import SpatiotemporalDataset
+from repro.data.registry import register_dataset
+
+
+class TestRegistry:
+    def test_all_three_registered(self):
+        assert list_datasets() == ["e3sm", "jhtdb", "s3d"]
+
+    def test_legacy_datasets_dict_matches_registry(self):
+        assert set(DATASETS) == set(list_datasets())
+        for name, cls in DATASETS.items():
+            assert dataset_entries()[name].cls is cls
+
+    def test_get_dataset_applies_overrides(self):
+        ds = get_dataset("e3sm", t=10, h=16, w=16, seed=9)
+        assert isinstance(ds, E3SMSynthetic)
+        assert (ds.t, ds.h, ds.w, ds.seed) == (10, 16, 16, 9)
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="e3sm, jhtdb, s3d"):
+            get_dataset("nope")
+
+    def test_name_canonicalization(self):
+        assert type(get_dataset("E3SM")) is type(get_dataset("e3sm"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_dataset("s3d")
+            class Dup(SpatiotemporalDataset):  # pragma: no cover
+                pass
+
+    def test_non_dataset_registration_rejected(self):
+        with pytest.raises(TypeError):
+            register_dataset("bogus")(object)
+
+
+class TestDatasetSpec:
+    @pytest.mark.parametrize("name", ["e3sm", "jhtdb", "s3d"])
+    def test_spec_roundtrip_bit_identical(self, name):
+        ds = get_dataset(name, t=6, h=12, w=12, seed=5)
+        spec = ds.to_spec()
+        rebuilt = dataset_from_spec(spec)
+        np.testing.assert_array_equal(ds.frames(0), rebuilt.frames(0))
+
+    def test_spec_survives_pickling(self):
+        spec = get_dataset_spec("s3d", t=6, h=12, w=12, seed=2)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        np.testing.assert_array_equal(spec.build().frames(1),
+                                      clone.build().frames(1))
+
+    def test_spec_captures_generator_params(self):
+        ds = get_dataset("s3d", t=6, h=12, w=12, num_kernels=3)
+        spec = spec_of(ds)
+        assert dict(spec.params)["num_kernels"] == 3
+        assert dataset_from_spec(spec).num_kernels == 3
+
+    def test_spec_shape_and_kwargs(self):
+        spec = get_dataset_spec("jhtdb", t=6, h=12, w=12)
+        assert spec.shape == (spec.num_vars, 6, 12, 12)
+        assert spec.kwargs()["t"] == 6
+
+    def test_override_common_and_params(self):
+        spec = get_dataset_spec("e3sm", t=6, h=12, w=12)
+        new = spec.override(seed=7, num_blobs=2)
+        assert new.seed == 7
+        assert dict(new.params)["num_blobs"] == 2
+        assert spec.seed == 0  # original untouched
+
+    def test_spec_of_unregistered_rejected(self):
+        class Loose(SpatiotemporalDataset):
+            def _generate(self, rng, variable):  # pragma: no cover
+                return np.zeros((self.t, self.h, self.w))
+
+        with pytest.raises(TypeError, match="not a registered"):
+            spec_of(Loose(t=4, h=8, w=8))
+
+    def test_spec_is_cheap_to_ship(self):
+        spec = get_dataset_spec("e3sm")  # full default extent
+        assert len(pickle.dumps(spec)) < 1024

@@ -147,7 +147,11 @@ class TestTrainingImproves:
         assert res_trained.achieved_nrmse < res_bare.achieved_nrmse
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestParallel:
+    """Legacy shim behavior (its DeprecationWarning is asserted in
+    tests/pipeline/test_executors.py)."""
+
     def test_parallel_matches_serial(self, trained):
         _, compressor, frames, _ = trained
         stacks = [frames, frames * 0.5 + 1.0]
