@@ -54,6 +54,33 @@ EXEC_WORKERS = 4
 EXEC_REPS = 3  # min-of-reps after an untimed warmup pass
 
 
+def _append_trajectory(record) -> bool:
+    """Append to ``BENCH_codecs.json``, skipping gracefully (with a
+    log line) when the file is corrupt or unwritable.
+
+    The trajectory is a nice-to-have perf history; a read-only
+    checkout or a truncated file must never crash the bench itself.
+    """
+    trajectory = []
+    if TRAJECTORY.exists():
+        try:
+            trajectory = json.loads(TRAJECTORY.read_text())
+            if not isinstance(trajectory, list):
+                raise ValueError("trajectory root is not a JSON list")
+        except (ValueError, OSError) as exc:
+            print(f"warning: {TRAJECTORY.name} is corrupt or unreadable "
+                  f"({exc}); skipping trajectory append")
+            return False
+    trajectory.append(record)
+    try:
+        TRAJECTORY.write_text(json.dumps(trajectory, indent=2))
+    except OSError as exc:
+        print(f"warning: cannot write {TRAJECTORY.name} ({exc}); "
+              f"skipping trajectory append")
+        return False
+    return True
+
+
 def _workload() -> np.ndarray:
     return get_dataset_spec("e3sm", t=12, h=16, w=16, seed=11) \
         .build().frames(0)
@@ -150,11 +177,8 @@ def test_codec_registry_smoke(benchmark):
     save_json("codec_registry_smoke", record)
 
     # append to the trajectory file so PRs can diff perf over time
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(record)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=2))
+    # (best-effort: corrupt or unwritable files are logged and skipped)
+    _append_trajectory(record)
 
     assert set(rows) == set(list_codecs())
 

@@ -28,12 +28,13 @@ from .config import (DiffusionConfig, PipelineConfig, ReproConfig, VAEConfig,
 from .metrics import (CompressionAccounting, compression_ratio,
                       decorrelation_time, mse, nrmse, psnr, rmse, ssim,
                       temporal_autocorrelation)
-from .pipeline import (BatchResult, CodecEngine, CompressedBlob,
-                       CompressionResult, LatentDiffusionCompressor,
-                       MultiVarArchive, MultiVariableCompressor,
-                       MultiVarResult, StreamArchive, StreamingCompressor,
-                       TrainingConfig, TwoStageTrainer,
-                       compress_windows_parallel, load_bundle, save_bundle,
+from .pipeline import (ArtifactManifest, ArtifactStore, BatchResult,
+                       CodecEngine, CompressedBlob, CompressionResult,
+                       LatentDiffusionCompressor, MultiVarArchive,
+                       MultiVariableCompressor, MultiVarResult,
+                       StreamArchive, StreamingCompressor,
+                       TrainingConfig, TwoStageTrainer, load_artifact,
+                       load_bundle, save_artifact, save_bundle,
                        train_compressor)
 from .codecs import (Codec, CodecResult, as_codec, get_codec, list_codecs,
                      register_codec)
@@ -48,7 +49,8 @@ __all__ = [
     "LatentDiffusionCompressor", "CompressionResult", "CompressedBlob",
     "TwoStageTrainer", "TrainingConfig", "train_compressor",
     "save_bundle", "load_bundle",
-    "compress_windows_parallel", "CodecEngine", "BatchResult",
+    "ArtifactStore", "ArtifactManifest", "save_artifact", "load_artifact",
+    "CodecEngine", "BatchResult",
     "Codec", "CodecResult", "register_codec", "get_codec", "list_codecs",
     "as_codec",
     "StreamingCompressor", "StreamArchive",

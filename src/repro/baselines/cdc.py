@@ -42,6 +42,8 @@ class CDCCompressor(LearnedBaseline):
     """
 
     GROUP = 3  # consecutive frames treated as channels
+    #: trained components persisted by state_dict()/load_state()
+    _state_modules = ("vae", "unet")
 
     def __init__(self, vae_cfg: VAEConfig, diff_cfg: DiffusionConfig,
                  parameterization: str = "eps", seed: int = 0,

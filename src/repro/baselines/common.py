@@ -56,6 +56,11 @@ class LearnedBaseline:
 
     name = "learned-baseline"
 
+    #: attribute names of the trainable :class:`~repro.nn.Module`
+    #: components; drives the generic :meth:`state_dict` /
+    #: :meth:`load_state` persistence path (set by each subclass)
+    _state_modules: Tuple[str, ...] = ()
+
     def __init__(self, original_dtype_bytes: int = 4):
         self.original_dtype_bytes = original_dtype_bytes
         self.corrector: Optional[ErrorBoundCorrector] = None
@@ -118,6 +123,47 @@ class LearnedBaseline:
             latent_bytes=latent_bytes, guarantee_bytes=guarantee)
         return BaselineResult(reconstruction=recon, accounting=acc,
                               achieved_nrmse=nrmse(frames, recon))
+
+    # -- persistence ---------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Full trained state as flat ``{name: array}`` (real arrays,
+        suitable for :mod:`repro.nn.serialization` / the artifact
+        store).
+
+        Keys are ``<module>/<param>`` for every module named in
+        ``_state_modules``, plus ``corrector/basis`` and
+        ``corrector/meta`` (block, rank, coeff_quant_bits) when a
+        corrector is fitted.
+        """
+        state: Dict[str, np.ndarray] = {}
+        for mod_name in self._state_modules:
+            module = getattr(self, mod_name)
+            for key, arr in module.state_dict().items():
+                state[f"{mod_name}/{key}"] = arr
+        if self.corrector is not None:
+            pca = self.corrector.pca
+            state["corrector/basis"] = pca.basis.copy()
+            state["corrector/meta"] = np.asarray(
+                [pca.block, pca.rank, self.corrector.coeff_quant_bits],
+                dtype=np.int64)
+        return state
+
+    def load_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output in place (strict)."""
+        for mod_name in self._state_modules:
+            prefix = f"{mod_name}/"
+            sub = {k[len(prefix):]: v for k, v in state.items()
+                   if k.startswith(prefix)}
+            getattr(self, mod_name).load_state_dict(sub)
+        if "corrector/basis" in state:
+            block, rank, bits = (int(v) for v in state["corrector/meta"])
+            pca = ResidualPCA.from_state({
+                "block": block, "rank": rank,
+                "basis": state["corrector/basis"]})
+            self.corrector = ErrorBoundCorrector(pca,
+                                                 coeff_quant_bits=bits)
+        else:
+            self.corrector = None
 
     # -- corrector ------------------------------------------------------------
     def fit_corrector(self, windows: Sequence[np.ndarray], block: int = 4,

@@ -30,6 +30,8 @@ class GCDCompressor(LearnedBaseline):
     """Every-frame latents + data-space video diffusion decoder."""
 
     name = "GCD"
+    #: trained components persisted by state_dict()/load_state()
+    _state_modules = ("vae", "unet")
 
     def __init__(self, vae_cfg: VAEConfig, diff_cfg: DiffusionConfig,
                  seed: int = 0, original_dtype_bytes: int = 4):

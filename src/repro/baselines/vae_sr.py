@@ -43,6 +43,8 @@ class VAESRCompressor(LearnedBaseline):
     """Every-frame VAE + hyperprior coding with SR refinement."""
 
     name = "VAE-SR"
+    #: trained components persisted by state_dict()/load_state()
+    _state_modules = ("vae", "sr")
 
     def __init__(self, vae_cfg: VAEConfig, sr_filters: int = 16,
                  seed: int = 0, original_dtype_bytes: int = 4):

@@ -3,26 +3,34 @@
 
 Subcommands
 -----------
-``train``       train the two-stage pipeline on a ``.npy`` frame stack
-                and save a model bundle (``.npz``);
+``train``       train any trainable codec (``--codec ours|vae-sr|
+                cdc-eps|cdc-x|gcd``) on a ``.npy`` stack or a
+                registered dataset (``--dataset``) and save a portable
+                model artifact (``--save model.npz``);
 ``codecs``      list every registered codec and its contract;
 ``datasets``    list every registered synthetic dataset;
 ``compress``    compress a ``.npy`` frame stack — or a registered
                 dataset via ``--dataset NAME`` — with any registered
-                codec (``--codec``), optionally sharded over the time
-                axis (``--shards N``) and executed on a pluggable
-                backend (``--executor serial|thread|process``);
+                codec (``--codec``), optionally loading trained state
+                from an artifact (``--codec-artifact model.npz``),
+                sharded over the time axis (``--shards N``) and
+                executed on a pluggable backend
+                (``--executor serial|thread|process``);
 ``decompress``  reconstruct frames from a compressed stream (codec and
                 shard archives auto-detected from the stream);
-``info``        inspect a compressed stream's accounting;
+``info``        inspect a compressed stream's accounting, or a model
+                artifact's provenance (codec, state hash, training
+                config, dataset);
 ``qoi``         certify quantities of interest of a reconstruction
                 against the original (Sec. 3.5 bound propagation);
 ``spectrum``    compare radial energy spectra of original vs
                 reconstruction (turbulence fidelity diagnostic).
 
-The model bundle holds the VAE, diffusion and PCA-corrector state plus
-the configuration, so a single file moves a trained compressor between
-machines.  Model-free codecs (the rule-based families) take ``-`` in
+A model artifact holds a trained codec's state plus a provenance
+manifest (codec spec, training config, dataset spec, state hash), so a
+single file moves any trained codec between machines — and because
+artifact-loaded codecs are spec-portable, straight into process-pool
+sweeps.  Model-free codecs (the rule-based families) take ``-`` in
 place of the bundle path.
 """
 
@@ -36,12 +44,14 @@ import numpy as np
 
 from . import (CompressedBlob, TrainingConfig, TwoStageTrainer, small,
                tiny)
-from .codecs import (LatentDiffusionCodec, codec_specs, get_codec,
+from .codecs import (Codec, LatentDiffusionCodec, codec_specs, get_codec,
                      is_envelope, list_codecs, pack_envelope,
                      unpack_envelope)
 from .data.base import train_test_windows
 from .data.registry import (dataset_entries, get_dataset_spec,
                             list_datasets)
+from .pipeline.artifacts import (is_artifact, load_artifact,
+                                 read_manifest, save_artifact)
 from .pipeline.bundle import load_bundle, save_bundle
 from .pipeline.engine import CodecEngine
 from .pipeline.executors import list_executors
@@ -62,8 +72,20 @@ class _CodecCliError(Exception):
     """CLI-level codec selection problem (printed, not raised raw)."""
 
 
-def _codec_for(name: str, model: Optional[str]):
-    """Build the selected codec, loading the model bundle if needed."""
+def _codec_for(name: str, model: Optional[str],
+               artifact: Optional[str] = None):
+    """Build the selected codec, loading trained state if needed."""
+    if artifact:
+        try:
+            codec = Codec.load_artifact(artifact)
+        except (OSError, ValueError, KeyError) as exc:
+            raise _CodecCliError(
+                f"cannot load artifact {artifact!r}: {exc}") from None
+        if name and name != _DEFAULT_CODEC and codec.name != name:
+            raise _CodecCliError(
+                f"artifact {artifact!r} holds codec {codec.name!r}, "
+                f"not {name!r}")
+        return codec
     if name == _DEFAULT_CODEC:
         if not model or model == "-":
             raise _CodecCliError(
@@ -75,24 +97,73 @@ def _codec_for(name: str, model: Optional[str]):
         raise _CodecCliError(exc.args[0]) from None
     if codec.capabilities.needs_training:
         raise _CodecCliError(
-            f"codec {name!r} is learning-based; only 'ours' supports "
-            f"bundle loading from the CLI so far")
+            f"codec {name!r} is learning-based; train it first "
+            f"(repro train --codec {name}) and pass the saved model "
+            f"with --codec-artifact")
     return codec
+
+
+def _parse_shape(text: str):
+    """``TxHxW`` (or ``T,H,W``) -> dict of dataset overrides."""
+    parts = text.replace(",", "x").split("x")
+    if len(parts) != 3:
+        raise ValueError(f"expected TxHxW, got {text!r}")
+    t, h, w = (int(p) for p in parts)
+    return {"t": t, "h": h, "w": w}
 
 
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _train_frames(args: argparse.Namespace):
+    """Resolve training frames (+ dataset provenance) for ``train``."""
+    import dataclasses
+    if args.dataset is not None:
+        overrides = _parse_shape(args.shape) if args.shape else {}
+        spec = get_dataset_spec(args.dataset, **overrides)
+        frames = spec.build().frames(args.variable)
+        return frames, dataclasses.asdict(spec)
+    if not args.data:
+        raise _CodecCliError("give a (T, H, W) .npy file or "
+                             f"--dataset NAME (registered: "
+                             f"{', '.join(list_datasets())})")
+    return np.load(args.data), None
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    frames = np.load(args.data)
+    save = args.save or args.model
+    if not save:
+        print("error: give an output model path (--save PATH or the "
+              "positional model argument)", file=sys.stderr)
+        return 2
+    if not save.endswith(".npz"):
+        save += ".npz"  # mirror np.savez so the printed path is real
+    try:
+        frames, dataset_meta = _train_frames(args)
+    except (_CodecCliError, KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}",
+              file=sys.stderr)
+        return 2
     if frames.ndim != 3:
         print(f"error: expected a (T, H, W) array, got {frames.shape}",
               file=sys.stderr)
         return 2
+
+    if args.codec == _DEFAULT_CODEC:
+        return _train_ours(args, frames, dataset_meta, save)
+    return _train_learned(args, frames, dataset_meta, save)
+
+
+def _train_ours(args, frames, dataset_meta, save: str) -> int:
+    """The paper's two-stage latent-diffusion training protocol."""
     cfg = _PRESETS[args.preset]()
-    train, _ = train_test_windows(frames, window=cfg.pipeline.window,
-                                  train_fraction=args.train_fraction,
-                                  stride=args.stride)
+    try:
+        train, _ = train_test_windows(frames, window=cfg.pipeline.window,
+                                      train_fraction=args.train_fraction,
+                                      stride=args.stride)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tc = TrainingConfig(vae_iters=args.vae_iters,
                         diffusion_iters=args.diffusion_iters,
                         finetune_iters=args.finetune_iters,
@@ -105,9 +176,56 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if tc.finetune_iters:
         print(f"fine-tuning to {cfg.diffusion.finetune_steps} steps ...")
         trainer.finetune_diffusion(train)
-    compressor = trainer.build_compressor(train)
-    save_bundle(args.model, compressor)
-    print(f"saved model bundle to {args.model}")
+    manifest = trainer.export_artifact(save, train, dataset=dataset_meta)
+    print(f"saved model artifact to {save} "
+          f"(state {manifest.state_hash[:16]})")
+    return 0
+
+
+def _train_learned(args, frames, dataset_meta, save: str) -> int:
+    """Generalized training path for the learned baseline codecs."""
+    import dataclasses
+    import inspect
+    try:
+        codec = get_codec(args.codec, seed=args.seed)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except TypeError:
+        print(f"error: codec {args.codec!r} is model-free; there is "
+              f"nothing to train", file=sys.stderr)
+        return 2
+    if not codec.capabilities.needs_training:
+        print(f"error: codec {args.codec!r} is model-free; there is "
+              f"nothing to train", file=sys.stderr)
+        return 2
+    window = codec.window if codec.window > 1 else args.window
+    try:
+        train, _ = train_test_windows(frames, window=window,
+                                      train_fraction=args.train_fraction,
+                                      stride=args.stride)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # map the shared CLI vocabulary onto each family's train() kwargs
+    candidates = {"vae_iters": args.vae_iters,
+                  "diffusion_iters": args.diffusion_iters,
+                  "sr_iters": args.sr_iters, "lam": args.lam}
+    accepted = inspect.signature(codec.impl.train).parameters
+    kwargs = {k: v for k, v in candidates.items() if k in accepted}
+    pretty = ", ".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+    print(f"training {args.codec} on {len(train)} windows "
+          f"({window} frames each): {pretty} ...")
+    codec.train(train, **kwargs)
+    if args.corrector:
+        print("fitting error-bound corrector ...")
+        codec.fit_corrector(train)
+    training_meta = {**kwargs, "seed": args.seed, "window": window,
+                     "corrector": bool(args.corrector)}
+    manifest = save_artifact(save, codec, training=training_meta,
+                             dataset=dataset_meta)
+    print(f"saved model artifact to {save} "
+          f"(state {manifest.state_hash[:16]})")
     return 0
 
 
@@ -170,10 +288,14 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        codec = _codec_for(args.codec, args.model)
+        codec = _codec_for(args.codec, args.model,
+                           artifact=args.codec_artifact)
     except _CodecCliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # an artifact names its own codec; downstream branching (envelope
+    # vs raw blob, error messages) follows the loaded codec
+    args.codec = codec.name
     if (codec.capabilities.requires_bound and args.error_bound is None
             and args.nrmse_bound is None):
         if args.dataset is None:
@@ -211,7 +333,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
     if args.dataset is not None:
         try:
-            spec = get_dataset_spec(args.dataset)
+            overrides = _parse_shape(args.shape) if args.shape else {}
+            spec = get_dataset_spec(args.dataset, **overrides)
             plan = plan_shards(spec, variables=[args.variable],
                                shards=args.shards, base_seed=args.seed)
         except (KeyError, ValueError) as exc:
@@ -258,9 +381,16 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.data, "rb") as fh:
         data = fh.read()
+    codecs = {}
+    if args.codec_artifact:
+        try:
+            loaded = _codec_for(None, None, artifact=args.codec_artifact)
+        except _CodecCliError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        codecs[loaded.name] = loaded
     if is_shard_archive(data):
         entries = unpack_shard_archive(data)
-        codecs = {}
         arrays = []
         for e in entries:
             name, payload = unpack_envelope(e.payload)
@@ -288,7 +418,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
                   f"not {args.codec!r}", file=sys.stderr)
             return 2
         try:
-            codec = _codec_for(name, args.model)
+            codec = codecs.get(name) or _codec_for(name, args.model)
         except _CodecCliError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -299,20 +429,53 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
             print(f"error: stream is a raw pipeline blob, not a "
                   f"{args.codec!r} envelope", file=sys.stderr)
             return 2
-        if not args.model or args.model == "-":
+        if _DEFAULT_CODEC in codecs:
+            compressor = codecs[_DEFAULT_CODEC].compressor
+        elif not args.model or args.model == "-":
             print("error: raw pipeline streams need a trained model "
                   "bundle (.npz)", file=sys.stderr)
             return 2
-        compressor = load_bundle(args.model)
+        else:
+            compressor = load_bundle(args.model)
         frames = compressor.decompress(CompressedBlob.from_bytes(data))
     np.save(args.output, frames)
     print(f"wrote {frames.shape} to {args.output}")
     return 0
 
 
+def _fmt_provenance(value) -> str:
+    if not value:
+        return "<unrecorded>"
+    return ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.data, "rb") as fh:
         data = fh.read()
+    if data[:4] == b"PK\x03\x04":  # .npz: a model artifact or bundle
+        if is_artifact(args.data):
+            m = read_manifest(args.data)
+            print(f"model artifact   : {m.codec} "
+                  f"(format v{m.format_version})")
+            print(f"state hash       : {m.state_hash}")
+            print(f"artifact key     : {m.key}")
+            spec_params = m.spec.get("params", {})
+            print(f"codec spec       : "
+                  f"{_fmt_provenance(spec_params) if spec_params else '<defaults>'}")
+            print(f"training         : {_fmt_provenance(m.training)}")
+            print(f"dataset          : {_fmt_provenance(m.dataset)}")
+            return 0
+        with np.load(args.data) as archive:
+            if "config_json" in archive.files:
+                print("model bundle     : ours (legacy, no manifest)")
+                print(f"state arrays     : "
+                      f"{len([k for k in archive.files if k != 'config_json'])}")
+                print("hint             : re-save with save_bundle to "
+                      "gain an artifact manifest")
+                return 0
+        print("error: .npz file is neither a model artifact nor a "
+              "legacy bundle", file=sys.stderr)
+        return 2
     if is_shard_archive(data):
         entries = unpack_shard_archive(data)
         variables = sorted({e.variable for e in entries})
@@ -400,16 +563,41 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = p.add_subparsers(dest="command", required=True)
 
-    t = sub.add_parser("train", help="train a compressor on a .npy stack")
-    t.add_argument("data", help="(T, H, W) .npy file")
-    t.add_argument("model", help="output model bundle (.npz)")
-    t.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    t = sub.add_parser("train", help="train any trainable codec and "
+                                     "save a model artifact")
+    t.add_argument("data", nargs="?", default=None,
+                   help="(T, H, W) .npy file (omit with --dataset)")
+    t.add_argument("model", nargs="?", default=None,
+                   help="output model artifact (.npz); or use --save")
+    t.add_argument("--codec", default=_DEFAULT_CODEC,
+                   help="trainable codec name: ours (default), "
+                        "vae-sr, cdc-eps, cdc-x, gcd")
+    t.add_argument("--dataset", default=None,
+                   help="train on a registered synthetic dataset "
+                        "instead of a file (see 'repro datasets')")
+    t.add_argument("--variable", type=int, default=0,
+                   help="dataset variable index (with --dataset)")
+    t.add_argument("--shape", default=None,
+                   help="dataset shape override TxHxW (with --dataset)")
+    t.add_argument("--save", default=None,
+                   help="output model artifact path (.npz)")
+    t.add_argument("--preset", choices=sorted(_PRESETS), default="tiny",
+                   help="architecture preset (codec 'ours')")
     t.add_argument("--vae-iters", type=int, default=300)
     t.add_argument("--diffusion-iters", type=int, default=800)
+    t.add_argument("--sr-iters", type=int, default=100,
+                   help="SR refinement iterations (codec 'vae-sr')")
     t.add_argument("--finetune-iters", type=int, default=0)
     t.add_argument("--lam", type=float, default=1e-6)
     t.add_argument("--train-fraction", type=float, default=0.5)
     t.add_argument("--stride", type=int, default=1)
+    t.add_argument("--window", type=int, default=6,
+                   help="training window length for learned codecs "
+                        "without a native window")
+    t.add_argument("--no-corrector", dest="corrector",
+                   action="store_false",
+                   help="skip fitting the error-bound corrector "
+                        "(learned baseline codecs)")
     t.add_argument("--seed", type=int, default=0)
     t.set_defaults(fn=_cmd_train)
 
@@ -430,11 +618,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "<dataset>-<codec>.cdx in dataset mode)")
     c.add_argument("--codec", default=_DEFAULT_CODEC,
                    help="registered codec name (see 'repro codecs')")
+    c.add_argument("--codec-artifact", default=None,
+                   help="load trained codec state from a model "
+                        "artifact (.npz written by 'repro train')")
     c.add_argument("--dataset", default=None,
                    help="compress a registered synthetic dataset "
                         "instead of a file (see 'repro datasets')")
     c.add_argument("--variable", type=int, default=0,
                    help="dataset variable index (with --dataset)")
+    c.add_argument("--shape", default=None,
+                   help="dataset shape override TxHxW (with --dataset)")
     c.add_argument("--shards", type=int, default=1,
                    help="split the time axis into N shards and write "
                         "a shard archive")
@@ -458,10 +651,14 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("output", help="output .npy path")
     d.add_argument("--codec", default=None,
                    help="expected codec (auto-detected from the stream)")
+    d.add_argument("--codec-artifact", default=None,
+                   help="load trained codec state from a model "
+                        "artifact (.npz written by 'repro train')")
     d.set_defaults(fn=_cmd_decompress)
 
-    i = sub.add_parser("info", help="inspect a compressed stream")
-    i.add_argument("data", help="compressed stream file")
+    i = sub.add_parser("info", help="inspect a compressed stream or a "
+                                    "model artifact")
+    i.add_argument("data", help="compressed stream or model artifact")
     i.set_defaults(fn=_cmd_info)
 
     q = sub.add_parser("qoi", help="certify quantities of interest")

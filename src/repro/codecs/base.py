@@ -147,6 +147,10 @@ class Codec(abc.ABC):
     min_frames: int = 1
     #: natural temporal batching unit (1 = frames are independent)
     window: int = 1
+    #: path of the artifact this codec's trained state was saved to or
+    #: loaded from (set by the artifact layer; makes trained codecs
+    #: spec-portable — see :meth:`to_spec`)
+    _artifact: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -221,24 +225,85 @@ class Codec(abc.ABC):
         workers, where :func:`repro.codecs.codec_from_spec` rebuilds an
         equivalent codec (bit-identical for stateless codecs and for
         untrained learned codecs, whose weight init is seeded by
-        config).  Codecs adopted around pre-built native objects record
-        no constructor kwargs and raise ``TypeError`` — trained state
-        moves via model bundles, not specs.
+        config).  A codec whose trained state lives in an artifact
+        (saved via :meth:`save_artifact` or loaded via
+        :meth:`load_artifact`) instead records the artifact path —
+        workers rebuild the trained codec from ``spec + artifact``.
+        Trained state that was never persisted, and codecs adopted
+        around pre-built native objects, raise ``TypeError``.
         """
         params = getattr(self, "_spec_params", None)
-        if params is None:
-            raise TypeError(
-                f"{type(self).__name__} ({self.name!r}) holds wrapped "
-                f"or trained state that a spec cannot rebuild; move "
-                f"trained models via bundles, or construct the codec "
-                f"from kwargs (get_codec) to make it spec-portable")
-        return {"codec": self.codec_id, "params": dict(params)}
+        if params is not None:
+            return {"codec": self.codec_id, "params": dict(params)}
+        if self._artifact is not None:
+            return {"codec": self.codec_id, "artifact": self._artifact}
+        raise TypeError(
+            f"{type(self).__name__} ({self.name!r}) holds wrapped "
+            f"or trained state that a spec cannot rebuild; save the "
+            f"trained model to an artifact (Codec.save_artifact / "
+            f"ArtifactStore.put) to make it spec-portable, or "
+            f"construct the codec from kwargs (get_codec)")
 
     @staticmethod
     def from_spec(spec: dict) -> "Codec":
         """Inverse of :meth:`to_spec` (dispatches via the registry)."""
         from .registry import codec_from_spec  # local: registry imports base
         return codec_from_spec(spec)
+
+    # ------------------------------------------------------------------
+    # Trained-state artifacts (uniform persistence contract).
+    # ------------------------------------------------------------------
+    def artifact_state(self) -> dict:
+        """Trained state as ``{name: ndarray}`` (subclass hook).
+
+        Implemented by every codec with the ``needs_training``
+        capability; the default makes the contract explicit for
+        model-free codecs.
+        """
+        raise TypeError(f"codec {self.name!r} has no trainable state "
+                        f"to persist")
+
+    def load_artifact_state(self, state: dict) -> None:
+        """Restore :meth:`artifact_state` arrays in place."""
+        raise TypeError(f"codec {self.name!r} has no trainable state "
+                        f"to restore")
+
+    def artifact_params(self) -> dict:
+        """Constructor kwargs recorded in an artifact manifest.
+
+        The untrained-rebuild recipe: ``get_codec(name, **params)``
+        followed by :meth:`load_artifact_state` must reproduce this
+        codec exactly.  Defaults to the construction kwargs (which,
+        unlike ``_spec_params``, survive training); wrapped codecs
+        without a recorded recipe raise.
+        """
+        params = getattr(self, "_spec_params", None)
+        if params is None:
+            params = getattr(self, "_init_params", None)
+        if params is None:
+            raise TypeError(
+                f"{type(self).__name__} ({self.name!r}) wraps a "
+                f"pre-built native object; no constructor recipe is "
+                f"available for an artifact manifest")
+        return dict(params)
+
+    def save_artifact(self, path, *, training: Optional[dict] = None,
+                      dataset: Optional[dict] = None):
+        """Persist trained state (see :mod:`repro.pipeline.artifacts`).
+
+        Returns the :class:`~repro.pipeline.artifacts.ArtifactManifest`
+        and attaches the artifact path to this codec, making it
+        spec-portable (:meth:`to_spec`).
+        """
+        from ..pipeline.artifacts import save_artifact
+        return save_artifact(path, self, training=training,
+                             dataset=dataset)
+
+    @staticmethod
+    def load_artifact(path) -> "Codec":
+        """Rebuild a trained codec from an artifact file."""
+        from ..pipeline.artifacts import load_artifact
+        return load_artifact(path)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -57,9 +57,47 @@ class LatentDiffusionCodec(Codec):
 
     @classmethod
     def from_bundle(cls, path: str) -> "LatentDiffusionCodec":
-        """Load a trained model bundle (see ``repro.pipeline.bundle``)."""
+        """Load a trained model bundle (see ``repro.pipeline.bundle``).
+
+        Artifact-format bundles come back *spec-portable* (the codec
+        remembers the artifact path, so process-pool sweeps work);
+        legacy pre-manifest ``.npz`` bundles load as wrapped
+        compressors.
+        """
+        from ..pipeline.artifacts import is_artifact, load_artifact
+        if is_artifact(path):
+            codec = load_artifact(path)
+            if not isinstance(codec, cls):
+                raise ValueError(f"{path!r} is a {codec.name!r} "
+                                 f"artifact, not an 'ours' bundle")
+            return codec
         from ..pipeline.bundle import load_bundle
         return cls(compressor=load_bundle(path))
+
+    # -- trained-state artifacts ----------------------------------------
+    def artifact_state(self) -> dict:
+        """Bundle-layout state (vae/ddpm/pca arrays + config JSON)."""
+        from ..pipeline.bundle import compressor_state
+        return compressor_state(self._impl)
+
+    @classmethod
+    def from_artifact_state(cls, state: dict) -> "LatentDiffusionCodec":
+        """Construct directly from saved state — the config travels
+        inside ``config_json``, so no throwaway preset model is built
+        (the artifact-load fast path used by process-pool workers)."""
+        from ..pipeline.bundle import compressor_from_state
+        return cls(compressor=compressor_from_state(state))
+
+    def load_artifact_state(self, state: dict) -> None:
+        """Rebuild the wrapped compressor wholesale from saved state."""
+        from ..pipeline.bundle import compressor_from_state
+        self._impl = compressor_from_state(state)
+
+    def artifact_params(self) -> dict:
+        # the state embeds the full config (compressor_state), so no
+        # constructor recipe is required; keep the preset if known
+        params = getattr(self, "_spec_params", None)
+        return dict(params) if params else {}
 
     # ------------------------------------------------------------------
     @property

@@ -103,6 +103,10 @@ class LearnedCodec(Codec):
             # init is seeded, so from_spec rebuilds bit-identically
             # (valid until train()/fit_corrector() mutate the model)
             self._spec_params = dict(impl_kwargs)
+            # construction recipe for artifact manifests; unlike
+            # _spec_params this survives training (the artifact's
+            # state arrays carry what training changed)
+            self._init_params = dict(impl_kwargs)
         self._impl = impl if impl is not None else self.impl_cls(
             **impl_kwargs)
 
@@ -116,11 +120,21 @@ class LearnedCodec(Codec):
     def train(self, windows, **kwargs) -> None:
         """Train the underlying model (kwargs are family-specific)."""
         self._spec_params = None  # trained state is not spec-portable
+        self._artifact = None     # ... and any saved artifact is stale
         self._impl.train(windows, **kwargs)
 
     def fit_corrector(self, windows, **kwargs) -> None:
         self._spec_params = None
+        self._artifact = None
         self._impl.fit_corrector(windows, **kwargs)
+
+    # -- trained-state artifacts ----------------------------------------
+    def artifact_state(self) -> Dict[str, np.ndarray]:
+        """Weights + corrector via the baseline's ``state_dict``."""
+        return self._impl.state_dict()
+
+    def load_artifact_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._impl.load_state(state)
 
     # ------------------------------------------------------------------
     def compress(self, frames: np.ndarray, bound: Optional[float] = None,

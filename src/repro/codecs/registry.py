@@ -100,8 +100,22 @@ def codec_from_spec(spec: Mapping[str, Any]) -> Codec:
     The construction is deterministic (stateless codecs trivially;
     learned codecs seed their weight init from the config), so a spec
     shipped to a process-pool worker rebuilds a codec whose streams are
-    bit-identical to the parent's.
+    bit-identical to the parent's.  Specs carrying an ``artifact``
+    reference rebuild *trained* codecs: the untrained codec is
+    constructed from the artifact's manifest and its persisted state
+    is restored (see :mod:`repro.pipeline.artifacts`), so trained
+    models sweep through process pools exactly like model-free codecs.
     """
+    artifact = spec.get("artifact")
+    if artifact is not None:
+        from ..pipeline.artifacts import load_artifact
+        codec = load_artifact(artifact)
+        if codec.codec_id != spec["codec"]:
+            raise ValueError(
+                f"artifact {artifact!r} holds codec "
+                f"{codec.codec_id!r}, but the spec names "
+                f"{spec['codec']!r}")
+        return codec
     return get_codec(spec["codec"], **dict(spec.get("params", {})))
 
 

@@ -6,6 +6,7 @@ arrays, so they stay inspectable with nothing but NumPy.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import os
 from typing import Dict, Union
@@ -14,9 +15,28 @@ import numpy as np
 
 from .modules import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_module"]
+__all__ = ["save_state", "load_state", "save_module", "load_module",
+           "state_digest"]
 
 PathLike = Union[str, os.PathLike]
+
+
+def state_digest(state: Dict[str, np.ndarray]) -> str:
+    """Deterministic content hash of a state dict.
+
+    Hashes names, dtypes, shapes and raw (C-contiguous) bytes in sorted
+    key order, so the digest is stable across processes and platforms
+    of equal endianness.  Used by the artifact store to content-address
+    trained-model files and to verify integrity on load.
+    """
+    h = hashlib.sha256()
+    for name in sorted(state):
+        arr = np.ascontiguousarray(state[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_state(state: Dict[str, np.ndarray], path: PathLike) -> None:

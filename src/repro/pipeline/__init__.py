@@ -7,8 +7,13 @@
   public compress/decompress API;
 * :mod:`repro.pipeline.training` — the two-stage training protocol of
   Sec. 3.4 plus few-step fine-tuning and corrector fitting;
+* :mod:`repro.pipeline.artifacts` — the codec-agnostic artifact layer:
+  content-addressed persistence of *any* trained codec
+  (:class:`~repro.pipeline.artifacts.ArtifactStore`), with provenance
+  manifests and spec-portability for process-pool sweeps;
 * :mod:`repro.pipeline.bundle` — single-file persistence of a trained
-  compressor (weights + configs + corrector);
+  latent-diffusion compressor (a thin adapter over the artifact
+  layer; legacy pre-manifest bundles still load);
 * :mod:`repro.pipeline.engine` — the batched parallel execution engine
   that runs any registered codec over windows/variables with
   deterministic seeding and per-window accounting;
@@ -18,14 +23,14 @@
   ``dataset x variables x window`` grids into picklable
   :class:`~repro.pipeline.plan.ShardTask` lists, plus the shard
   archive container;
-* :mod:`repro.pipeline.parallel` — deprecated window-parallel shim over
-  the engine;
 * :mod:`repro.pipeline.streaming` — constant-memory chunked compression
   of frame iterators into a :class:`~repro.pipeline.streaming.StreamArchive`;
 * :mod:`repro.pipeline.multivar` — multi-variable (V, T, H, W) archives
   with aggregate Eq. 11 accounting.
 """
 
+from .artifacts import (ArtifactManifest, ArtifactStore, is_artifact,
+                        load_artifact, read_manifest, save_artifact)
 from .blob import CompressedBlob, WindowStreams
 from .bundle import load_bundle, save_bundle
 from .compressor import CompressionResult, LatentDiffusionCompressor
@@ -34,7 +39,6 @@ from .executors import (Executor, ProcessExecutor, SerialExecutor,
                         ThreadExecutor, get_executor, list_executors)
 from .multivar import (MultiVarArchive, MultiVariableCompressor,
                        MultiVarResult)
-from .parallel import compress_windows_parallel
 from .plan import (ShardEntry, ShardPlan, ShardTask, assemble_shards,
                    is_shard_archive, pack_shard_archive, plan_shards,
                    time_slices, unpack_shard_archive)
@@ -48,10 +52,11 @@ __all__ = [
     "CodecEngine", "BatchResult", "WindowReport", "parallel_map",
     "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
     "get_executor", "list_executors",
+    "ArtifactStore", "ArtifactManifest", "save_artifact",
+    "load_artifact", "read_manifest", "is_artifact",
     "ShardTask", "ShardPlan", "ShardEntry", "plan_shards",
     "time_slices", "pack_shard_archive", "unpack_shard_archive",
     "is_shard_archive", "assemble_shards",
-    "compress_windows_parallel",
     "StreamingCompressor", "StreamArchive", "ChunkResult",
     "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",
 ]

@@ -13,14 +13,13 @@ backend (``serial`` / ``thread`` / ``process``), while guaranteeing:
 * **bit-identical results across backends** — outputs are keyed by
   index and every codec's compress path is free of shared mutable
   state; process workers rebuild codec and dataset from picklable
-  specs whose construction is deterministic, so all three backends
-  produce byte-for-byte the same streams;
+  specs whose construction is deterministic (trained codecs restore
+  their state from the artifact referenced by the spec — see
+  :mod:`repro.pipeline.artifacts`), so all three backends produce
+  byte-for-byte the same streams;
 * **per-window timing and accounting aggregation** — each
   :class:`WindowReport` carries its wall time and the
   :class:`BatchResult` sums Eq. 11 accounting across the batch.
-
-The legacy :func:`repro.pipeline.parallel.compress_windows_parallel`
-helper is a deprecated shim over this engine.
 """
 
 from __future__ import annotations
@@ -234,8 +233,10 @@ class CodecEngine:
         except TypeError as exc:
             raise TypeError(
                 f"codec {self.codec.name!r} cannot be shipped to a "
-                f"{self.executor.name!r} executor ({exc}); use the "
-                f"serial or thread backend for stateful codecs"
+                f"{self.executor.name!r} executor ({exc}); save "
+                f"trained state to an artifact (Codec.save_artifact) "
+                f"first, or use the serial or thread backend for "
+                f"stateful codecs"
             ) from None
 
     @staticmethod

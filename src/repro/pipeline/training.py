@@ -203,6 +203,32 @@ class TwoStageTrainer:
             self.vae, self.ddpm, self.config.pipeline, corrector=corrector,
             original_dtype_bytes=original_dtype_bytes)
 
+    def export_artifact(self, target, windows: Sequence[np.ndarray],
+                        dataset: Optional[dict] = None,
+                        original_dtype_bytes: int = 4):
+        """Build the deployable compressor and persist it as a codec
+        artifact with training provenance.
+
+        ``target`` is either an :class:`~repro.pipeline.artifacts.
+        ArtifactStore` (returns the content-addressed key) or a file
+        path (returns the :class:`~repro.pipeline.artifacts.
+        ArtifactManifest`).  The manifest records this trainer's
+        :class:`TrainingConfig`, seed and — when given — the dataset
+        spec the windows came from, so ``repro info`` can answer
+        "what trained this model, on what data".
+        """
+        import dataclasses as _dc
+
+        from ..codecs.diffusion import LatentDiffusionCodec
+        from .artifacts import ArtifactStore, save_artifact
+        codec = LatentDiffusionCodec(compressor=self.build_compressor(
+            windows, original_dtype_bytes=original_dtype_bytes))
+        training = {**_dc.asdict(self.train_cfg), "seed": self.seed}
+        if isinstance(target, ArtifactStore):
+            return target.put(codec, training=training, dataset=dataset)
+        return save_artifact(target, codec, training=training,
+                             dataset=dataset)
+
 
     # ------------------------------------------------------------------
     # stage-boundary checkpointing

@@ -12,7 +12,7 @@ from repro import (CompressedBlob, LatentDiffusionCompressor,
                    TrainingConfig, TwoStageTrainer, nrmse, tiny)
 from repro.data import E3SMSynthetic
 from repro.data.base import train_test_windows
-from repro.pipeline import compress_windows_parallel
+from repro.pipeline import CodecEngine
 from repro.pipeline.compressor import window_starts
 
 CFG = tiny()
@@ -147,24 +147,21 @@ class TestTrainingImproves:
         assert res_trained.achieved_nrmse < res_bare.achieved_nrmse
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestParallel:
-    """Legacy shim behavior (its DeprecationWarning is asserted in
-    tests/pipeline/test_executors.py)."""
+    """Window-parallel batches through the engine (the deprecated
+    ``repro.pipeline.parallel`` shim over it has been removed)."""
 
     def test_parallel_matches_serial(self, trained):
         _, compressor, frames, _ = trained
         stacks = [frames, frames * 0.5 + 1.0]
-        serial = compress_windows_parallel(compressor, stacks,
-                                           max_workers=1)
-        parallel = compress_windows_parallel(compressor, stacks,
-                                             max_workers=2)
-        for a, b in zip(serial, parallel):
+        serial = CodecEngine(compressor, max_workers=1).compress(stacks)
+        parallel = CodecEngine(compressor, max_workers=2).compress(stacks)
+        for a, b in zip(serial.results, parallel.results):
             np.testing.assert_allclose(a.reconstruction, b.reconstruction,
                                        atol=1e-12)
-            assert a.blob.to_bytes() == b.blob.to_bytes()
+            assert a.detail.blob.to_bytes() == b.detail.blob.to_bytes()
 
     def test_invalid_workers(self, trained):
         _, compressor, frames, _ = trained
         with pytest.raises(ValueError):
-            compress_windows_parallel(compressor, [frames], max_workers=0)
+            CodecEngine(compressor, max_workers=0).compress([frames])

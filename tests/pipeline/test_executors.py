@@ -173,13 +173,81 @@ class TestCodecSpecs:
         with pytest.raises(TypeError, match="serial or thread"):
             engine.compress([np.zeros((4, 8, 8))], bound=0.1)
 
+    def test_artifact_spec_roundtrip_trained(self, tmp_path):
+        """A trained codec saved to an artifact is spec-portable."""
+        codec = get_codec("vae-sr")
+        rng = np.random.default_rng(0)
+        codec.train([rng.normal(size=(4, 8, 8))], vae_iters=1,
+                    sr_iters=1)
+        codec.save_artifact(str(tmp_path / "m.npz"))
+        spec = codec.to_spec()
+        assert spec["artifact"] == str(tmp_path / "m.npz")
+        clone = codec_from_spec(spec)
+        frames = np.linspace(0, 1, 4 * 8 * 8).reshape(4, 8, 8)
+        a = codec.compress(frames, None, seed=1)
+        b = clone.compress(frames, None, seed=1)
+        assert a.payload == b.payload
 
-class TestDeprecatedParallelShim:
-    def test_compress_windows_parallel_warns(self):
-        from repro.pipeline.parallel import compress_windows_parallel
-        codec = get_codec("ours")  # untrained tiny preset
-        stacks = [np.linspace(0, 1, 6 * 8 * 8).reshape(6, 8, 8)]
-        with pytest.deprecated_call():
-            results = compress_windows_parallel(codec.compressor, stacks,
-                                                max_workers=1)
-        assert len(results) == 1
+
+class TestTrainedCodecExecutorEquivalence:
+    """Satellite of the artifact-store PR: serial/thread/process must
+    stay byte-identical when the codec is *trained* and process
+    workers rebuild it from an artifact."""
+
+    @pytest.fixture(scope="class")
+    def trained_artifact(self, tmp_path_factory):
+        codec = get_codec("vae-sr")
+        rng = np.random.default_rng(7)
+        wins = [rng.normal(size=(4, 8, 8)).cumsum(axis=0)
+                for _ in range(2)]
+        codec.train(wins, vae_iters=2, sr_iters=2)
+        codec.fit_corrector(wins)
+        path = str(tmp_path_factory.mktemp("artifact") / "vae-sr.npz")
+        codec.save_artifact(path)
+        return codec, path
+
+    def test_backends_bit_identical_from_artifact(self, trained_artifact,
+                                                  process_executor):
+        codec, path = trained_artifact
+        rng = np.random.default_rng(5)
+        stacks = [rng.normal(size=(4, 8, 8)).cumsum(axis=0)
+                  for _ in range(3)]
+        batches = {}
+        for executor in (SerialExecutor(), ThreadExecutor(2),
+                         process_executor):
+            engine = CodecEngine(codec, executor=executor, base_seed=13)
+            batches[executor.name] = engine.compress(
+                stacks, nrmse_bound=0.05)
+        ref = batches["serial"]
+        for name in ("thread", "process"):
+            got = batches[name]
+            assert [r.payload for r in got.results] == \
+                [r.payload for r in ref.results], name
+            for a, b in zip(got.results, ref.results):
+                assert a.accounting == b.accounting, name
+
+    def test_loaded_artifact_equivalent_to_original(self,
+                                                    trained_artifact):
+        from repro.codecs import Codec
+        codec, path = trained_artifact
+        clone = Codec.load_artifact(path)
+        frames = np.random.default_rng(9).normal(
+            size=(4, 8, 8)).cumsum(axis=0)
+        a = codec.compress_bounded(frames, nrmse_bound=0.05, seed=2)
+        b = clone.compress_bounded(frames, nrmse_bound=0.05, seed=2)
+        assert a.payload == b.payload
+        np.testing.assert_array_equal(clone.decompress(a.payload),
+                                      a.reconstruction)
+
+
+class TestParallelShimRemoved:
+    def test_module_is_gone(self):
+        """PR 2 deprecated repro.pipeline.parallel; it is now removed."""
+        with pytest.raises(ImportError):
+            import repro.pipeline.parallel  # noqa: F401
+
+    def test_symbol_not_exported(self):
+        import repro
+        import repro.pipeline
+        assert not hasattr(repro.pipeline, "compress_windows_parallel")
+        assert not hasattr(repro, "compress_windows_parallel")

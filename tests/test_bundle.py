@@ -93,6 +93,53 @@ class TestBundleRoundtrip:
         assert r1.blob.to_bytes() == r0.blob.to_bytes()
 
 
+class TestBundleFormats:
+    """save_bundle now writes codec artifacts; legacy pre-manifest
+    bundles must keep loading byte-for-byte."""
+
+    def test_new_bundles_are_artifacts(self, tmp_path):
+        from repro.pipeline.artifacts import is_artifact, read_manifest
+        comp = _compressor(with_corrector=True, seed=6)
+        path = str(tmp_path / "model.npz")
+        save_bundle(path, comp)
+        assert is_artifact(path)
+        manifest = read_manifest(path)
+        assert manifest.codec == "ours"
+        assert len(manifest.state_hash) == 64
+
+    def test_legacy_bundle_still_loads(self, tmp_path):
+        """A pre-artifact .npz (state arrays, no manifest) loads and
+        reproduces compression exactly."""
+        from repro.pipeline.artifacts import is_artifact
+        from repro.pipeline.bundle import compressor_state
+        comp = _compressor(with_corrector=True, seed=5)
+        legacy = str(tmp_path / "legacy.npz")
+        # the historical save_bundle layout: bare state arrays
+        np.savez_compressed(legacy, **compressor_state(comp))
+        assert not is_artifact(legacy)
+        restored = load_bundle(legacy)
+        frames = np.random.default_rng(8).standard_normal((4, 16, 16))
+        r0 = comp.compress(frames, noise_seed=2)
+        r1 = restored.compress(frames, noise_seed=2)
+        assert r1.blob.to_bytes() == r0.blob.to_bytes()
+        assert restored.corrector is not None
+
+    def test_artifact_bundle_is_process_portable(self, tmp_path):
+        """Bundles written today feed process-pool sweeps directly."""
+        from repro.codecs import LatentDiffusionCodec
+        comp = _compressor(seed=7)
+        path = str(tmp_path / "model.npz")
+        save_bundle(path, comp)
+        codec = LatentDiffusionCodec.from_bundle(path)
+        spec = codec.to_spec()
+        assert spec["artifact"] == path
+        clone = codec.from_spec(spec)
+        frames = np.random.default_rng(3).standard_normal((4, 16, 16))
+        a = codec.compress(frames, seed=4)
+        b = clone.compress(frames, seed=4)
+        assert a.payload == b.payload
+
+
 class TestExamplesSmoke:
     def test_rulebased_comparison_example_runs(self, capsys):
         """The no-training example must run end to end."""
