@@ -33,12 +33,14 @@ import time
 
 import numpy as np
 
+from repro.api import Bound, Session
 from repro.codecs import get_codec, list_codecs
 from repro.data import get_dataset_spec
 from repro.pipeline.engine import CodecEngine
 from repro.pipeline.executors import (ProcessExecutor, SerialExecutor,
                                       ThreadExecutor)
-from repro.pipeline.plan import plan_shards
+from repro.pipeline.plan import (pack_shard_archive, plan_shards,
+                                 ShardEntry)
 
 from .conftest import save_json
 
@@ -84,6 +86,68 @@ def _append_trajectory(record) -> bool:
 def _workload() -> np.ndarray:
     return get_dataset_spec("e3sm", t=12, h=16, w=16, seed=11) \
         .build().frames(0)
+
+
+#: facade-vs-engine workload (kept smaller than the executor grid so
+#: dispatch overhead is a visible fraction of the wall clock)
+FACADE_SHARDS = 8
+FACADE_OVERRIDES = {"t": 24, "h": 32, "w": 32, "seed": 11}
+FACADE_REPS = 3
+
+
+def _facade_overhead() -> dict:
+    """Min-of-reps wall clock: direct engine drive vs Session facade.
+
+    Both sides produce the identical shard archive; the assertion at
+    the end is the acceptance criterion (facade overhead within
+    noise).
+    """
+    from repro.codecs import pack_envelope
+    plan = plan_shards("e3sm", variables=[0], shards=FACADE_SHARDS,
+                       **FACADE_OVERRIDES)
+
+    def engine_run() -> bytes:
+        engine = CodecEngine("szlike", executor="serial")
+        batch = engine.compress_plan(plan, nrmse_bound=REL_BOUND,
+                                     keep_reconstruction=False)
+        entries = [ShardEntry(shard_id=t.shard_id, variable=t.variable,
+                              t0=t.t0, t1=t.t1,
+                              payload=pack_envelope("szlike", r.payload))
+                   for t, r in zip(plan, batch.results)]
+        return pack_shard_archive(entries)
+
+    session = Session(codec="szlike", executor="serial")
+
+    def session_run() -> bytes:
+        archive = session.compress(
+            "e3sm", bound=Bound.nrmse(REL_BOUND), variables=[0],
+            shards=FACADE_SHARDS, dataset_overrides=FACADE_OVERRIDES,
+            keep_reconstruction=False)
+        return archive.to_bytes()
+
+    walls = {}
+    wires = {}
+    for name, run in (("engine", engine_run), ("session", session_run)):
+        run()  # untimed warmup (generation caches, codec cache)
+        best = float("inf")
+        for _ in range(FACADE_REPS):
+            t0 = time.perf_counter()
+            wires[name] = run()
+            best = min(best, time.perf_counter() - t0)
+        walls[name] = best
+    session.close()
+
+    assert wires["session"] == wires["engine"], \
+        "facade archive differs from direct engine drive"
+    return {
+        "workload": (f"e3sm-{FACADE_OVERRIDES['t']}x"
+                     f"{FACADE_OVERRIDES['h']}x{FACADE_OVERRIDES['w']}"
+                     f"-x{FACADE_SHARDS}shards-szlike-serial"),
+        "engine_seconds": round(walls["engine"], 6),
+        "session_seconds": round(walls["session"], 6),
+        "overhead_ratio": round(walls["session"]
+                                / max(walls["engine"], 1e-9), 4),
+    }
 
 
 def _bound_for(codec, frames):
@@ -157,6 +221,12 @@ def test_codec_registry_smoke(benchmark):
         "total_wall_seconds": totals,
     }
 
+    # facade overhead: Session.compress over the same grid vs driving
+    # the engine directly (plan -> compress_plan -> shard archive);
+    # the facade adds only dispatch + codec-cache lookups, so the two
+    # must stay within noise of each other
+    facade_row = _facade_overhead()
+
     print(f"\n{'codec':10s} {'enc s':>10s} {'dec s':>10s} "
           f"{'bytes':>8s} {'ratio':>8s}")
     for name, r in rows.items():
@@ -171,9 +241,18 @@ def test_codec_registry_smoke(benchmark):
                          for c in EXEC_CODECS)
         print(f"{exec_name:10s} {cells} {totals[exec_name]:10.4f}")
 
+    print(f"\nfacade overhead ({facade_row['workload']}): "
+          f"engine {facade_row['engine_seconds']:.4f}s, "
+          f"session {facade_row['session_seconds']:.4f}s "
+          f"(x{facade_row['overhead_ratio']:.3f})")
+    # acceptance: the facade must sit within noise of the direct drive
+    assert (facade_row["session_seconds"]
+            <= facade_row["engine_seconds"] * 1.5 + 0.05), facade_row
+
     record = {"workload": "e3sm-12x16x16-seed11",
               "rel_bound": REL_BOUND,
-              "codecs": rows, "executors": engine_row}
+              "codecs": rows, "executors": engine_row,
+              "facade": facade_row}
     save_json("codec_registry_smoke", record)
 
     # append to the trajectory file so PRs can diff perf over time

@@ -12,8 +12,8 @@ Run time: ~1 minute on a laptop CPU.
 
 import numpy as np
 
-from repro import (CompressedBlob, TrainingConfig, TwoStageTrainer, nrmse,
-                   tiny)
+from repro import (Archive, Bound, Session, TrainingConfig,
+                   TwoStageTrainer, nrmse, tiny)
 from repro.data import E3SMSynthetic
 from repro.data.base import train_test_windows
 
@@ -44,19 +44,21 @@ def main() -> None:
 
     compressor = trainer.build_compressor(train)
 
-    # --- compress with an error bound ----------------------------------
+    # --- compress through the facade with an error bound ----------------
     target = 0.02
     print(f"compressing {frames.shape} with NRMSE bound {target} ...")
-    result = compressor.compress(frames, nrmse_bound=target)
-    print(f"  compression ratio : {result.ratio:6.1f}x")
-    print(f"  achieved NRMSE    : {result.achieved_nrmse:.5f} "
+    session = Session(codec=compressor)  # adopts the trained pipeline
+    archive = session.compress(frames, bound=Bound.nrmse(target))
+    blob = archive.blob()
+    print(f"  compression ratio : {archive.stats['ratio']:6.1f}x")
+    print(f"  achieved NRMSE    : {archive.stats['nrmse']:.5f} "
           f"(bound {target})")
-    print(f"  latent bytes      : {result.accounting.latent_bytes}")
-    print(f"  guarantee bytes   : {result.accounting.guarantee_bytes}")
+    print(f"  latent bytes      : {blob.latent_bytes()}")
+    print(f"  guarantee bytes   : {blob.guarantee_bytes()}")
 
     # --- byte-level round trip ------------------------------------------
-    wire = result.blob.to_bytes()
-    restored = compressor.decompress(CompressedBlob.from_bytes(wire))
+    wire = archive.to_bytes()
+    restored = session.decompress(Archive.open(wire))
     assert nrmse(frames, restored) <= target * (1 + 1e-9)
     print(f"round trip through {len(wire)} bytes OK — bound holds on the "
           "decoded stream.")

@@ -1,28 +1,25 @@
 #!/usr/bin/env python
 """Streaming + multi-variable compression of a long simulation.
 
-Demonstrates the two deployment-scale entry points:
+Demonstrates the two deployment-scale input shapes of the
+:class:`repro.Session` facade:
 
-1. :class:`repro.pipeline.StreamingCompressor` — feed frames one at a
-   time (here from a generator that never materializes the full
-   array), get a self-describing archive back, memory bounded by the
-   chunk size;
-2. :class:`repro.pipeline.MultiVariableCompressor` — compress several
-   physical variables with one shared trained model and aggregate the
-   Eq. 11 accounting across the dataset.
+1. **frame iterators** — feed frames one at a time (here from a
+   generator that never materializes the full array) and get a
+   self-describing stream archive back, memory bounded by the chunk
+   size;
+2. **variable mappings** — compress several physical variables with
+   one shared trained model and aggregate the Eq. 11 accounting
+   across the dataset.
 
 Run time: ~2 minutes on a laptop CPU.
 
     python examples/streaming_multivar.py
 """
 
-import numpy as np
-
-from repro import (StreamArchive, StreamingCompressor, TrainingConfig,
-                   TwoStageTrainer, tiny)
+from repro import Archive, Bound, Session, TrainingConfig, TwoStageTrainer, tiny
 from repro.data import E3SMSynthetic
 from repro.data.base import train_test_windows
-from repro.pipeline import MultiVariableCompressor
 
 
 def frame_stream(dataset, variable):
@@ -46,42 +43,30 @@ def main() -> None:
     print("training shared model ...")
     trainer.train_vae(train)
     trainer.train_diffusion(train)
-    compressor = trainer.build_compressor(train)
+    session = Session(codec=trainer.build_compressor(train),
+                      chunk_windows=2)
 
-    # --- 1) streaming ----------------------------------------------------
+    # --- 1) streaming: an iterator source --------------------------------
     print("\n--- streaming compression (constant memory) ---")
-    sc = StreamingCompressor(compressor, chunk_windows=2)
-    print(f"chunk size: {sc.chunk_frames} frames "
-          f"({cfg.pipeline.window}-frame windows x 2)")
-    archive = StreamArchive(original_dtype_bytes=4)
-    for res in sc.compress_iter(frame_stream(dataset, 0),
-                                nrmse_bound=0.05):
-        archive.blobs.append(res.blob)
-        print(f"  chunk {res.index}: frames "
-              f"[{res.start_frame}, {res.start_frame + res.num_frames}), "
-              f"NRMSE {res.achieved_nrmse:.4f}")
-    acc = archive.accounting()
-    print(f"stream total: {archive.num_frames} frames, "
-          f"ratio {acc.ratio:.1f}x over {acc.latent_bytes + acc.guarantee_bytes} bytes")
+    archive = session.compress(frame_stream(dataset, 0),
+                               bound=Bound.nrmse(0.05))
+    s = archive.stats
+    print(f"stream archive: {s['chunks']} chunks, {s['frames']} frames, "
+          f"ratio {s['ratio']:.1f}x over {s['bytes']} bytes")
 
-    wire = archive.to_bytes()
-    restored = StreamArchive.from_bytes(wire)
-    recon = sc.decompress_all(restored)
-    print(f"round trip through {len(wire)} archive bytes: "
+    recon = session.decompress(Archive.open(archive.to_bytes()))
+    print(f"round trip through {len(archive)} archive bytes: "
           f"{recon.shape} reconstructed")
 
-    # --- 2) multi-variable ----------------------------------------------
+    # --- 2) multi-variable: a mapping source -----------------------------
     print("\n--- multi-variable compression (3 climate variables) ---")
-    mv = MultiVariableCompressor(compressor)
     stacks = {f"var{i}": dataset.frames(i)[:24] for i in range(3)}
-    result = mv.compress(stacks, nrmse_bound=0.05)
-    for name, r in result.results.items():
-        print(f"  {name}: ratio {r.ratio:6.1f}x, "
-              f"NRMSE {r.achieved_nrmse:.4f}")
+    mv = session.compress(stacks, bound=Bound.nrmse(0.05))
     print(f"dataset-level ratio (Eq. 11 over all variables): "
-          f"{result.ratio:.1f}x; worst NRMSE {result.worst_nrmse():.4f}")
+          f"{mv.stats['ratio']:.1f}x; worst NRMSE "
+          f"{mv.stats['nrmse']:.4f}")
 
-    out = mv.decompress(result.archive())
+    out = session.decompress(mv)
     assert set(out) == set(stacks)
     print("all variables round-trip through one archive.")
 

@@ -3,10 +3,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.3.0",
     description=("Reproduction of 'Generative Latent Diffusion for "
                  "Efficient Spatiotemporal Data Reduction' with a "
-                 "unified codec registry and parallel execution engine"),
+                 "unified codec registry, parallel execution engine "
+                 "and a Session/Archive facade API"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",

@@ -3,25 +3,44 @@ Spatiotemporal Data Reduction" (Li, Zhu, Rangarajan, Ranka — SC'25).
 
 Public API
 ----------
-Most users need only:
+The front door is :class:`repro.Session` — one facade over every
+pipeline (single stacks, dataset sweeps, multi-variable sets, frame
+streams) — together with :class:`repro.Archive` (every container
+format behind one loader) and :class:`repro.Bound` (error bounds as
+values, not string kwargs):
 
->>> from repro import small, train_compressor
->>> from repro.data import E3SMSynthetic
->>> from repro.data.base import train_test_windows
->>> ds = E3SMSynthetic(t=32, h=32, w=32)
->>> train, test = train_test_windows(ds.frames(0), window=8)
->>> compressor = train_compressor(small(), train)     # doctest: +SKIP
->>> result = compressor.compress(ds.frames(0), nrmse_bound=1e-3)  # doctest: +SKIP
->>> result.ratio                                      # doctest: +SKIP
+>>> import numpy as np
+>>> from repro import Session, Archive, Bound
+>>> frames = np.linspace(0.0, 1.0, 6 * 8 * 8).reshape(6, 8, 8)
+>>> with Session(codec="szlike") as session:
+...     archive = session.compress(frames, bound=Bound.nrmse(1e-3))
+...     restored = session.decompress(archive)
+>>> bool(np.max(np.abs(restored - frames)) <= 1e-3)
+True
+>>> Archive.open(archive.to_bytes()).codecs()
+['szlike']
+
+The same ``compress`` call accepts a registered dataset name (sharded
+sweep over the session's executor backend), a ``{name: stack}``
+mapping (multi-variable archive) or a frame iterator (constant-memory
+streaming) — see :mod:`repro.api`.
 
 Subpackages: :mod:`repro.nn` (NumPy autodiff substrate),
 :mod:`repro.entropy` (arithmetic coding + priors),
 :mod:`repro.compression` (VAE + hyperprior), :mod:`repro.diffusion`
 (conditional latent DDPM), :mod:`repro.postprocess` (error-bound
-guarantee), :mod:`repro.pipeline` (end-to-end compressor),
-:mod:`repro.baselines` (SZ3/ZFP/CDC/GCD/VAE-SR analogues),
-:mod:`repro.data` (synthetic datasets).
+guarantee), :mod:`repro.pipeline` (end-to-end compressor, engine,
+executors, artifact store), :mod:`repro.baselines`
+(SZ3/ZFP/CDC/GCD/VAE-SR analogues), :mod:`repro.data` (synthetic
+datasets).
+
+Deprecated top-level names: importing ``MultiVariableCompressor`` or
+``StreamingCompressor`` from ``repro`` warns — route multi-variable
+and streaming workloads through :meth:`Session.compress` (or import
+the classes from :mod:`repro.pipeline` directly).
 """
+
+import warnings as _warnings
 
 from .config import (DiffusionConfig, PipelineConfig, ReproConfig, VAEConfig,
                      paper, small, tiny)
@@ -31,17 +50,39 @@ from .metrics import (CompressionAccounting, compression_ratio,
 from .pipeline import (ArtifactManifest, ArtifactStore, BatchResult,
                        CodecEngine, CompressedBlob, CompressionResult,
                        LatentDiffusionCompressor, MultiVarArchive,
-                       MultiVariableCompressor, MultiVarResult,
-                       StreamArchive, StreamingCompressor,
-                       TrainingConfig, TwoStageTrainer, load_artifact,
-                       load_bundle, save_artifact, save_bundle,
-                       train_compressor)
+                       MultiVarResult, StreamArchive, TrainingConfig,
+                       TwoStageTrainer, load_artifact, load_bundle,
+                       save_artifact, save_bundle, train_compressor)
 from .codecs import (Codec, CodecResult, as_codec, get_codec, list_codecs,
                      register_codec)
+from .api import Archive, Bound, Session, SessionError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: top-level names now served through Session; importing them from
+#: ``repro`` still works but emits a DeprecationWarning
+_DEPRECATED = {
+    "MultiVariableCompressor":
+        "route multi-variable workloads through repro.Session.compress"
+        "({'name': stack, ...}) or import it from repro.pipeline",
+    "StreamingCompressor":
+        "route streaming workloads through repro.Session.compress"
+        "(frame_iterator) or import it from repro.pipeline",
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED:
+        _warnings.warn(
+            f"repro.{name} is deprecated: {_DEPRECATED[name]}",
+            DeprecationWarning, stacklevel=2)
+        from . import pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "Session", "Archive", "Bound", "SessionError",
     "VAEConfig", "DiffusionConfig", "PipelineConfig", "ReproConfig",
     "tiny", "small", "paper",
     "nrmse", "rmse", "mse", "psnr", "ssim", "temporal_autocorrelation",

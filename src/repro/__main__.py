@@ -1,0 +1,10 @@
+"""Module entry point: ``python -m repro`` == the ``repro`` script.
+
+Keeps the CLI invokable from a plain checkout (``PYTHONPATH=src
+python -m repro ...``) without the console-script install.
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

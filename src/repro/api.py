@@ -1,0 +1,838 @@
+"""``repro.api`` — the one front door to the compression platform.
+
+The platform layers beneath this module (codec/dataset registries, the
+shard planner, pluggable executors, the artifact store) are stable, but
+historically every workload talked to a different surface:
+``LatentDiffusionCompressor`` for single stacks, ``CodecEngine`` for
+sweeps, ``MultiVariableCompressor`` for variable sets,
+``StreamingCompressor`` for iterators, and a CLI that hand-wired five
+container formats.  This module folds them behind two types:
+
+:class:`Session`
+    Owns the registry lookups, codec cache, executor backend and
+    seeds.  ``session.compress(source, bound=...)`` accepts a
+    ``(T, H, W)`` array, a registered dataset name or
+    :class:`~repro.data.registry.DatasetSpec`, a multi-variable
+    mapping / ``(V, T, H, W)`` array, or a frame *iterator*, and
+    dispatches to the right pipeline — engine sweep, multi-variable
+    fan-out, or constant-memory streaming — returning an
+    :class:`Archive` either way.  ``session.decompress`` inverts any
+    archive; ``session.train`` trains any trainable codec and saves a
+    portable artifact; ``session.info`` inspects streams and model
+    files.
+
+:class:`Archive`
+    One typed handle over every container format this repo has ever
+    written — raw pipeline blob (``LDCB``), tagged codec envelope
+    (``CDX1``), multi-variable archive (``LDMV`` v1/v2), stream
+    archive (``LDSA`` v1/v2) and shard archive (``SHRD``) —
+    with a single sniffing loader (:meth:`Archive.open`) and uniform
+    ``save``/``to_bytes``/``describe``.
+
+Bounds are expressed with the first-class :class:`~repro.bound.Bound`
+value type (``Bound.nrmse(1e-3)``, ``Bound.pointwise(0.5)``, ...); the
+legacy ``error_bound``/``nrmse_bound`` kwargs remain as thin aliases.
+
+Everything stays spec-portable: a ``Session(executor="process")``
+sweep ships codec + dataset specs to pool workers and produces
+archives byte-identical to ``executor="serial"``.
+
+>>> import numpy as np
+>>> from repro.api import Session, Bound
+>>> frames = np.linspace(0.0, 1.0, 4 * 8 * 8).reshape(4, 8, 8)
+>>> with Session(codec="szlike") as session:
+...     archive = session.compress(frames, bound=Bound.nrmse(1e-3))
+...     restored = session.decompress(archive)
+>>> archive.kind
+'envelope'
+>>> bool(np.max(np.abs(restored - frames)) <= 1e-3)
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import os
+from typing import (Any, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Union)
+
+import numpy as np
+
+from .bound import Bound
+from .codecs import (Codec, LatentDiffusionCodec, as_codec, get_codec,
+                     is_envelope, pack_envelope, unpack_envelope)
+from .data.base import SpatiotemporalDataset, train_test_windows
+from .data.registry import (DatasetSpec, get_dataset_spec, list_datasets,
+                            spec_of)
+from .pipeline.artifacts import (ArtifactStore, is_artifact,
+                                 read_manifest, save_artifact)
+from .pipeline.blob import CompressedBlob
+from .pipeline.engine import CodecEngine
+from .pipeline.executors import Executor, get_executor
+from .pipeline.multivar import MultiVarArchive, MultiVariableCompressor
+from .pipeline.plan import (ShardEntry, ShardPlan, assemble_shards,
+                            is_shard_archive, pack_shard_archive,
+                            plan_shards, time_slices,
+                            unpack_shard_archive)
+from .pipeline.streaming import StreamArchive, StreamingCompressor
+
+__all__ = ["Session", "Archive", "Bound", "SessionError",
+           "ARCHIVE_KINDS", "sniff_kind"]
+
+#: container kinds :meth:`Archive.open` recognizes, in sniff order
+ARCHIVE_KINDS = ("shard", "envelope", "multivar", "stream", "blob")
+
+_MULTIVAR_MAGIC = b"LDMV"
+_STREAM_MAGIC = b"LDSA"
+_BLOB_MAGIC = b"LDCB"
+_NPZ_MAGIC = b"PK\x03\x04"
+
+#: the default codec — the paper's pipeline
+DEFAULT_CODEC = "ours"
+
+
+class SessionError(ValueError):
+    """A facade-level dispatch/selection problem (bad codec choice,
+    unrecognized container, missing model state)."""
+
+
+# ----------------------------------------------------------------------
+# Archive: one handle over every container format.
+# ----------------------------------------------------------------------
+def sniff_kind(data: bytes) -> str:
+    """Identify a compressed container from its magic bytes.
+
+    Returns one of :data:`ARCHIVE_KINDS`, or ``"model"`` for ``.npz``
+    files (model artifacts / legacy bundles, which are not archives).
+    Raises :class:`SessionError` for unrecognized data.
+    """
+    head = bytes(data[:4])
+    if is_shard_archive(data):
+        return "shard"
+    if is_envelope(data):
+        return "envelope"
+    if head == _MULTIVAR_MAGIC:
+        return "multivar"
+    if head == _STREAM_MAGIC:
+        return "stream"
+    if head == _BLOB_MAGIC:
+        return "blob"
+    if head == _NPZ_MAGIC:
+        return "model"
+    raise SessionError(
+        f"unrecognized container (magic {head!r}); expected one of "
+        f"{', '.join(ARCHIVE_KINDS)}")
+
+
+class Archive:
+    """A compressed container of any supported format.
+
+    Holds the exact wire bytes plus the sniffed ``kind``; parsed views
+    are built lazily per kind, so opening an archive costs one magic
+    check and saving one costs one write.  Instances produced by
+    :meth:`Session.compress` additionally carry a ``stats`` dict
+    (ratio, worst NRMSE, wall-clock, executor) for reporting.
+    """
+
+    def __init__(self, data: bytes, kind: Optional[str] = None,
+                 stats: Optional[dict] = None):
+        self.data = bytes(data)
+        self.kind = kind if kind is not None else sniff_kind(self.data)
+        if self.kind not in ARCHIVE_KINDS:
+            raise SessionError(
+                f"{self.kind!r} is not an archive kind; a model "
+                f"artifact loads with Codec.load_artifact, not "
+                f"Archive.open")
+        self.stats = stats or {}
+
+    # -- I/O ------------------------------------------------------------
+    @classmethod
+    def open(cls, source: Union[str, os.PathLike, bytes, "Archive"]
+             ) -> "Archive":
+        """Open any supported container: a path, raw bytes, or an
+        already-open :class:`Archive` (returned as-is)."""
+        if isinstance(source, Archive):
+            return source
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            return cls(bytes(source))
+        with open(os.fspath(source), "rb") as fh:
+            return cls(fh.read())
+
+    def save(self, path: Union[str, os.PathLike]) -> str:
+        """Write the archive's wire bytes to ``path``."""
+        path = os.fspath(path)
+        with open(path, "wb") as fh:
+            fh.write(self.data)
+        return path
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Archive) and self.data == other.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Archive {self.kind} ({len(self.data)} bytes, "
+                f"codecs={self.codecs()})>")
+
+    # -- parsed views ---------------------------------------------------
+    def shard_entries(self) -> List[ShardEntry]:
+        self._expect("shard")
+        return unpack_shard_archive(self.data)
+
+    def envelope(self):
+        """``(codec_name, payload)`` of an envelope archive."""
+        self._expect("envelope")
+        return unpack_envelope(self.data)
+
+    def multivar(self) -> MultiVarArchive:
+        self._expect("multivar")
+        return MultiVarArchive.from_bytes(self.data)
+
+    def stream(self) -> StreamArchive:
+        self._expect("stream")
+        return StreamArchive.from_bytes(self.data)
+
+    def blob(self) -> CompressedBlob:
+        self._expect("blob")
+        return CompressedBlob.from_bytes(self.data)
+
+    def _expect(self, kind: str) -> None:
+        if self.kind != kind:
+            raise SessionError(f"archive is {self.kind!r}, not {kind!r}")
+
+    # -- introspection --------------------------------------------------
+    def codecs(self) -> List[str]:
+        """Sorted codec names referenced by this archive.
+
+        Raw blobs and blob entries belong to the pipeline codec
+        (``"ours"``).
+        """
+        if self.kind == "blob":
+            return [DEFAULT_CODEC]
+        if self.kind == "envelope":
+            return [self.envelope()[0]]
+        if self.kind == "shard":
+            return sorted({unpack_envelope(e.payload)[0]
+                           for e in self.shard_entries()})
+        if self.kind == "multivar":
+            mv = self.multivar()
+            names = {unpack_envelope(env)[0]
+                     for env in mv.envelopes.values()}
+            if mv.blobs:
+                names.add(DEFAULT_CODEC)
+            return sorted(names)
+        st = self.stream()
+        names = {unpack_envelope(env)[0] for _, env in st.envelopes}
+        if st.blobs:
+            names.add(DEFAULT_CODEC)
+        return sorted(names)
+
+    def describe(self) -> dict:
+        """Structured summary (what ``repro info`` renders)."""
+        out: Dict[str, Any] = {"kind": self.kind,
+                               "total_bytes": len(self.data)}
+        if self.kind == "shard":
+            entries = self.shard_entries()
+            out["entries"] = [
+                {"shard_id": e.shard_id,
+                 "codec": unpack_envelope(e.payload)[0],
+                 "t0": e.t0, "t1": e.t1,
+                 "payload_bytes": len(unpack_envelope(e.payload)[1])}
+                for e in entries]
+            out["variables"] = sorted({e.variable for e in entries})
+        elif self.kind == "envelope":
+            name, payload = self.envelope()
+            out["codec"] = name
+            out["payload_bytes"] = len(payload)
+        elif self.kind == "multivar":
+            mv = self.multivar()
+            out["variables"] = sorted(mv.blobs) + sorted(mv.envelopes)
+            out["codecs"] = self.codecs()
+        elif self.kind == "stream":
+            st = self.stream()
+            out["chunks"] = st.num_chunks
+            out["frames"] = st.num_frames
+            out["codecs"] = self.codecs()
+        else:  # blob
+            out["blob"] = self.blob()
+            out["codec"] = DEFAULT_CODEC
+        return out
+
+
+# ----------------------------------------------------------------------
+# Session: registry lookups + executor + seeds behind one object.
+# ----------------------------------------------------------------------
+class Session:
+    """A configured entry point to compress / decompress / train.
+
+    Parameters
+    ----------
+    codec:
+        Default codec for :meth:`compress`: a registry name, a
+        :class:`~repro.codecs.base.Codec`, or a native compressor
+        object (anything :func:`repro.codecs.as_codec` accepts).
+        Defaults to the paper's pipeline (``"ours"``, which needs
+        ``model`` or ``artifact`` to be usable).
+    model:
+        Trained model bundle path (``.npz``) for the ``"ours"`` codec.
+    artifact:
+        Model artifact path (``.npz`` written by
+        :meth:`~repro.codecs.base.Codec.save_artifact` /
+        ``repro train``); loads the trained codec it holds and makes
+        it this session's default.
+    store:
+        :class:`~repro.pipeline.artifacts.ArtifactStore` (or its root
+        directory) used by :meth:`train` when saving to a store.
+    executor:
+        Execution backend for sweeps: ``"serial"`` / ``"thread"`` /
+        ``"process"`` or a ready
+        :class:`~repro.pipeline.executors.Executor`.  Owned by the
+        session — process pools stay warm across calls; use the
+        session as a context manager (or call :meth:`close`) to
+        release them.
+    workers:
+        Pool-width upper bound (default: one per CPU, clamped to the
+        work size).
+    seed:
+        Base seed for deterministic per-window/variable/chunk seeding.
+    chunk_windows:
+        Codec windows per chunk for iterator (streaming) sources.
+    """
+
+    def __init__(self, codec: Union[str, Codec, object, None] = None,
+                 *, model: Optional[str] = None,
+                 artifact: Optional[str] = None,
+                 store: Union[ArtifactStore, str, os.PathLike,
+                              None] = None,
+                 executor: Union[str, Executor] = "thread",
+                 workers: Optional[int] = None,
+                 seed: int = 0, chunk_windows: int = 4):
+        self.model = model
+        self.seed = seed
+        self.chunk_windows = chunk_windows
+        self.executor = get_executor(executor, max_workers=workers)
+        self.workers = self.executor.max_workers
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+        #: codec cache: registry name -> resolved (possibly trained)
+        #: codec, shared by compress and decompress dispatch
+        self._codecs: Dict[str, Codec] = {}
+        self._default: Optional[Codec] = None
+        self._default_name = DEFAULT_CODEC
+        if artifact is not None:
+            loaded = self._load_artifact_codec(
+                artifact, expect=codec if isinstance(codec, str) else None)
+            self._codecs[loaded.name] = loaded
+            self._default = loaded
+            self._default_name = loaded.name
+        elif codec is not None:
+            if isinstance(codec, str):
+                self._default_name = codec
+            else:
+                self._default = as_codec(codec)
+                self._default_name = self._default.name
+                self._codecs[self._default_name] = self._default
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release pooled executor resources (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Session codec={self._default_name!r} "
+                f"executor={self.executor.name!r} seed={self.seed}>")
+
+    # -- codec resolution ----------------------------------------------
+    def _load_artifact_codec(self, artifact: str,
+                             expect: Optional[str]) -> Codec:
+        try:
+            codec = Codec.load_artifact(artifact)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SessionError(
+                f"cannot load artifact {artifact!r}: {exc}") from None
+        if (expect and expect != DEFAULT_CODEC
+                and codec.name != expect):
+            raise SessionError(
+                f"artifact {artifact!r} holds codec {codec.name!r}, "
+                f"not {expect!r}")
+        return codec
+
+    def resolve_codec(self, codec: Union[str, Codec, object, None] = None
+                      ) -> Codec:
+        """Resolve a codec description against this session.
+
+        ``None`` resolves the session default; a name goes through the
+        registry (consulting the session's cache of trained codecs
+        first); anything else is adopted via
+        :func:`repro.codecs.as_codec`.  Learned codecs that need
+        training raise with a pointer at the artifact workflow, and
+        ``"ours"`` loads the session's ``model`` bundle.
+        """
+        if codec is None:
+            if self._default is not None:
+                return self._default
+            codec = self._default_name
+        if not isinstance(codec, str):
+            return as_codec(codec)
+        name = codec
+        cached = self._codecs.get(name)
+        if cached is not None:
+            return cached
+        if name == DEFAULT_CODEC:
+            if not self.model or self.model == "-":
+                raise SessionError(
+                    "codec 'ours' needs a trained model bundle (.npz)")
+            resolved = LatentDiffusionCodec.from_bundle(self.model)
+        else:
+            resolved = get_codec(name)  # KeyError lists registered
+            if resolved.capabilities.needs_training:
+                raise SessionError(
+                    f"codec {name!r} is learning-based; train it first "
+                    f"(repro train --codec {name}) and pass the saved "
+                    f"model with --codec-artifact")
+        self._codecs[name] = resolved
+        return resolved
+
+    # -- source resolution ---------------------------------------------
+    @staticmethod
+    def _dataset_spec(source: Union[str, DatasetSpec,
+                                    SpatiotemporalDataset],
+                      overrides: Optional[dict]) -> DatasetSpec:
+        overrides = overrides or {}
+        if isinstance(source, str):
+            return get_dataset_spec(source, **overrides)
+        if not isinstance(source, DatasetSpec):
+            source = spec_of(source)
+        return source.override(**overrides) if overrides else source
+
+    def resolve_frames(self, source, variable: int = 0,
+                       dataset_overrides: Optional[dict] = None):
+        """``(frames, dataset_provenance)`` for an array or dataset.
+
+        Arrays pass through (no provenance); dataset names / specs /
+        instances generate one variable's frames and record the spec.
+        """
+        if isinstance(source, np.ndarray):
+            return source, None
+        if isinstance(source, (str, DatasetSpec, SpatiotemporalDataset)):
+            spec = self._dataset_spec(source, dataset_overrides)
+            return (spec.build().frames(variable),
+                    dataclasses.asdict(spec))
+        raise SessionError(
+            f"cannot resolve frames from {type(source).__name__}; pass "
+            f"a (T, H, W) array, a registered dataset name "
+            f"({', '.join(list_datasets())}), or a DatasetSpec")
+
+    # -- compress -------------------------------------------------------
+    def compress(self, source, *,
+                 codec: Union[str, Codec, object, None] = None,
+                 bound: Optional[Bound] = None,
+                 error_bound: Optional[float] = None,
+                 nrmse_bound: Optional[float] = None,
+                 names: Optional[Sequence[str]] = None,
+                 variables: Optional[Sequence[int]] = None,
+                 shards: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 label: Optional[str] = None,
+                 chunk_windows: Optional[int] = None,
+                 dataset_overrides: Optional[dict] = None,
+                 keep_reconstruction: bool = True) -> Archive:
+        """Compress any supported source into an :class:`Archive`.
+
+        Dispatch by source type:
+
+        * ``(T, H, W)`` array — single codec pass (raw blob for the
+          blob-native pipeline codec, tagged envelope otherwise); with
+          ``shards=N`` the time axis splits into N slices executed on
+          the session backend and packed as a shard archive
+          (``label`` names the shards, default ``"stack"``);
+        * registered dataset name / :class:`DatasetSpec` / dataset
+          instance — deterministic shard plan (``variables``,
+          ``shards``, ``dataset_overrides``) fanned out on the session
+          backend; workers rebuild codec + dataset from specs, so
+          serial/thread/process archives are byte-identical;
+        * mapping ``name -> (T, H, W)`` or ``(V, T, H, W)`` array —
+          multi-variable archive (``names`` labels the array form);
+        * any other iterable of ``(H, W)`` frames — constant-memory
+          streaming into a stream archive (``chunk_windows``).
+
+        ``bound`` is a :class:`~repro.bound.Bound` (the legacy
+        ``error_bound``/``nrmse_bound`` kwargs still work); bounds
+        apply per window/variable/chunk, each normalized against its
+        own data statistics.
+        """
+        target = Bound.coalesce(bound=bound, error_bound=error_bound,
+                                nrmse_bound=nrmse_bound)
+        seed = self.seed if seed is None else seed
+
+        if isinstance(source, Mapping) or (
+                isinstance(source, np.ndarray) and source.ndim == 4):
+            return self._compress_multivar(source, codec, target, names,
+                                           seed)
+        if isinstance(source, (str, DatasetSpec, SpatiotemporalDataset)):
+            return self._compress_plan(source, codec, target, variables,
+                                       shards, seed, dataset_overrides,
+                                       keep_reconstruction)
+        if isinstance(source, np.ndarray):
+            if source.ndim != 3:
+                raise SessionError(
+                    f"expected a (T, H, W) or (V, T, H, W) array, got "
+                    f"shape {source.shape}")
+            if shards is not None and shards > 1:
+                return self._compress_sharded_stack(
+                    source, codec, target, shards, seed, label,
+                    keep_reconstruction)
+            return self._compress_stack(source, codec, target, seed)
+        if isinstance(source, Iterable):
+            return self._compress_stream(source, codec, target, seed,
+                                         chunk_windows)
+        raise SessionError(
+            f"cannot compress {type(source).__name__}; pass an array, "
+            f"a dataset name/spec, a variable mapping, or a frame "
+            f"iterator")
+
+    # per-source pipelines ------------------------------------------------
+    def _engine(self, codec: Codec, seed: int) -> CodecEngine:
+        return CodecEngine(codec, base_seed=seed, executor=self.executor)
+
+    def _compress_stack(self, frames: np.ndarray, codec, target,
+                        seed: int) -> Archive:
+        resolved = self.resolve_codec(codec)
+        result = resolved.compress_bounded(frames, bound=target,
+                                           seed=seed)
+        # blob-native codecs write their raw wire format (the legacy
+        # single-file layout); everything else gets a tagged envelope
+        if result.blob is not None:
+            data, kind = result.payload, "blob"
+        else:
+            data, kind = pack_envelope(resolved.name,
+                                       result.payload), "envelope"
+        return Archive(data, kind, stats={
+            "codec": resolved.name, "ratio": result.ratio,
+            "nrmse": result.achieved_nrmse, "bytes": len(data)})
+
+    def _pack_shards(self, resolved: Codec, meta, batch) -> Archive:
+        entries = [ShardEntry(shard_id=sid, variable=var, t0=t0, t1=t1,
+                              payload=pack_envelope(resolved.name,
+                                                    r.payload))
+                   for (sid, var, t0, t1), r in zip(meta, batch.results)]
+        data = pack_shard_archive(entries)
+        acc = batch.accounting()
+        return Archive(data, "shard", stats={
+            "codec": resolved.name, "ratio": acc.ratio,
+            "nrmse": batch.worst_nrmse(), "bytes": len(data),
+            "shards": len(entries), "executor": self.executor.name,
+            "wall_seconds": batch.wall_seconds})
+
+    def _compress_sharded_stack(self, frames, codec, target, shards,
+                                seed, label, keep_reconstruction
+                                ) -> Archive:
+        resolved = self.resolve_codec(codec)
+        slices = time_slices(frames.shape[0], shards=shards)
+        stem = label or "stack"
+        meta = [(f"{stem}/v0/t{a:04d}-{b:04d}", 0, a, b)
+                for a, b in slices]
+        engine = self._engine(resolved, seed)
+        batch = engine.compress([frames[a:b] for a, b in slices],
+                                bound=target,
+                                keep_reconstruction=keep_reconstruction)
+        return self._pack_shards(resolved, meta, batch)
+
+    def _compress_plan(self, dataset, codec, target, variables, shards,
+                       seed, dataset_overrides, keep_reconstruction
+                       ) -> Archive:
+        resolved = self.resolve_codec(codec)
+        spec = self._dataset_spec(dataset, dataset_overrides)
+        plan: ShardPlan = plan_shards(spec, variables=variables,
+                                      shards=shards or 1, base_seed=seed)
+        engine = self._engine(resolved, seed)
+        batch = engine.compress_plan(plan, bound=target,
+                                     keep_reconstruction=keep_reconstruction)
+        meta = [(t.shard_id, t.variable, t.t0, t.t1) for t in plan]
+        return self._pack_shards(resolved, meta, batch)
+
+    def _compress_multivar(self, data, codec, target, names, seed
+                           ) -> Archive:
+        resolved = self.resolve_codec(codec)
+        mv = MultiVariableCompressor(resolved, max_workers=self.workers)
+        result = mv.compress(data, names=names, bound=target,
+                             noise_seed=seed)
+        wire = result.archive().to_bytes()
+        return Archive(wire, "multivar", stats={
+            "codec": resolved.name, "ratio": result.ratio,
+            "nrmse": result.worst_nrmse(), "bytes": len(wire),
+            "variables": result.variables})
+
+    def _compress_stream(self, frames, codec, target, seed,
+                         chunk_windows) -> Archive:
+        resolved = self.resolve_codec(codec)
+        sc = StreamingCompressor(
+            resolved, chunk_windows=chunk_windows or self.chunk_windows)
+        stream = sc.compress(frames, bound=target, noise_seed=seed)
+        wire = stream.to_bytes()
+        acc = stream.accounting()
+        return Archive(wire, "stream", stats={
+            "codec": resolved.name, "ratio": acc.ratio,
+            "bytes": len(wire), "chunks": stream.num_chunks,
+            "frames": stream.num_frames})
+
+    # -- decompress -----------------------------------------------------
+    def decompress(self, source, *,
+                   expect_codec: Optional[str] = None):
+        """Reconstruct any :class:`Archive` (or path / bytes).
+
+        Returns a ``(T, H, W)`` array for blob / envelope / stream
+        archives, ``(T, H, W)`` or ``(V, T, H, W)`` for shard archives
+        (stitched via the recorded geometry), and a ``{name: array}``
+        dict for multi-variable archives.  Codecs are resolved from
+        the streams themselves through the session (so trained state
+        loaded via ``artifact``/``model`` is picked up); with
+        ``expect_codec`` a mismatching stream raises instead.
+        """
+        archive = Archive.open(source)
+        if archive.kind == "shard":
+            return self._decompress_shards(archive, expect_codec)
+        if archive.kind == "envelope":
+            name, payload = archive.envelope()
+            self._check_expected(
+                name, expect_codec,
+                f"stream was written by codec {name!r}, "
+                f"not {expect_codec!r}")
+            return self.resolve_codec(name).decompress(payload)
+        if archive.kind == "blob":
+            if expect_codec and expect_codec != DEFAULT_CODEC:
+                raise SessionError(
+                    f"stream is a raw pipeline blob, not a "
+                    f"{expect_codec!r} envelope")
+            return self._ours_codec().decompress(archive.data)
+        if archive.kind == "multivar":
+            return self._decompress_multivar(archive, expect_codec)
+        return self._decompress_stream(archive, expect_codec)
+
+    @staticmethod
+    def _check_expected(name: str, expect: Optional[str],
+                        message: str) -> None:
+        if expect and expect != name:
+            raise SessionError(message)
+
+    def _ours_codec(self) -> Codec:
+        """The pipeline codec, with a blob-specific missing-model hint."""
+        try:
+            return self.resolve_codec(DEFAULT_CODEC)
+        except SessionError:
+            if not self.model or self.model == "-":
+                raise SessionError(
+                    "raw pipeline streams need a trained model bundle "
+                    "(.npz)") from None
+            raise
+
+    def _decompress_shards(self, archive: Archive,
+                           expect: Optional[str]) -> np.ndarray:
+        entries = archive.shard_entries()
+        arrays = []
+        for e in entries:
+            name, payload = unpack_envelope(e.payload)
+            self._check_expected(
+                name, expect,
+                f"shard {e.shard_id!r} was written by codec {name!r}, "
+                f"not {expect!r}")
+            arrays.append(self.resolve_codec(name).decompress(payload))
+        return assemble_shards(entries, arrays)
+
+    def _decompress_multivar(self, archive: Archive,
+                             expect: Optional[str]
+                             ) -> Dict[str, np.ndarray]:
+        mv = archive.multivar()
+        out: Dict[str, np.ndarray] = {}
+        for name, blob in mv.blobs.items():
+            codec = self._ours_codec()
+            out[name] = (codec.decompress_blob(blob)
+                         if hasattr(codec, "decompress_blob")
+                         else codec.decompress(blob.to_bytes()))
+        for name, env in mv.envelopes.items():
+            codec_name, payload = unpack_envelope(env)
+            self._check_expected(
+                codec_name, expect,
+                f"variable {name!r} was written by codec "
+                f"{codec_name!r}, not {expect!r}")
+            out[name] = self.resolve_codec(codec_name).decompress(payload)
+        return out
+
+    def _decompress_stream(self, archive: Archive,
+                           expect: Optional[str]) -> np.ndarray:
+        st = archive.stream()
+        chunks = []
+        for blob in st.blobs:
+            codec = self._ours_codec()
+            chunks.append(codec.decompress_blob(blob)
+                          if hasattr(codec, "decompress_blob")
+                          else codec.decompress(blob.to_bytes()))
+        for _, env in st.envelopes:
+            name, payload = unpack_envelope(env)
+            self._check_expected(
+                name, expect,
+                f"archive chunk was written by codec {name!r}, "
+                f"not {expect!r}")
+            chunks.append(self.resolve_codec(name).decompress(payload))
+        return np.concatenate(chunks, axis=0)
+
+    # -- train ----------------------------------------------------------
+    def train(self, codec: str, source, *, save=None,
+              variable: int = 0,
+              dataset_overrides: Optional[dict] = None,
+              preset: str = "tiny",
+              vae_iters: int = 300, diffusion_iters: int = 800,
+              sr_iters: int = 100, finetune_iters: int = 0,
+              lam: float = 1e-6, train_fraction: float = 0.5,
+              stride: int = 1, window: int = 6, corrector: bool = True,
+              seed: Optional[int] = None, log=None):
+        """Train any trainable codec and persist a portable artifact.
+
+        ``source`` is a ``(T, H, W)`` array or a dataset name/spec
+        (``variable``, ``dataset_overrides`` select what to generate);
+        ``save`` is the artifact path — or ``None`` to use the
+        session's :class:`~repro.pipeline.artifacts.ArtifactStore`.
+        Family-specific iteration kwargs are mapped onto each codec's
+        ``train()`` signature (the shared CLI vocabulary).  Returns
+        ``(trained_codec, manifest_or_store_key)``.
+        """
+        seed = self.seed if seed is None else seed
+        log = log or (lambda *_: None)
+        if save is None and self.store is None:
+            raise SessionError("give save=... or configure the session "
+                               "with an ArtifactStore")
+        frames, dataset_meta = self.resolve_frames(
+            source, variable=variable,
+            dataset_overrides=dataset_overrides)
+        frames = np.asarray(frames)
+        if frames.ndim != 3:
+            raise SessionError(f"expected a (T, H, W) array, got "
+                               f"{frames.shape}")
+        if codec == DEFAULT_CODEC:
+            return self._train_ours(frames, dataset_meta, save, preset,
+                                    vae_iters, diffusion_iters,
+                                    finetune_iters, lam, train_fraction,
+                                    stride, seed, log)
+        return self._train_learned(codec, frames, dataset_meta, save,
+                                   vae_iters, diffusion_iters, sr_iters,
+                                   lam, train_fraction, stride, window,
+                                   corrector, seed, log)
+
+    def _train_ours(self, frames, dataset_meta, save, preset, vae_iters,
+                    diffusion_iters, finetune_iters, lam,
+                    train_fraction, stride, seed, log):
+        """The paper's two-stage latent-diffusion training protocol."""
+        from .config import small, tiny
+        from .pipeline.training import TrainingConfig, TwoStageTrainer
+        presets = {"tiny": tiny, "small": small}
+        cfg = presets[preset]()
+        train, _ = train_test_windows(frames,
+                                      window=cfg.pipeline.window,
+                                      train_fraction=train_fraction,
+                                      stride=stride)
+        tc = TrainingConfig(vae_iters=vae_iters,
+                            diffusion_iters=diffusion_iters,
+                            finetune_iters=finetune_iters, lam=lam)
+        trainer = TwoStageTrainer(cfg, tc, seed=seed)
+        log(f"stage 1: VAE ({tc.vae_iters} iters) ...")
+        trainer.train_vae(train)
+        log(f"stage 2: diffusion ({tc.diffusion_iters} iters) ...")
+        trainer.train_diffusion(train)
+        if tc.finetune_iters:
+            log(f"fine-tuning to {cfg.diffusion.finetune_steps} "
+                f"steps ...")
+            trainer.finetune_diffusion(train)
+        # build (and corrector-fit) the deployable compressor once,
+        # then persist that same codec with the trainer's provenance
+        # (what export_artifact records, without a second build)
+        trained = LatentDiffusionCodec(
+            compressor=trainer.build_compressor(train))
+        training_meta = {**dataclasses.asdict(trainer.train_cfg),
+                         "seed": trainer.seed}
+        if save is not None:
+            manifest = save_artifact(save, trained,
+                                     training=training_meta,
+                                     dataset=dataset_meta)
+        else:
+            manifest = self.store.put(trained, training=training_meta,
+                                      dataset=dataset_meta)
+        self._codecs[DEFAULT_CODEC] = trained
+        return trained, manifest
+
+    def _train_learned(self, name, frames, dataset_meta, save,
+                       vae_iters, diffusion_iters, sr_iters, lam,
+                       train_fraction, stride, window, corrector, seed,
+                       log):
+        """Generalized training path for the learned baseline codecs."""
+        try:
+            codec = get_codec(name, seed=seed)
+        except TypeError:
+            raise SessionError(
+                f"codec {name!r} is model-free; there is nothing to "
+                f"train") from None
+        if not codec.capabilities.needs_training:
+            raise SessionError(
+                f"codec {name!r} is model-free; there is nothing to "
+                f"train")
+        window = codec.window if codec.window > 1 else window
+        train, _ = train_test_windows(frames, window=window,
+                                      train_fraction=train_fraction,
+                                      stride=stride)
+        # map the shared vocabulary onto each family's train() kwargs
+        candidates = {"vae_iters": vae_iters,
+                      "diffusion_iters": diffusion_iters,
+                      "sr_iters": sr_iters, "lam": lam}
+        accepted = inspect.signature(codec.impl.train).parameters
+        kwargs = {k: v for k, v in candidates.items() if k in accepted}
+        pretty = ", ".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+        log(f"training {name} on {len(train)} windows "
+            f"({window} frames each): {pretty} ...")
+        codec.train(train, **kwargs)
+        if corrector:
+            log("fitting error-bound corrector ...")
+            codec.fit_corrector(train)
+        training_meta = {**kwargs, "seed": seed, "window": window,
+                         "corrector": bool(corrector)}
+        if save is not None:
+            manifest = save_artifact(save, codec, training=training_meta,
+                                     dataset=dataset_meta)
+        else:
+            manifest = self.store.put(codec, training=training_meta,
+                                      dataset=dataset_meta)
+        self._codecs[codec.name] = codec
+        return codec, manifest
+
+    # -- info -----------------------------------------------------------
+    def info(self, path: Union[str, os.PathLike]) -> dict:
+        """Inspect a compressed container or a model ``.npz``.
+
+        Returns ``{"kind": ..., ...}`` — an archive's
+        :meth:`Archive.describe` output, or ``kind="artifact"`` with
+        the provenance manifest, or ``kind="bundle"`` for legacy
+        pre-manifest model bundles.
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if data[:4] != _NPZ_MAGIC:
+            return Archive(data).describe()
+        if is_artifact(path):
+            return {"kind": "artifact", "manifest": read_manifest(path)}
+        with np.load(path) as npz:
+            if "config_json" in npz.files:
+                arrays = [k for k in npz.files if k != "config_json"]
+                return {"kind": "bundle", "state_arrays": len(arrays)}
+        raise SessionError(".npz file is neither a model artifact nor "
+                           "a legacy bundle")

@@ -1,5 +1,10 @@
-"""Command-line interface: ``python -m repro.cli <command>`` (or the
+"""Command-line interface: ``python -m repro <command>`` (or the
 ``repro`` console script).
+
+The CLI is a thin, declarative layer over :class:`repro.api.Session` —
+it parses flags, builds a session, and formats results.  All dispatch
+(which pipeline runs, which container format is read or written, how
+bounds are normalized) lives in :mod:`repro.api`.
 
 Subcommands
 -----------
@@ -16,8 +21,8 @@ Subcommands
                 sharded over the time axis (``--shards N``) and
                 executed on a pluggable backend
                 (``--executor serial|thread|process``);
-``decompress``  reconstruct frames from a compressed stream (codec and
-                shard archives auto-detected from the stream);
+``decompress``  reconstruct frames from any compressed container
+                (codec and container format auto-detected);
 ``info``        inspect a compressed stream's accounting, or a model
                 artifact's provenance (codec, state hash, training
                 config, dataset);
@@ -42,65 +47,27 @@ from typing import Optional
 
 import numpy as np
 
-from . import (CompressedBlob, TrainingConfig, TwoStageTrainer, small,
-               tiny)
-from .codecs import (Codec, LatentDiffusionCodec, codec_specs, get_codec,
-                     is_envelope, list_codecs, pack_envelope,
-                     unpack_envelope)
-from .data.base import train_test_windows
+from . import __version__
+from .api import Archive, Session, SessionError
+from .codecs import codec_specs, get_codec, list_codecs
 from .data.registry import (dataset_entries, get_dataset_spec,
                             list_datasets)
-from .pipeline.artifacts import (is_artifact, load_artifact,
-                                 read_manifest, save_artifact)
 from .pipeline.bundle import load_bundle, save_bundle
-from .pipeline.engine import CodecEngine
 from .pipeline.executors import list_executors
-from .pipeline.plan import (ShardEntry, assemble_shards,
-                            is_shard_archive, pack_shard_archive,
-                            plan_shards, time_slices,
-                            unpack_shard_archive)
 
 __all__ = ["main", "save_bundle", "load_bundle"]
-
-_PRESETS = {"tiny": tiny, "small": small}
 
 #: the default codec — the paper's pipeline, loaded from a bundle
 _DEFAULT_CODEC = "ours"
 
+#: exceptions the facade raises for user-input problems; printed as
+#: ``error: ...`` with exit code 2 instead of a traceback
+_USER_ERRORS = (SessionError, KeyError, ValueError, TypeError)
 
-class _CodecCliError(Exception):
-    """CLI-level codec selection problem (printed, not raised raw)."""
 
-
-def _codec_for(name: str, model: Optional[str],
-               artifact: Optional[str] = None):
-    """Build the selected codec, loading trained state if needed."""
-    if artifact:
-        try:
-            codec = Codec.load_artifact(artifact)
-        except (OSError, ValueError, KeyError) as exc:
-            raise _CodecCliError(
-                f"cannot load artifact {artifact!r}: {exc}") from None
-        if name and name != _DEFAULT_CODEC and codec.name != name:
-            raise _CodecCliError(
-                f"artifact {artifact!r} holds codec {codec.name!r}, "
-                f"not {name!r}")
-        return codec
-    if name == _DEFAULT_CODEC:
-        if not model or model == "-":
-            raise _CodecCliError(
-                "codec 'ours' needs a trained model bundle (.npz)")
-        return LatentDiffusionCodec.from_bundle(model)
-    try:
-        codec = get_codec(name)
-    except KeyError as exc:
-        raise _CodecCliError(exc.args[0]) from None
-    if codec.capabilities.needs_training:
-        raise _CodecCliError(
-            f"codec {name!r} is learning-based; train it first "
-            f"(repro train --codec {name}) and pass the saved model "
-            f"with --codec-artifact")
-    return codec
+def _fail(exc) -> int:
+    print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+    return 2
 
 
 def _parse_shape(text: str):
@@ -112,24 +79,17 @@ def _parse_shape(text: str):
     return {"t": t, "h": h, "w": w}
 
 
+def _session(args: argparse.Namespace, **extra) -> Session:
+    """Build the session an invocation configures."""
+    return Session(codec=getattr(args, "codec", None),
+                   model=getattr(args, "model", None),
+                   artifact=getattr(args, "codec_artifact", None),
+                   seed=getattr(args, "seed", 0), **extra)
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
-def _train_frames(args: argparse.Namespace):
-    """Resolve training frames (+ dataset provenance) for ``train``."""
-    import dataclasses
-    if args.dataset is not None:
-        overrides = _parse_shape(args.shape) if args.shape else {}
-        spec = get_dataset_spec(args.dataset, **overrides)
-        frames = spec.build().frames(args.variable)
-        return frames, dataclasses.asdict(spec)
-    if not args.data:
-        raise _CodecCliError("give a (T, H, W) .npy file or "
-                             f"--dataset NAME (registered: "
-                             f"{', '.join(list_datasets())})")
-    return np.load(args.data), None
-
-
 def _cmd_train(args: argparse.Namespace) -> int:
     save = args.save or args.model
     if not save:
@@ -138,92 +98,31 @@ def _cmd_train(args: argparse.Namespace) -> int:
         return 2
     if not save.endswith(".npz"):
         save += ".npz"  # mirror np.savez so the printed path is real
-    try:
-        frames, dataset_meta = _train_frames(args)
-    except (_CodecCliError, KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0] if exc.args else exc}",
+
+    if args.dataset is not None:
+        source = args.dataset
+    elif args.data:
+        source = np.load(args.data)
+    else:
+        print("error: give a (T, H, W) .npy file or --dataset NAME "
+              f"(registered: {', '.join(list_datasets())})",
               file=sys.stderr)
         return 2
-    if frames.ndim != 3:
-        print(f"error: expected a (T, H, W) array, got {frames.shape}",
-              file=sys.stderr)
-        return 2
 
-    if args.codec == _DEFAULT_CODEC:
-        return _train_ours(args, frames, dataset_meta, save)
-    return _train_learned(args, frames, dataset_meta, save)
-
-
-def _train_ours(args, frames, dataset_meta, save: str) -> int:
-    """The paper's two-stage latent-diffusion training protocol."""
-    cfg = _PRESETS[args.preset]()
+    session = Session(seed=args.seed)
     try:
-        train, _ = train_test_windows(frames, window=cfg.pipeline.window,
-                                      train_fraction=args.train_fraction,
-                                      stride=args.stride)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    tc = TrainingConfig(vae_iters=args.vae_iters,
-                        diffusion_iters=args.diffusion_iters,
-                        finetune_iters=args.finetune_iters,
-                        lam=args.lam)
-    trainer = TwoStageTrainer(cfg, tc, seed=args.seed)
-    print(f"stage 1: VAE ({tc.vae_iters} iters) ...")
-    trainer.train_vae(train)
-    print(f"stage 2: diffusion ({tc.diffusion_iters} iters) ...")
-    trainer.train_diffusion(train)
-    if tc.finetune_iters:
-        print(f"fine-tuning to {cfg.diffusion.finetune_steps} steps ...")
-        trainer.finetune_diffusion(train)
-    manifest = trainer.export_artifact(save, train, dataset=dataset_meta)
-    print(f"saved model artifact to {save} "
-          f"(state {manifest.state_hash[:16]})")
-    return 0
-
-
-def _train_learned(args, frames, dataset_meta, save: str) -> int:
-    """Generalized training path for the learned baseline codecs."""
-    import dataclasses
-    import inspect
-    try:
-        codec = get_codec(args.codec, seed=args.seed)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    except TypeError:
-        print(f"error: codec {args.codec!r} is model-free; there is "
-              f"nothing to train", file=sys.stderr)
-        return 2
-    if not codec.capabilities.needs_training:
-        print(f"error: codec {args.codec!r} is model-free; there is "
-              f"nothing to train", file=sys.stderr)
-        return 2
-    window = codec.window if codec.window > 1 else args.window
-    try:
-        train, _ = train_test_windows(frames, window=window,
-                                      train_fraction=args.train_fraction,
-                                      stride=args.stride)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    # map the shared CLI vocabulary onto each family's train() kwargs
-    candidates = {"vae_iters": args.vae_iters,
-                  "diffusion_iters": args.diffusion_iters,
-                  "sr_iters": args.sr_iters, "lam": args.lam}
-    accepted = inspect.signature(codec.impl.train).parameters
-    kwargs = {k: v for k, v in candidates.items() if k in accepted}
-    pretty = ", ".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
-    print(f"training {args.codec} on {len(train)} windows "
-          f"({window} frames each): {pretty} ...")
-    codec.train(train, **kwargs)
-    if args.corrector:
-        print("fitting error-bound corrector ...")
-        codec.fit_corrector(train)
-    training_meta = {**kwargs, "seed": args.seed, "window": window,
-                     "corrector": bool(args.corrector)}
-    manifest = save_artifact(save, codec, training=training_meta,
-                             dataset=dataset_meta)
+        overrides = _parse_shape(args.shape) if args.shape else None
+        _, manifest = session.train(
+            args.codec, source, save=save, variable=args.variable,
+            dataset_overrides=overrides, preset=args.preset,
+            vae_iters=args.vae_iters,
+            diffusion_iters=args.diffusion_iters,
+            sr_iters=args.sr_iters, finetune_iters=args.finetune_iters,
+            lam=args.lam, train_fraction=args.train_fraction,
+            stride=args.stride, window=args.window,
+            corrector=args.corrector, seed=args.seed, log=print)
+    except _USER_ERRORS as exc:
+        return _fail(exc)
     print(f"saved model artifact to {save} "
           f"(state {manifest.state_hash[:16]})")
     return 0
@@ -257,27 +156,36 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rebind_dataset_positionals(args: argparse.Namespace
+                                ) -> Optional[str]:
+    """Dataset mode takes no input file; re-bind the positionals as
+    ``(model?, output?)`` so ``compress --dataset d out.cdx`` and
+    ``compress --dataset d model.npz out.ldc`` both do what they say.
+    Returns an error message on misuse."""
+    pos = [p for p in (args.model, args.data, args.output)
+           if p is not None]
+    args.model, args.data, args.output = "-", None, None
+    if len(pos) == 1:
+        if pos[0].endswith(".npz"):
+            args.model = pos[0]
+        elif pos[0] != "-":
+            args.output = pos[0]
+    elif len(pos) >= 2:
+        args.model = pos[0]
+        if pos[-1] != "-":
+            args.output = pos[-1]
+        if len(pos) == 3 and pos[1] != "-":
+            return ("--dataset generates its own frames; drop the "
+                    "input file argument")
+    return None
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     if args.dataset is not None:
-        # dataset mode takes no input file, so re-bind the positionals
-        # as (model?, output?): `compress --dataset d out.cdx` and
-        # `compress --dataset d model.npz out.ldc` both do what they say
-        pos = [p for p in (args.model, args.data, args.output)
-               if p is not None]
-        args.model, args.data, args.output = "-", None, None
-        if len(pos) == 1:
-            if pos[0].endswith(".npz"):
-                args.model = pos[0]
-            elif pos[0] != "-":
-                args.output = pos[0]
-        elif len(pos) >= 2:
-            args.model = pos[0]
-            if pos[-1] != "-":
-                args.output = pos[-1]
-            if len(pos) == 3 and pos[1] != "-":
-                print("error: --dataset generates its own frames; drop "
-                      "the input file argument", file=sys.stderr)
-                return 2
+        problem = _rebind_dataset_positionals(args)
+        if problem:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
     elif not args.data or args.data == "-":
         print("error: give a .npy input file or --dataset NAME "
               f"(registered: {', '.join(list_datasets())})",
@@ -288,13 +196,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        codec = _codec_for(args.codec, args.model,
-                           artifact=args.codec_artifact)
-    except _CodecCliError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    # an artifact names its own codec; downstream branching (envelope
-    # vs raw blob, error messages) follows the loaded codec
+        session = _session(args, executor=args.executor,
+                           workers=args.workers)
+        codec = session.resolve_codec()
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    # an artifact names its own codec; downstream reporting and the
+    # default output name follow the loaded codec
     args.codec = codec.name
     if (codec.capabilities.requires_bound and args.error_bound is None
             and args.nrmse_bound is None):
@@ -307,139 +215,66 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         print(f"note: codec {args.codec!r} requires a bound; "
               f"defaulting to --nrmse-bound 0.01")
 
-    # single-window file compression: the legacy path, byte-identical
-    # to previous releases (raw blob for the pipeline, envelope else)
-    if args.dataset is None and args.shards <= 1:
-        frames = np.load(args.data)
-        result = codec.compress_bounded(frames,
-                                        error_bound=args.error_bound,
-                                        nrmse_bound=args.nrmse_bound,
-                                        seed=args.seed)
-        payload = (result.payload if args.codec == _DEFAULT_CODEC
-                   else pack_envelope(codec.name, result.payload))
-        with open(args.output, "wb") as fh:
-            fh.write(payload)
-        print(f"ratio={result.ratio:.2f}x "
-              f"nrmse={result.achieved_nrmse:.6f} bytes={len(payload)}")
-        return 0
-
-    # sharded path: plan -> engine (pluggable backend) -> shard archive
     try:
-        engine = CodecEngine(codec, max_workers=args.workers,
-                             base_seed=args.seed, executor=args.executor)
-    except (KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+        if args.dataset is not None:
+            overrides = _parse_shape(args.shape) if args.shape else None
+            archive = session.compress(
+                args.dataset, error_bound=args.error_bound,
+                nrmse_bound=args.nrmse_bound,
+                variables=[args.variable], shards=args.shards,
+                dataset_overrides=overrides)
+            output = args.output or f"{args.dataset}-{args.codec}.cdx"
+        else:
+            frames = np.load(args.data)
+            stem = args.data.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            archive = session.compress(
+                frames, error_bound=args.error_bound,
+                nrmse_bound=args.nrmse_bound,
+                shards=args.shards if args.shards > 1 else None,
+                label=stem)
+            output = args.output
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    finally:
+        session.close()
 
-    if args.dataset is not None:
-        try:
-            overrides = _parse_shape(args.shape) if args.shape else {}
-            spec = get_dataset_spec(args.dataset, **overrides)
-            plan = plan_shards(spec, variables=[args.variable],
-                               shards=args.shards, base_seed=args.seed)
-        except (KeyError, ValueError) as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
-        try:
-            batch = engine.compress_plan(plan,
-                                         error_bound=args.error_bound,
-                                         nrmse_bound=args.nrmse_bound)
-        except TypeError as exc:  # codec not spec-portable
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        meta = [(t.shard_id, t.variable, t.t0, t.t1) for t in plan]
-        output = args.output or f"{args.dataset}-{args.codec}.cdx"
+    archive.save(output)
+    s = archive.stats
+    if archive.kind == "shard":
+        print(f"ratio={s['ratio']:.2f}x nrmse={s['nrmse']:.6f} "
+              f"bytes={s['bytes']} shards={s['shards']} "
+              f"executor={s['executor']} "
+              f"wall={s['wall_seconds']:.3f}s -> {output}")
     else:
-        frames = np.load(args.data)
-        slices = time_slices(frames.shape[0], shards=args.shards)
-        stem = args.data.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-        meta = [(f"{stem}/v0/t{a:04d}-{b:04d}", 0, a, b)
-                for a, b in slices]
-        try:
-            batch = engine.compress([frames[a:b] for a, b in slices],
-                                    error_bound=args.error_bound,
-                                    nrmse_bound=args.nrmse_bound)
-        except TypeError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        output = args.output
-
-    entries = [ShardEntry(shard_id=sid, variable=var, t0=t0, t1=t1,
-                          payload=pack_envelope(codec.name, r.payload))
-               for (sid, var, t0, t1), r in zip(meta, batch.results)]
-    archive = pack_shard_archive(entries)
-    with open(output, "wb") as fh:
-        fh.write(archive)
-    acc = batch.accounting()
-    print(f"ratio={acc.ratio:.2f}x nrmse={batch.worst_nrmse():.6f} "
-          f"bytes={len(archive)} shards={len(entries)} "
-          f"executor={engine.executor.name} "
-          f"wall={batch.wall_seconds:.3f}s -> {output}")
+        print(f"ratio={s['ratio']:.2f}x nrmse={s['nrmse']:.6f} "
+              f"bytes={s['bytes']}")
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    with open(args.data, "rb") as fh:
-        data = fh.read()
-    codecs = {}
-    if args.codec_artifact:
-        try:
-            loaded = _codec_for(None, None, artifact=args.codec_artifact)
-        except _CodecCliError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        codecs[loaded.name] = loaded
-    if is_shard_archive(data):
-        entries = unpack_shard_archive(data)
-        arrays = []
-        for e in entries:
-            name, payload = unpack_envelope(e.payload)
-            if args.codec and args.codec != name:
-                print(f"error: shard {e.shard_id!r} was written by "
-                      f"codec {name!r}, not {args.codec!r}",
-                      file=sys.stderr)
-                return 2
-            if name not in codecs:
-                try:
-                    codecs[name] = _codec_for(name, args.model)
-                except _CodecCliError as exc:
-                    print(f"error: {exc}", file=sys.stderr)
-                    return 2
-            arrays.append(codecs[name].decompress(payload))
-        frames = assemble_shards(entries, arrays)
+    try:
+        archive = Archive.open(args.data)
+        session = _session(args)
+        restored = session.decompress(archive,
+                                      expect_codec=args.codec)
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    if isinstance(restored, dict):
+        # multi-variable archives reconstruct to one (V, T, H, W)
+        # stack, variables in sorted-name order
+        names = sorted(restored)
+        frames = np.stack([restored[n] for n in names])
         np.save(args.output, frames)
-        print(f"wrote {frames.shape} ({len(entries)} shards) to "
+        print(f"wrote {frames.shape} ({', '.join(names)}) to "
               f"{args.output}")
         return 0
-    if is_envelope(data):
-        name, payload = unpack_envelope(data)
-        if args.codec and args.codec != name:
-            print(f"error: stream was written by codec {name!r}, "
-                  f"not {args.codec!r}", file=sys.stderr)
-            return 2
-        try:
-            codec = codecs.get(name) or _codec_for(name, args.model)
-        except _CodecCliError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        frames = codec.decompress(payload)
+    np.save(args.output, restored)
+    if archive.kind == "shard":
+        print(f"wrote {restored.shape} "
+              f"({len(archive.shard_entries())} shards) to "
+              f"{args.output}")
     else:
-        # raw pipeline blob (legacy format, no envelope)
-        if args.codec and args.codec != _DEFAULT_CODEC:
-            print(f"error: stream is a raw pipeline blob, not a "
-                  f"{args.codec!r} envelope", file=sys.stderr)
-            return 2
-        if _DEFAULT_CODEC in codecs:
-            compressor = codecs[_DEFAULT_CODEC].compressor
-        elif not args.model or args.model == "-":
-            print("error: raw pipeline streams need a trained model "
-                  "bundle (.npz)", file=sys.stderr)
-            return 2
-        else:
-            compressor = load_bundle(args.model)
-        frames = compressor.decompress(CompressedBlob.from_bytes(data))
-    np.save(args.output, frames)
-    print(f"wrote {frames.shape} to {args.output}")
+        print(f"wrote {restored.shape} to {args.output}")
     return 0
 
 
@@ -449,51 +284,55 @@ def _fmt_provenance(value) -> str:
     return ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
 
 
-def _cmd_info(args: argparse.Namespace) -> int:
-    with open(args.data, "rb") as fh:
-        data = fh.read()
-    if data[:4] == b"PK\x03\x04":  # .npz: a model artifact or bundle
-        if is_artifact(args.data):
-            m = read_manifest(args.data)
-            print(f"model artifact   : {m.codec} "
-                  f"(format v{m.format_version})")
-            print(f"state hash       : {m.state_hash}")
-            print(f"artifact key     : {m.key}")
-            spec_params = m.spec.get("params", {})
-            print(f"codec spec       : "
-                  f"{_fmt_provenance(spec_params) if spec_params else '<defaults>'}")
-            print(f"training         : {_fmt_provenance(m.training)}")
-            print(f"dataset          : {_fmt_provenance(m.dataset)}")
-            return 0
-        with np.load(args.data) as archive:
-            if "config_json" in archive.files:
-                print("model bundle     : ours (legacy, no manifest)")
-                print(f"state arrays     : "
-                      f"{len([k for k in archive.files if k != 'config_json'])}")
-                print("hint             : re-save with save_bundle to "
-                      "gain an artifact manifest")
-                return 0
-        print("error: .npz file is neither a model artifact nor a "
-              "legacy bundle", file=sys.stderr)
-        return 2
-    if is_shard_archive(data):
-        entries = unpack_shard_archive(data)
-        variables = sorted({e.variable for e in entries})
+def _render_info(info: dict) -> int:
+    kind = info["kind"]
+    if kind == "artifact":
+        m = info["manifest"]
+        print(f"model artifact   : {m.codec} "
+              f"(format v{m.format_version})")
+        print(f"state hash       : {m.state_hash}")
+        print(f"artifact key     : {m.key}")
+        spec_params = m.spec.get("params", {})
+        print(f"codec spec       : "
+              f"{_fmt_provenance(spec_params) if spec_params else '<defaults>'}")
+        print(f"training         : {_fmt_provenance(m.training)}")
+        print(f"dataset          : {_fmt_provenance(m.dataset)}")
+        return 0
+    if kind == "bundle":
+        print("model bundle     : ours (legacy, no manifest)")
+        print(f"state arrays     : {info['state_arrays']}")
+        print("hint             : re-save with save_bundle to "
+              "gain an artifact manifest")
+        return 0
+    if kind == "shard":
+        entries = info["entries"]
         print(f"shard archive    : {len(entries)} shards, "
-              f"{len(variables)} variable(s)")
-        print(f"total bytes      : {len(data)}")
+              f"{len(info['variables'])} variable(s)")
+        print(f"total bytes      : {info['total_bytes']}")
         for e in entries:
-            name, payload = unpack_envelope(e.payload)
-            print(f"  {e.shard_id:28s} codec={name:10s} "
-                  f"frames=[{e.t0},{e.t1}) bytes={len(payload)}")
+            print(f"  {e['shard_id']:28s} codec={e['codec']:10s} "
+                  f"frames=[{e['t0']},{e['t1']}) "
+                  f"bytes={e['payload_bytes']}")
         return 0
-    if is_envelope(data):
-        name, payload = unpack_envelope(data)
-        print(f"codec            : {name}")
-        print(f"total bytes      : {len(data)}")
-        print(f"  payload        : {len(payload)}")
+    if kind == "envelope":
+        print(f"codec            : {info['codec']}")
+        print(f"total bytes      : {info['total_bytes']}")
+        print(f"  payload        : {info['payload_bytes']}")
         return 0
-    blob = CompressedBlob.from_bytes(data)
+    if kind == "multivar":
+        print(f"multivar archive : {len(info['variables'])} "
+              f"variable(s), codecs {', '.join(info['codecs'])}")
+        print(f"variables        : {', '.join(info['variables'])}")
+        print(f"total bytes      : {info['total_bytes']}")
+        return 0
+    if kind == "stream":
+        print(f"stream archive   : {info['chunks']} chunks, "
+              f"{info['frames']} frames, "
+              f"codecs {', '.join(info['codecs'])}")
+        print(f"total bytes      : {info['total_bytes']}")
+        return 0
+    # raw pipeline blob
+    blob = info["blob"]
     total = blob.total_bytes()
     print(f"shape            : {blob.shape}")
     print(f"window           : {blob.window}")
@@ -508,6 +347,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  latent (L)     : {blob.latent_bytes()}")
     print(f"  guarantee (G)  : {blob.guarantee_bytes()}")
     return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    try:
+        info = Session().info(args.data)
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    return _render_info(info)
 
 
 def _cmd_qoi(args: argparse.Namespace) -> int:
@@ -561,6 +408,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--version", action="version",
+                   version=f"repro {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
     t = sub.add_parser("train", help="train any trainable codec and "
@@ -581,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset shape override TxHxW (with --dataset)")
     t.add_argument("--save", default=None,
                    help="output model artifact path (.npz)")
-    t.add_argument("--preset", choices=sorted(_PRESETS), default="tiny",
+    t.add_argument("--preset", choices=("tiny", "small"), default="tiny",
                    help="architecture preset (codec 'ours')")
     t.add_argument("--vae-iters", type=int, default=300)
     t.add_argument("--diffusion-iters", type=int, default=800)

@@ -17,27 +17,18 @@ This module defines the single contract that replaces that divergence:
 * :class:`CodecCapabilities` — what kind of bound the codec guarantees
   (``pointwise`` / ``rmse`` / ``l2``), whether it needs training,
   whether decoding is deterministic;
-* :meth:`Codec.compress_bounded` — the one place where the legacy
-  ``error_bound`` (absolute L2 ``tau``) / ``nrmse_bound`` vocabulary is
-  normalized onto each codec's native bound, so callers never special-
-  case bound semantics again;
+* :meth:`Codec.compress_bounded` — the one place where caller-side
+  bound vocabulary (a first-class :class:`~repro.bound.Bound`, or the
+  legacy ``error_bound`` / ``nrmse_bound`` kwargs) is normalized onto
+  each codec's native bound, so callers never special-case bound
+  semantics again;
 * a tiny *envelope* format that tags a payload with its codec name, so
   archives and the CLI can dispatch streams back to the right codec.
 
-Conversions used by :meth:`Codec.compress_bounded` (``R`` the data
-range, ``n`` the element count):
-
-=============  =======================  =========================
-native kind    from ``nrmse_bound``      from ``error_bound`` (L2)
-=============  =======================  =========================
-``pointwise``  ``eb = nrmse * R``       ``eb = tau / sqrt(n)``
-``rmse``       ``rmse = nrmse * R``     ``rmse = tau / sqrt(n)``
-``l2``         ``tau = nrmse*R*sqrt(n)``  ``tau`` (identity)
-=============  =======================  =========================
-
-The ``rmse``/``l2`` conversions are exact (``L2 = rmse * sqrt(n)``);
-the ``pointwise`` ones are conservative (``rmse <= max|err|``), so a
-requested NRMSE or L2 target always holds regardless of codec family.
+The conversion table itself lives in :mod:`repro.bound` — one place,
+shared by every layer.  The legacy kwargs map onto it exactly
+(``error_bound`` -> ``Bound.l2``, ``nrmse_bound`` -> ``Bound.nrmse``),
+so streams produced either way are byte-identical.
 """
 
 from __future__ import annotations
@@ -49,9 +40,10 @@ from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from ..bound import Bound
 from ..metrics import CompressionAccounting
 
-__all__ = ["Codec", "CodecCapabilities", "CodecResult",
+__all__ = ["Codec", "CodecCapabilities", "CodecResult", "Bound",
            "pack_envelope", "unpack_envelope", "is_envelope",
            "ENVELOPE_MAGIC"]
 
@@ -182,40 +174,31 @@ class Codec(abc.ABC):
     # ------------------------------------------------------------------
     def native_bound(self, frames: np.ndarray,
                      error_bound: Optional[float] = None,
-                     nrmse_bound: Optional[float] = None
-                     ) -> Optional[float]:
-        """Map legacy bound vocabulary onto this codec's native metric.
+                     nrmse_bound: Optional[float] = None,
+                     bound: Optional[Bound] = None) -> Optional[float]:
+        """Map caller bound vocabulary onto this codec's native metric.
 
-        ``error_bound`` is the pipeline's absolute L2 ``tau``;
-        ``nrmse_bound`` a target NRMSE (Eq. 12).  See the module
-        docstring for the conversion table.
+        ``bound`` is a first-class :class:`~repro.bound.Bound`;
+        ``error_bound`` is the legacy absolute L2 ``tau`` and
+        ``nrmse_bound`` the legacy NRMSE target (Eq. 12).  The
+        conversion table lives in :mod:`repro.bound`.
         """
-        if error_bound is not None and nrmse_bound is not None:
-            raise ValueError("give either error_bound or nrmse_bound")
-        if error_bound is None and nrmse_bound is None:
+        target = Bound.coalesce(bound=bound, error_bound=error_bound,
+                                nrmse_bound=nrmse_bound)
+        if target is None:
             return None
-        frames = np.asarray(frames)
-        n = frames.size
-        kind = self.capabilities.bound_kind
-        if kind == "l2":
-            if error_bound is not None:
-                return float(error_bound)
-            rng = float(frames.max() - frames.min())
-            return float(nrmse_bound * rng * np.sqrt(n))
-        # pointwise and rmse share the same formulas (rmse <= max|err|)
-        if error_bound is not None:
-            return float(error_bound) / np.sqrt(n)
-        rng = float(frames.max() - frames.min())
-        return float(nrmse_bound * rng)
+        return target.native_for(self, frames)
 
     def compress_bounded(self, frames: np.ndarray,
                          error_bound: Optional[float] = None,
                          nrmse_bound: Optional[float] = None,
-                         seed: int = 0) -> CodecResult:
-        """:meth:`compress` with legacy bound kwargs, normalized."""
-        bound = self.native_bound(frames, error_bound=error_bound,
-                                  nrmse_bound=nrmse_bound)
-        return self.compress(frames, bound, seed=seed)
+                         seed: int = 0, *,
+                         bound: Optional[Bound] = None) -> CodecResult:
+        """:meth:`compress` with a :class:`Bound` (or the legacy
+        kwargs), normalized onto the native metric."""
+        native = self.native_bound(frames, error_bound=error_bound,
+                                   nrmse_bound=nrmse_bound, bound=bound)
+        return self.compress(frames, native, seed=seed)
 
     # ------------------------------------------------------------------
     def to_spec(self) -> dict:

@@ -23,7 +23,7 @@ from ..diffusion import ConditionalDDPM
 from ..pipeline.blob import CompressedBlob
 from ..pipeline.compressor import (CompressionResult,
                                    LatentDiffusionCompressor)
-from .base import Codec, CodecCapabilities, CodecResult
+from .base import Bound, Codec, CodecCapabilities, CodecResult
 from .registry import register_codec
 
 __all__ = ["LatentDiffusionCodec"]
@@ -140,8 +140,21 @@ class LatentDiffusionCodec(Codec):
     def compress_bounded(self, frames: np.ndarray,
                          error_bound: Optional[float] = None,
                          nrmse_bound: Optional[float] = None,
-                         seed: int = 0) -> CodecResult:
-        """Exact legacy bound semantics (delegates both kwargs)."""
+                         seed: int = 0, *,
+                         bound: Optional[Bound] = None) -> CodecResult:
+        """Exact legacy bound semantics (delegates both kwargs).
+
+        A :class:`Bound` maps onto the pipeline's own vocabulary:
+        ``nrmse`` stays relative (the compressor normalizes per
+        window), everything else becomes the absolute L2 ``tau``.
+        """
+        target = Bound.coalesce(bound=bound, error_bound=error_bound,
+                                nrmse_bound=nrmse_bound)
+        error_bound = nrmse_bound = None
+        if target is not None:
+            kwargs = target.legacy_kwargs(frames)
+            error_bound = kwargs["error_bound"]
+            nrmse_bound = kwargs["nrmse_bound"]
         t0 = time.perf_counter()
         res = self._impl.compress(frames, error_bound=error_bound,
                                   nrmse_bound=nrmse_bound,

@@ -13,6 +13,17 @@ the two backends on identical streams.
 State layout: 64-bit state, 32-bit word renormalization
 (``ryg_rans``-style), arbitrary frequency totals up to
 :data:`repro.entropy.rangecoder.MAX_TOTAL`.
+
+Streaming rANS renormalization is only exactly invertible when the
+frequency total divides the interval bound ``RANS_L`` (Duda's
+b-uniqueness condition) — with an arbitrary total the truncated
+``x_max`` lets a push land just below ``RANS_L`` and the decoder
+over-refills.  Both endpoints therefore rescale non-power-of-two
+totals to the next power of two (a deterministic, partition-preserving
+map both sides derive from the same ``(cum_lo, cum_hi, total)``
+arguments); power-of-two tables — including everything
+:func:`repro.entropy.coder.pmf_to_cumulative` produces — pass through
+untouched, so existing streams decode bit-identically.
 """
 
 from __future__ import annotations
@@ -30,6 +41,21 @@ __all__ = ["RansEncoder", "RansDecoder", "encode_symbols_rans",
 #: Lower bound of the normalized state interval ``[RANS_L, 2^64)``.
 RANS_L = 1 << 31
 _WORD = 1 << 32
+
+
+def _pow2_total(total: int) -> int:
+    """Smallest power of two >= ``total`` (identity for powers of two)."""
+    return 1 << (total - 1).bit_length()
+
+
+def _rescale(cum_lo: int, cum_hi: int, total: int, scaled: int):
+    """Map ``[cum_lo, cum_hi)`` of ``total`` onto a power-of-two grid.
+
+    ``c -> c * scaled // total`` preserves the partition (monotone,
+    endpoints fixed) and never collapses a range: consecutive
+    boundaries move apart by at least ``scaled // total >= 1``.
+    """
+    return cum_lo * scaled // total, cum_hi * scaled // total
 
 
 class RansEncoder:
@@ -53,6 +79,10 @@ class RansEncoder:
                 f"invalid cumulative range ({cum_lo}, {cum_hi}, {total})")
         if total > MAX_TOTAL:
             raise ValueError(f"total {total} exceeds MAX_TOTAL {MAX_TOTAL}")
+        scaled = _pow2_total(total)
+        if scaled != total:  # see module docstring: b-uniqueness
+            cum_lo, cum_hi = _rescale(cum_lo, cum_hi, total, scaled)
+            total = scaled
         freq = cum_hi - cum_lo
         # renormalize: keep the post-push state below 2^64
         x = self._state
@@ -88,10 +118,20 @@ class RansDecoder:
 
     def peek(self, total: int) -> int:
         """Slot of the next symbol in ``[0, total)``."""
-        return self._state % total
+        scaled = _pow2_total(total)
+        slot = self._state % scaled
+        if scaled == total:
+            return slot
+        # inverse of the encoder's boundary map c -> c*scaled//total:
+        # the largest original slot whose scaled image is <= slot
+        return ((slot + 1) * total - 1) // scaled
 
     def advance(self, cum_lo: int, cum_hi: int, total: int) -> None:
         """Consume the symbol identified by ``(cum_lo, cum_hi, total)``."""
+        scaled = _pow2_total(total)
+        if scaled != total:
+            cum_lo, cum_hi = _rescale(cum_lo, cum_hi, total, scaled)
+            total = scaled
         freq = cum_hi - cum_lo
         x = self._state
         x = freq * (x // total) + (x % total) - cum_lo

@@ -34,7 +34,7 @@ from .artifacts import (ArtifactManifest, ArtifactStore, is_artifact,
 from .blob import CompressedBlob, WindowStreams
 from .bundle import load_bundle, save_bundle
 from .compressor import CompressionResult, LatentDiffusionCompressor
-from .engine import BatchResult, CodecEngine, WindowReport, parallel_map
+from .engine import BatchResult, CodecEngine, WindowReport
 from .executors import (Executor, ProcessExecutor, SerialExecutor,
                         ThreadExecutor, get_executor, list_executors)
 from .multivar import (MultiVarArchive, MultiVariableCompressor,
@@ -49,7 +49,7 @@ __all__ = [
     "CompressedBlob", "WindowStreams", "LatentDiffusionCompressor",
     "CompressionResult", "TwoStageTrainer", "TrainingConfig",
     "train_compressor", "save_bundle", "load_bundle",
-    "CodecEngine", "BatchResult", "WindowReport", "parallel_map",
+    "CodecEngine", "BatchResult", "WindowReport",
     "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
     "get_executor", "list_executors",
     "ArtifactStore", "ArtifactManifest", "save_artifact",

@@ -25,41 +25,20 @@ backend (``serial`` / ``thread`` / ``process``), while guaranteeing:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Iterable, List, Optional,
-                    Sequence, TypeVar, Union)
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..bound import Bound
 from ..metrics import CompressionAccounting
 from .executors import Executor, get_executor
 
-T = TypeVar("T")
-U = TypeVar("U")
-
-__all__ = ["CodecEngine", "BatchResult", "WindowReport", "parallel_map"]
+__all__ = ["CodecEngine", "BatchResult", "WindowReport"]
 
 #: Default per-window seed stride (prime, matches the historical
 #: window-parallel seeding so archives stay reproducible).
 SEED_STRIDE = 7919
-
-
-def parallel_map(fn: Callable[[T], U], items: Sequence[T],
-                 max_workers: int) -> List[U]:
-    """Ordered map over a thread pool (serial when it cannot help).
-
-    Exceptions propagate to the caller exactly as in the serial path.
-    (Legacy helper; new code should go through an
-    :class:`~repro.pipeline.executors.Executor`.)
-    """
-    if max_workers < 1:
-        raise ValueError("max_workers must be >= 1")
-    items = list(items)
-    if max_workers == 1 or len(items) <= 1:
-        return [fn(it) for it in items]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(fn, items))
 
 
 @dataclass
@@ -133,7 +112,9 @@ class _WindowJob:
     #: object with ``materialize() -> ndarray`` (a ShardTask)
     source: Any = None
     shard_id: Optional[str] = None
-    bound: Optional[float] = None
+    #: codec-native float, or a picklable :class:`Bound` the worker
+    #: normalizes against its own stack (matching serial semantics)
+    bound: Union[None, float, Bound] = None
     error_bound: Optional[float] = None
     nrmse_bound: Optional[float] = None
     keep_reconstruction: bool = True
@@ -168,8 +149,11 @@ def _run_window_job(job: _WindowJob) -> WindowReport:
     stack = job.stack if job.stack is not None else job.source.materialize()
     stack = np.asarray(stack)
     t0 = time.perf_counter()
-    if job.bound is not None or (job.error_bound is None
-                                 and job.nrmse_bound is None):
+    if isinstance(job.bound, Bound):
+        res = codec.compress_bounded(stack, bound=job.bound,
+                                     seed=job.seed)
+    elif job.bound is not None or (job.error_bound is None
+                                   and job.nrmse_bound is None):
         res = codec.compress(stack, job.bound, seed=job.seed)
     else:
         res = codec.compress_bounded(stack, error_bound=job.error_bound,
@@ -254,14 +238,15 @@ class CodecEngine:
 
     # ------------------------------------------------------------------
     def compress(self, stacks: Sequence[np.ndarray],
-                 bound: Optional[float] = None,
+                 bound: Union[None, float, Bound] = None,
                  error_bound: Optional[float] = None,
                  nrmse_bound: Optional[float] = None,
                  keep_reconstruction: bool = True) -> BatchResult:
         """Compress every stack; bounds apply per stack.
 
-        ``bound`` is in the codec's native metric; ``error_bound`` /
-        ``nrmse_bound`` use the legacy vocabulary and are normalized
+        ``bound`` is a :class:`~repro.bound.Bound` — or a raw float in
+        the codec's native metric; ``error_bound`` / ``nrmse_bound``
+        use the legacy vocabulary.  Non-native bounds are normalized
         per stack via :meth:`Codec.native_bound` (an NRMSE target uses
         each stack's own range, matching the serial pipeline).
         ``keep_reconstruction=False`` drops reconstructions (and
@@ -282,7 +267,7 @@ class CodecEngine:
 
     # ------------------------------------------------------------------
     def compress_plan(self, plan: Iterable,
-                      bound: Optional[float] = None,
+                      bound: Union[None, float, Bound] = None,
                       error_bound: Optional[float] = None,
                       nrmse_bound: Optional[float] = None,
                       keep_reconstruction: bool = True) -> BatchResult:

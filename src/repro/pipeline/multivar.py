@@ -16,10 +16,10 @@ models.  Accepted codec descriptions (normalized via
 registry name (``"szlike"``), or a native compressor such as a trained
 :class:`~repro.pipeline.compressor.LatentDiffusionCompressor`.
 
-Variables are independent, so compression fans out over the
-:func:`~repro.pipeline.engine.parallel_map` worker pool
-(``max_workers``) with the deterministic per-variable seeding the
-serial path used — results are bit-identical either way.
+Variables are independent, so compression fans out over a
+:class:`~repro.pipeline.executors.ThreadExecutor` (``max_workers``)
+with the deterministic per-variable seeding the serial path used —
+results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -30,10 +30,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..bound import Bound
 from ..metrics import CompressionAccounting
 from .blob import CompressedBlob
 from .compressor import LatentDiffusionCompressor
-from .engine import parallel_map
+from .executors import ThreadExecutor
 
 __all__ = ["MultiVarResult", "MultiVarArchive", "MultiVariableCompressor"]
 
@@ -185,6 +186,7 @@ class MultiVariableCompressor:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self._executor = ThreadExecutor(max_workers)
         self._shared = None
         self._per_var: Dict[str, "object"] = {}
         if isinstance(compressor, Mapping):
@@ -208,15 +210,19 @@ class MultiVariableCompressor:
                  names: Optional[Sequence[str]] = None,
                  error_bound: Optional[float] = None,
                  nrmse_bound: Optional[float] = None,
-                 noise_seed: int = 0) -> MultiVarResult:
+                 noise_seed: int = 0,
+                 bound: Optional[Bound] = None) -> MultiVarResult:
         """Compress every variable.
 
         ``data`` is either a ``(V, T, H, W)`` array (variables named
         ``names`` or ``var0..var{V-1}``) or an explicit name→stack
-        mapping.  Bounds apply per variable (``error_bound`` is the
-        absolute L2 tau; both are normalized onto each codec's native
-        bound metric).
+        mapping.  Bounds apply per variable — a first-class ``bound``
+        (:class:`~repro.bound.Bound`) or the legacy ``error_bound``
+        (absolute L2 tau) / ``nrmse_bound`` kwargs; either way each
+        variable normalizes against its own statistics.
         """
+        target = Bound.coalesce(bound=bound, error_bound=error_bound,
+                                nrmse_bound=nrmse_bound)
         stacks = self._as_mapping(data, names)
         # resolve codecs eagerly so a missing mapping entry raises
         # before any work is scheduled
@@ -226,11 +232,11 @@ class MultiVariableCompressor:
         def task(job):
             vi, name, stack, codec = job
             return name, codec.compress_bounded(
-                stack, error_bound=error_bound, nrmse_bound=nrmse_bound,
+                stack, bound=target,
                 seed=noise_seed + VAR_SEED_STRIDE * vi)
 
-        results = dict(parallel_map(task, jobs, self.max_workers))
-        # parallel_map preserves order, but rebuild by stack order for
+        results = dict(self._executor.map(task, jobs))
+        # the executor preserves order, but rebuild by stack order for
         # deterministic iteration anyway
         return MultiVarResult(
             results={name: results[name] for name in stacks})
@@ -259,7 +265,7 @@ class MultiVariableCompressor:
                     f"{codec_name!r} but {codec.name!r} is configured")
             return name, codec.decompress(payload)
 
-        return dict(parallel_map(task, jobs, self.max_workers))
+        return dict(self._executor.map(task, jobs))
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -33,6 +33,7 @@ from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from ..bound import Bound
 from ..metrics import CompressionAccounting
 from .blob import CompressedBlob
 from .engine import SEED_STRIDE
@@ -192,13 +193,19 @@ class StreamingCompressor:
     def compress_iter(self, frames: Iterable[np.ndarray],
                       error_bound: Optional[float] = None,
                       nrmse_bound: Optional[float] = None,
-                      noise_seed: int = 0) -> Iterator[ChunkResult]:
+                      noise_seed: int = 0,
+                      bound: Optional[Bound] = None
+                      ) -> Iterator[ChunkResult]:
         """Lazily compress an iterable of ``(H, W)`` frames.
 
-        Yields one :class:`ChunkResult` per chunk.  ``error_bound`` is
-        the per-chunk L2 bound; ``nrmse_bound`` a per-chunk NRMSE
-        target.
+        Yields one :class:`ChunkResult` per chunk.  ``bound`` is a
+        first-class :class:`~repro.bound.Bound`; the legacy
+        ``error_bound`` (per-chunk L2) / ``nrmse_bound`` (per-chunk
+        NRMSE) kwargs remain.  Bounds are enforced per chunk (see the
+        module docstring for how the global guarantee follows).
         """
+        bound = Bound.coalesce(bound=bound, error_bound=error_bound,
+                               nrmse_bound=nrmse_bound)
         window = self.window
         buffer: List[np.ndarray] = []
         index = 0
@@ -214,8 +221,7 @@ class StreamingCompressor:
             if len(buffer) >= self.chunk_frames + window:
                 chunk = np.stack(buffer[:self.chunk_frames])
                 buffer = buffer[self.chunk_frames:]
-                yield self._compress_chunk(chunk, index, start,
-                                           error_bound, nrmse_bound,
+                yield self._compress_chunk(chunk, index, start, bound,
                                            noise_seed)
                 start += chunk.shape[0]
                 index += 1
@@ -224,20 +230,21 @@ class StreamingCompressor:
                 f"stream tail has {len(buffer)} frames; need >= {window} "
                 "(total stream shorter than one window?)")
         chunk = np.stack(buffer)
-        yield self._compress_chunk(chunk, index, start, error_bound,
-                                   nrmse_bound, noise_seed)
+        yield self._compress_chunk(chunk, index, start, bound, noise_seed)
 
     def compress(self, frames: Iterable[np.ndarray],
                  error_bound: Optional[float] = None,
                  nrmse_bound: Optional[float] = None,
-                 noise_seed: int = 0) -> StreamArchive:
+                 noise_seed: int = 0,
+                 bound: Optional[Bound] = None) -> StreamArchive:
         """Drain :meth:`compress_iter` into a :class:`StreamArchive`."""
         from ..codecs import pack_envelope
         archive = StreamArchive(
             original_dtype_bytes=self.original_dtype_bytes)
         for res in self.compress_iter(frames, error_bound=error_bound,
                                       nrmse_bound=nrmse_bound,
-                                      noise_seed=noise_seed):
+                                      noise_seed=noise_seed,
+                                      bound=bound):
             if res.blob is not None:
                 archive.blobs.append(res.blob)
             else:
@@ -249,12 +256,10 @@ class StreamingCompressor:
         return archive
 
     def _compress_chunk(self, chunk: np.ndarray, index: int, start: int,
-                        error_bound: Optional[float],
-                        nrmse_bound: Optional[float],
+                        bound: Optional[Bound],
                         noise_seed: int) -> ChunkResult:
         res = self.codec.compress_bounded(
-            chunk, error_bound=error_bound, nrmse_bound=nrmse_bound,
-            seed=noise_seed + SEED_STRIDE * index)
+            chunk, bound=bound, seed=noise_seed + SEED_STRIDE * index)
         return ChunkResult(index=index, start_frame=start,
                            num_frames=chunk.shape[0], blob=res.blob,
                            achieved_nrmse=res.achieved_nrmse, result=res)

@@ -1,0 +1,172 @@
+"""Bound value-type tests: constructors, conversions, legacy interop."""
+
+import numpy as np
+import pytest
+
+from repro.bound import BOUND_KINDS, Bound
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(5, 12, 12)).cumsum(axis=0)
+
+
+class TestConstructors:
+    def test_kinds(self):
+        assert Bound.pointwise(0.5).kind == "pointwise"
+        assert Bound.rmse(0.1).kind == "rmse"
+        assert Bound.l2(25.0).kind == "l2"
+        assert Bound.tau(25.0) == Bound.l2(25.0)  # paper alias
+        assert Bound.nrmse(1e-3).kind == "nrmse"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="bound kind"):
+            Bound("max-abs", 0.1)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"),
+                                       float("inf")])
+    def test_invalid_value_rejected(self, value):
+        with pytest.raises(ValueError, match="finite and positive"):
+            Bound.nrmse(value)
+
+    def test_parse(self):
+        assert Bound.parse("nrmse:1e-3") == Bound.nrmse(1e-3)
+        assert Bound.parse("l2:25") == Bound.l2(25.0)
+        assert Bound.parse("POINTWISE: 0.5") == Bound.pointwise(0.5)
+        assert Bound.parse("0.01") == Bound.nrmse(0.01)  # bare number
+        with pytest.raises(ValueError):
+            Bound.parse("junk:1")
+
+    def test_frozen_hashable_picklable(self):
+        import pickle
+        b = Bound.nrmse(1e-3)
+        with pytest.raises(Exception):
+            b.value = 2.0
+        assert pickle.loads(pickle.dumps(b)) == b
+        assert len({b, Bound.nrmse(1e-3), Bound.l2(1.0)}) == 2
+
+
+class TestConversions:
+    @pytest.mark.parametrize("kind", BOUND_KINDS)
+    def test_same_kind_is_identity(self, kind, frames):
+        b = Bound(kind, 0.25)
+        assert b.to(kind, frames=frames) is b
+
+    @pytest.mark.parametrize("src", ["rmse", "l2", "nrmse"])
+    @pytest.mark.parametrize("dst", ["rmse", "l2", "nrmse"])
+    def test_exact_subgroup_roundtrips(self, src, dst, frames):
+        """rmse/l2/nrmse are exact linear bijections of each other."""
+        b = Bound(src, 0.125)
+        back = b.to(dst, frames=frames).to(src, frames=frames)
+        assert back.kind == src
+        assert back.value == pytest.approx(b.value, rel=1e-12)
+
+    @pytest.mark.parametrize("dst", ["rmse", "l2", "nrmse"])
+    def test_pointwise_roundtrips_are_conservative(self, dst, frames):
+        """Conversions through pointwise contract (never loosen)."""
+        b = Bound.pointwise(0.125)
+        back = b.to(dst, frames=frames).to("pointwise", frames=frames)
+        assert back.value <= b.value * (1 + 1e-12)
+        other = Bound(dst, 0.125)
+        there = other.to("pointwise", frames=frames).to(dst,
+                                                       frames=frames)
+        assert there.value <= other.value * (1 + 1e-12)
+
+    def test_pointwise_source_routes_through_l2(self, frames):
+        """max|err| <= ||err||_2: a pointwise target converts to the
+        *same* L2 value, and to rmse as value / sqrt(n) — enforcing
+        either guarantees the pointwise bound."""
+        n = frames.size
+        b = Bound.pointwise(0.5)
+        assert b.to("l2", frames=frames).value == 0.5
+        assert b.to("rmse", frames=frames).value \
+            == pytest.approx(0.5 / np.sqrt(n))
+
+    def test_pointwise_bound_holds_on_l2_native_codec(self):
+        """Regression: Bound.pointwise must actually bound max|err|
+        when enforced by an rmse/l2-native codec."""
+        from repro.codecs import get_codec
+        rng = np.random.default_rng(11)
+        frames = rng.normal(size=(8, 16, 16)).cumsum(axis=0)
+        codec = get_codec("tthresh")  # rmse-native
+        target = 0.05
+        native = Bound.pointwise(target).native_for(codec, frames)
+        res = codec.compress(frames, native)
+        assert np.abs(res.reconstruction - frames).max() \
+            <= target * (1 + 1e-9)
+
+    def test_matches_legacy_table(self, frames):
+        """The exact formulas of the retired codecs/base.py table."""
+        n = frames.size
+        rng_ = float(frames.max() - frames.min())
+        # nrmse -> native kinds
+        assert Bound.nrmse(0.01).to("pointwise", frames=frames).value \
+            == pytest.approx(0.01 * rng_)
+        assert Bound.nrmse(0.01).to("l2", frames=frames).value \
+            == pytest.approx(0.01 * rng_ * np.sqrt(n))
+        # l2 tau -> native kinds
+        assert Bound.l2(5.0).to("rmse", frames=frames).value \
+            == pytest.approx(5.0 / np.sqrt(n))
+        assert Bound.l2(5.0).to("l2", frames=frames).value == 5.0
+
+    def test_explicit_stats_instead_of_frames(self):
+        assert Bound.nrmse(0.1).to("rmse", data_range=2.0).value \
+            == pytest.approx(0.2)
+        assert Bound.rmse(0.5).to("l2", n=100).value \
+            == pytest.approx(5.0)
+
+    def test_missing_stats_raise(self):
+        with pytest.raises(ValueError, match="element count"):
+            Bound.rmse(0.5).to("l2")
+        with pytest.raises(ValueError, match="data range"):
+            Bound.rmse(0.5).to("nrmse")
+        with pytest.raises(ValueError, match="bound kind"):
+            Bound.rmse(0.5).to("junk")
+
+    def test_native_for_codec(self, frames):
+        from repro.codecs import get_codec
+        sz = get_codec("szlike")       # pointwise-native
+        tt = get_codec("tthresh")      # rmse-native
+        b = Bound.nrmse(0.01)
+        rng_ = float(frames.max() - frames.min())
+        assert b.native_for(sz, frames) == pytest.approx(0.01 * rng_)
+        assert b.native_for(tt, frames) == pytest.approx(0.01 * rng_)
+
+    def test_native_bound_delegates_to_bound(self, frames):
+        """Codec.native_bound keeps its legacy semantics exactly."""
+        from repro.codecs import get_codec
+        codec = get_codec("szlike")
+        legacy = codec.native_bound(frames, nrmse_bound=0.02)
+        typed = codec.native_bound(frames, bound=Bound.nrmse(0.02))
+        assert legacy == typed
+
+
+class TestCoalesce:
+    def test_single_source(self):
+        assert Bound.coalesce(error_bound=5.0) == Bound.l2(5.0)
+        assert Bound.coalesce(nrmse_bound=0.1) == Bound.nrmse(0.1)
+        b = Bound.pointwise(1.0)
+        assert Bound.coalesce(bound=b) is b
+        assert Bound.coalesce() is None
+
+    def test_multiple_sources_rejected(self):
+        with pytest.raises(ValueError, match="not several"):
+            Bound.coalesce(error_bound=1.0, nrmse_bound=0.1)
+        with pytest.raises(ValueError, match="not several"):
+            Bound.coalesce(bound=Bound.l2(1.0), nrmse_bound=0.1)
+
+    def test_raw_float_rejected_with_hint(self):
+        with pytest.raises(TypeError, match="Codec.compress"):
+            Bound.coalesce(bound=0.5)
+
+    def test_legacy_kwargs(self):
+        frames = np.zeros((2, 4, 4)) + np.arange(2)[:, None, None]
+        assert Bound.nrmse(0.1).legacy_kwargs() == {
+            "error_bound": None, "nrmse_bound": 0.1}
+        assert Bound.l2(5.0).legacy_kwargs() == {
+            "error_bound": 5.0, "nrmse_bound": None}
+        kw = Bound.rmse(0.5).legacy_kwargs(frames)
+        assert kw["nrmse_bound"] is None
+        assert kw["error_bound"] == pytest.approx(
+            0.5 * np.sqrt(frames.size))

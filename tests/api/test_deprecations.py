@@ -1,0 +1,44 @@
+"""Deprecation shims for the retired top-level entry points."""
+
+import warnings
+
+import pytest
+
+
+class TestTopLevelShims:
+    @pytest.mark.parametrize("name", ["MultiVariableCompressor",
+                                      "StreamingCompressor"])
+    def test_warns_and_forwards(self, name):
+        import repro
+        import repro.pipeline
+        with pytest.warns(DeprecationWarning, match="Session.compress"):
+            cls = getattr(repro, name)
+        assert cls is getattr(repro.pipeline, name)
+
+    @pytest.mark.parametrize("name", ["MultiVariableCompressor",
+                                      "StreamingCompressor"])
+    def test_from_import_warns(self, name):
+        with pytest.warns(DeprecationWarning):
+            exec(f"from repro import {name}")
+
+    def test_pipeline_import_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.pipeline import (MultiVariableCompressor,
+                                        StreamingCompressor)
+            assert MultiVariableCompressor and StreamingCompressor
+
+    def test_shims_stay_functional(self):
+        """The forwarded classes are the real, working implementations."""
+        import numpy as np
+        with pytest.warns(DeprecationWarning):
+            from repro import StreamingCompressor
+        frames = np.random.default_rng(0).normal(size=(8, 8, 8)).cumsum(0)
+        sc = StreamingCompressor("szlike", chunk_windows=4)
+        archive = sc.compress(iter(frames), nrmse_bound=0.05)
+        assert archive.num_frames == frames.shape[0]
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing

@@ -1,0 +1,251 @@
+"""Session facade tests: dispatch per input shape, bit-exact file
+round-trips, codec resolution, and executor byte-identity through the
+facade (the acceptance criteria of the api redesign)."""
+
+import numpy as np
+import pytest
+
+from repro.api import Archive, Bound, Session, SessionError
+from repro.data import get_dataset
+from repro.metrics import nrmse
+
+SHAPE_OVERRIDES = {"t": 12, "h": 16, "w": 16}
+
+
+@pytest.fixture(scope="module")
+def frames():
+    ds = get_dataset("e3sm", t=12, h=16, w=16, seed=9)
+    return ds.frames(0)
+
+
+def _roundtrip(session, archive, tmp_path, name):
+    """compress -> save -> Archive.open -> decompress, bit-identically
+    (the file path must change nothing)."""
+    path = tmp_path / name
+    archive.save(path)
+    reopened = Archive.open(path)
+    assert reopened.to_bytes() == archive.to_bytes()
+    direct = session.decompress(archive)
+    from_file = session.decompress(reopened)
+    if isinstance(direct, dict):
+        assert sorted(direct) == sorted(from_file)
+        for key in direct:
+            np.testing.assert_array_equal(direct[key], from_file[key])
+    else:
+        np.testing.assert_array_equal(direct, from_file)
+    return from_file
+
+
+class TestRoundTrips:
+    """One round-trip per input shape, per the acceptance criteria."""
+
+    def test_array(self, frames, tmp_path):
+        with Session(codec="szlike") as s:
+            archive = s.compress(frames, bound=Bound.nrmse(0.02))
+            assert archive.kind == "envelope"
+            out = _roundtrip(s, archive, tmp_path, "array.cdx")
+        assert out.shape == frames.shape
+        assert nrmse(frames, out) <= 0.02 * (1 + 1e-9)
+
+    def test_array_sharded(self, frames, tmp_path):
+        with Session(codec="szlike", executor="serial") as s:
+            archive = s.compress(frames, bound=Bound.nrmse(0.02),
+                                 shards=3)
+            assert archive.kind == "shard"
+            assert archive.stats["shards"] == 3
+            out = _roundtrip(s, archive, tmp_path, "sharded.cdx")
+        assert nrmse(frames, out) <= 0.02 * (1 + 1e-9)
+
+    def test_dataset_name(self, tmp_path):
+        with Session(codec="szlike", executor="serial") as s:
+            archive = s.compress("e3sm", bound=Bound.nrmse(0.02),
+                                 variables=[0], shards=4,
+                                 dataset_overrides=SHAPE_OVERRIDES)
+            assert archive.kind == "shard"
+            out = _roundtrip(s, archive, tmp_path, "dataset.cdx")
+        original = get_dataset("e3sm", **SHAPE_OVERRIDES).frames(0)
+        assert out.shape == original.shape
+        assert nrmse(original, out) <= 0.02 * (1 + 1e-9)
+
+    def test_dataset_spec_defaults_to_all_variables(self, tmp_path):
+        from repro.data import get_dataset_spec
+        spec = get_dataset_spec("e3sm", **SHAPE_OVERRIDES)
+        with Session(codec="dpcm", executor="serial") as s:
+            archive = s.compress(spec, bound=Bound.nrmse(0.05))
+            out = _roundtrip(s, archive, tmp_path, "spec.cdx")
+        ds = spec.build()
+        assert out.shape == spec.shape  # (V, T, H, W)
+        for v in range(spec.num_vars):
+            assert nrmse(ds.frames(v), out[v]) <= 0.05 * (1 + 1e-9)
+
+    def test_multivar_mapping(self, frames, tmp_path):
+        stacks = {"u": frames, "v": frames * 2.0 + 1.0}
+        with Session(codec="szlike") as s:
+            archive = s.compress(stacks, bound=Bound.nrmse(0.02))
+            assert archive.kind == "multivar"
+            out = _roundtrip(s, archive, tmp_path, "multivar.cdx")
+        assert sorted(out) == ["u", "v"]
+        for name, stack in stacks.items():
+            assert nrmse(stack, out[name]) <= 0.02 * (1 + 1e-9)
+
+    def test_multivar_array_with_names(self, frames):
+        arr = np.stack([frames, frames * 2.0])
+        with Session(codec="szlike") as s:
+            archive = s.compress(arr, names=["a", "b"],
+                                 bound=Bound.nrmse(0.05))
+            out = s.decompress(archive)
+        assert sorted(out) == ["a", "b"]
+
+    def test_chunk_iterator(self, frames, tmp_path):
+        with Session(codec="szlike", chunk_windows=2) as s:
+            archive = s.compress(iter(frames), bound=Bound.nrmse(0.02))
+            assert archive.kind == "stream"
+            assert archive.stats["frames"] == frames.shape[0]
+            out = _roundtrip(s, archive, tmp_path, "stream.cdx")
+        assert out.shape == frames.shape
+        assert nrmse(frames, out) <= 0.02 * (1 + 1e-9)
+
+    def test_compress_is_deterministic(self, frames):
+        with Session(codec="szlike") as s:
+            a = s.compress(frames, bound=Bound.nrmse(0.02))
+            b = s.compress(frames, bound=Bound.nrmse(0.02))
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_legacy_kwargs_equal_bound_object(self, frames):
+        with Session(codec="szlike") as s:
+            typed = s.compress(frames, bound=Bound.nrmse(0.02))
+            legacy = s.compress(frames, nrmse_bound=0.02)
+        assert typed.to_bytes() == legacy.to_bytes()
+
+
+class TestTrainedArtifactSweep:
+    """Acceptance: a trained-artifact sweep via Session(executor=
+    "process") is byte-identical to executor="serial"."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("api-artifacts")
+        path = root / "vae-sr.npz"
+        session = Session(seed=1)
+        codec, manifest = session.train(
+            "vae-sr", "e3sm", save=str(path),
+            dataset_overrides=SHAPE_OVERRIDES,
+            vae_iters=3, sr_iters=2, seed=1)
+        assert codec.name == "vae-sr"
+        assert manifest.training["vae_iters"] == 3
+        assert manifest.dataset["name"] == "e3sm"
+        return str(path)
+
+    def test_process_sweep_matches_serial(self, artifact):
+        archives = {}
+        for executor in ("serial", "process"):
+            with Session(artifact=artifact, executor=executor,
+                         workers=2) as s:
+                archives[executor] = s.compress(
+                    "e3sm", bound=Bound.nrmse(0.5), variables=[0],
+                    shards=4, dataset_overrides=SHAPE_OVERRIDES)
+        assert archives["process"].to_bytes() \
+            == archives["serial"].to_bytes()
+
+    def test_artifact_roundtrip_through_facade(self, artifact,
+                                               tmp_path):
+        with Session(artifact=artifact) as s:
+            archive = s.compress("e3sm", bound=Bound.nrmse(0.5),
+                                 variables=[0], shards=2,
+                                 dataset_overrides=SHAPE_OVERRIDES)
+            out = _roundtrip(s, archive, tmp_path, "trained.cdx")
+        original = get_dataset("e3sm", **SHAPE_OVERRIDES).frames(0)
+        assert nrmse(original, out) <= 0.5 * (1 + 1e-9)
+
+    def test_artifact_name_mismatch_rejected(self, artifact):
+        with pytest.raises(SessionError, match="holds codec 'vae-sr'"):
+            Session(codec="gcd", artifact=artifact)
+
+
+class TestCodecResolution:
+    def test_unknown_codec_lists_registry(self):
+        with pytest.raises(KeyError, match="szlike"):
+            Session(codec="nope").resolve_codec()
+
+    def test_ours_requires_model(self):
+        with pytest.raises(SessionError, match="trained model bundle"):
+            Session().resolve_codec()
+
+    def test_untrained_learned_codec_hints_at_artifact(self):
+        with pytest.raises(SessionError, match="repro train"):
+            Session(codec="vae-sr").resolve_codec()
+
+    def test_codec_instance_and_native_object_adopted(self, frames):
+        from repro.codecs import get_codec
+        codec = get_codec("szlike")
+        assert Session(codec=codec).resolve_codec() is codec
+        native = codec.impl  # the raw SZ-like compressor object
+        assert Session(codec=native).resolve_codec().name == "szlike"
+
+    def test_expect_codec_mismatch(self, frames):
+        with Session(codec="szlike") as s:
+            archive = s.compress(frames, bound=Bound.nrmse(0.05))
+            with pytest.raises(SessionError, match="szlike"):
+                s.decompress(archive, expect_codec="mgard")
+
+    def test_bad_source_types(self):
+        s = Session(codec="szlike")
+        with pytest.raises(SessionError, match="T, H, W"):
+            s.compress(np.zeros((4, 4)))
+        with pytest.raises(SessionError, match="cannot compress"):
+            s.compress(42)
+        with pytest.raises(ValueError, match="not several"):
+            s.compress(np.zeros((4, 8, 8)), bound=Bound.nrmse(0.1),
+                       nrmse_bound=0.1)
+
+    def test_train_rejects_model_free_codec(self):
+        with pytest.raises(SessionError, match="model-free"):
+            Session().train("szlike", np.zeros((8, 8, 8)), save="x.npz")
+
+    def test_train_requires_destination(self):
+        with pytest.raises(SessionError, match="ArtifactStore"):
+            Session().train("vae-sr", np.zeros((8, 8, 8)))
+
+    def test_dataset_instance_honours_overrides(self):
+        """Overrides must not be silently dropped for instances."""
+        ds = get_dataset("e3sm", t=32, h=16, w=16)
+        with Session(codec="szlike", executor="serial") as s:
+            archive = s.compress(ds, bound=Bound.nrmse(0.05),
+                                 variables=[0],
+                                 dataset_overrides={"t": 12})
+            out = s.decompress(archive)
+        assert out.shape[0] == 12
+
+    def test_train_ours_builds_compressor_once(self, monkeypatch,
+                                               tmp_path):
+        """The corrector fit (inside build_compressor) is the
+        expensive training tail; it must run exactly once."""
+        from repro.pipeline.training import TwoStageTrainer
+        calls = []
+        original = TwoStageTrainer.build_compressor
+
+        def counting(self, *a, **kw):
+            calls.append(1)
+            return original(self, *a, **kw)
+
+        monkeypatch.setattr(TwoStageTrainer, "build_compressor",
+                            counting)
+        session = Session(seed=0)
+        codec, manifest = session.train(
+            "ours", "e3sm", save=str(tmp_path / "ours-tiny.npz"),
+            dataset_overrides=SHAPE_OVERRIDES,
+            vae_iters=2, diffusion_iters=2, seed=0)
+        assert codec.name == "ours"
+        assert manifest.training["vae_iters"] == 2
+        assert len(calls) == 1
+
+    def test_train_into_store(self, tmp_path):
+        from repro.pipeline.artifacts import ArtifactStore
+        store = ArtifactStore(tmp_path / "store")
+        session = Session(store=store, seed=1)
+        codec, key = session.train(
+            "vae-sr", "e3sm", dataset_overrides=SHAPE_OVERRIDES,
+            vae_iters=2, sr_iters=1, seed=1)
+        assert key in store
+        clone = store.get(key)
+        assert clone.name == "vae-sr"

@@ -11,8 +11,7 @@ import numpy as np
 import pytest
 
 from repro.codecs import get_codec
-from repro.pipeline.engine import (SEED_STRIDE, BatchResult, CodecEngine,
-                                   parallel_map)
+from repro.pipeline.engine import SEED_STRIDE, BatchResult, CodecEngine
 
 
 @pytest.fixture(scope="module")
@@ -71,8 +70,6 @@ class TestCodecEngine:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             CodecEngine("szlike", max_workers=0)
-        with pytest.raises(ValueError):
-            parallel_map(lambda x: x, [1], max_workers=0)
 
     def test_empty_batch(self):
         engine = CodecEngine("szlike")
@@ -87,12 +84,18 @@ class TestCodecEngine:
             # rule-based codec without a bound
             engine.compress([np.zeros((4, 4, 4)), np.zeros((4, 4, 4))])
 
+    def test_bound_object_matches_legacy_kwargs(self, stacks):
+        from repro.bound import Bound
+        engine = CodecEngine("szlike", max_workers=2, base_seed=4)
+        legacy = engine.compress(stacks, nrmse_bound=0.05)
+        typed = engine.compress(stacks, bound=Bound.nrmse(0.05))
+        for a, b in zip(legacy.results, typed.results):
+            assert a.payload == b.payload
 
-class TestParallelMap:
-    def test_preserves_order(self):
-        out = parallel_map(lambda x: x * x, list(range(20)),
-                           max_workers=4)
-        assert out == [x * x for x in range(20)]
 
-    def test_serial_fallback_single_item(self):
-        assert parallel_map(lambda x: -x, [3], max_workers=8) == [-3]
+def test_parallel_map_removed():
+    """The pre-executor-era helper is gone; executors replaced it."""
+    import repro.pipeline
+    import repro.pipeline.engine as engine
+    assert not hasattr(engine, "parallel_map")
+    assert not hasattr(repro.pipeline, "parallel_map")
