@@ -1,10 +1,12 @@
-"""Entropy-backend ablation: arithmetic (range) coder vs rANS.
+"""Entropy-backend ablation: arithmetic (range) coder vs rANS vs
+lane-vectorized interleaved rANS.
 
-Both backends code the same symbol streams under the same quantized
+All backends code the same symbol streams under the same quantized
 probability tables, so compressed sizes must agree to within a few
-bytes of coder termination overhead; throughput is where they differ.
-Streams are the realistic ones the pipeline produces: near-Gaussian
-quantized latent residuals at several scales plus a heavily skewed
+bytes of coder termination overhead (vrans additionally pays a small
+per-lane state header); throughput is where they differ.  Streams are
+the realistic ones the pipeline produces: near-Gaussian quantized
+latent residuals at several scales plus a heavily skewed
 correction-coefficient distribution.
 """
 
@@ -16,7 +18,8 @@ import numpy as np
 import pytest
 
 from repro.entropy import (decode_symbols, decode_symbols_rans,
-                           encode_symbols, encode_symbols_rans)
+                           decode_symbols_vrans, encode_symbols,
+                           encode_symbols_rans, encode_symbols_vrans)
 from repro.entropy.coder import pmf_to_cumulative
 
 from .conftest import save_json
@@ -55,6 +58,9 @@ def test_ablation_entropy_backends(benchmark):
     t0 = time.perf_counter()
     r_stream = encode_symbols_rans(symbols, tables, contexts)
     t_rans_enc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    v_stream = encode_symbols_vrans(symbols, tables, contexts)
+    t_vrans_enc = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     a_out = decode_symbols(a_stream, tables, contexts)
@@ -62,9 +68,13 @@ def test_ablation_entropy_backends(benchmark):
     t0 = time.perf_counter()
     r_out = decode_symbols_rans(r_stream, tables, contexts)
     t_rans_dec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    v_out = decode_symbols_vrans(v_stream, tables, contexts)
+    t_vrans_dec = time.perf_counter() - t0
 
     np.testing.assert_array_equal(a_out, symbols)
     np.testing.assert_array_equal(r_out, symbols)
+    np.testing.assert_array_equal(v_out, symbols)
 
     print(f"\nAblation (entropy backend), {symbols.size} symbols, "
           f"entropy {h_bytes:.0f} B:")
@@ -72,21 +82,30 @@ def test_ablation_entropy_backends(benchmark):
           f"enc {t_arith_enc * 1e3:.0f} ms / dec {t_arith_dec * 1e3:.0f} ms")
     print(f"  rANS:       {len(r_stream)} B, "
           f"enc {t_rans_enc * 1e3:.0f} ms / dec {t_rans_dec * 1e3:.0f} ms")
+    print(f"  vrANS:      {len(v_stream)} B, "
+          f"enc {t_vrans_enc * 1e3:.0f} ms / dec {t_vrans_dec * 1e3:.0f} ms")
     save_json("ablation_entropy", {
         "entropy_bytes": h_bytes,
         "arithmetic_bytes": len(a_stream),
         "rans_bytes": len(r_stream),
+        "vrans_bytes": len(v_stream),
         "arith_enc_s": t_arith_enc, "arith_dec_s": t_arith_dec,
         "rans_enc_s": t_rans_enc, "rans_dec_s": t_rans_dec,
+        "vrans_enc_s": t_vrans_enc, "vrans_dec_s": t_vrans_dec,
     })
 
-    # both land within 1% + termination slack of the entropy
+    # all land within 1% + termination slack of the entropy (vrans
+    # additionally carries its lane-state header)
+    lane_header = 1 + 8 * v_stream[0]
     assert len(a_stream) <= h_bytes * 1.01 + 16
     assert len(r_stream) <= h_bytes * 1.01 + 16
+    assert len(v_stream) <= h_bytes * 1.01 + 16 + lane_header
     # and within 2% + slack of each other
     assert abs(len(a_stream) - len(r_stream)) <= 0.02 * len(a_stream) + 16
+    assert (abs(len(a_stream) - len(v_stream))
+            <= 0.02 * len(a_stream) + 16 + lane_header)
 
-    benchmark(lambda: encode_symbols_rans(symbols, tables, contexts))
+    benchmark(lambda: encode_symbols_vrans(symbols, tables, contexts))
 
 
 def test_ablation_entropy_skewed(benchmark):

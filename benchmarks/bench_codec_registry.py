@@ -36,6 +36,8 @@ import numpy as np
 from repro.api import Bound, Session
 from repro.codecs import get_codec, list_codecs
 from repro.data import get_dataset_spec
+from repro.entropy import get_backend, list_backends
+from repro.entropy.coder import pmf_to_cumulative
 from repro.pipeline.engine import CodecEngine
 from repro.pipeline.executors import (ProcessExecutor, SerialExecutor,
                                       ThreadExecutor)
@@ -150,6 +152,106 @@ def _facade_overhead() -> dict:
     }
 
 
+#: entropy-backend workload: a Gaussian-conditional-like symbol stream
+#: (the shape every codec's hot path codes), min-of-reps per backend
+ENTROPY_SYMBOLS = 60_000
+ENTROPY_CONTEXTS = 64
+ENTROPY_ALPHABET = 33
+ENTROPY_REPS = 3
+#: acceptance criterion: the vectorized backend must beat the
+#: per-symbol arithmetic loop by at least this factor end to end
+ENTROPY_MIN_SPEEDUP = 5.0
+
+
+def _entropy_throughput() -> dict:
+    """Per-backend symbol-coding throughput on one fixed stream.
+
+    The per-symbol Python loop is the dominant cost of every codec's
+    compress/decompress, so this block is the trajectory to watch when
+    touching the entropy layer.
+    """
+    rng = np.random.default_rng(11)
+    pmf = rng.random((ENTROPY_CONTEXTS, ENTROPY_ALPHABET)) + 0.01
+    tables = pmf_to_cumulative(pmf)
+    contexts = rng.integers(0, ENTROPY_CONTEXTS, size=ENTROPY_SYMBOLS)
+    # inverse-CDF draw so symbols follow their context's table
+    u = rng.random(ENTROPY_SYMBOLS) * tables[contexts, -1]
+    symbols = (tables[contexts] <= u[:, None]).sum(axis=1) - 1
+
+    backends = {}
+    for name in list_backends():
+        be = get_backend(name)
+        enc = dec = float("inf")
+        data = be.encode(symbols, tables, contexts)  # untimed warmup
+        for _ in range(ENTROPY_REPS):
+            t0 = time.perf_counter()
+            data = be.encode(symbols, tables, contexts)
+            enc = min(enc, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            out = be.decode(data, tables, contexts)
+            dec = min(dec, time.perf_counter() - t0)
+        np.testing.assert_array_equal(out, symbols)
+        backends[name] = {
+            "encode_seconds": round(enc, 6),
+            "decode_seconds": round(dec, 6),
+            "encode_msym_per_s": round(ENTROPY_SYMBOLS / enc / 1e6, 3),
+            "decode_msym_per_s": round(ENTROPY_SYMBOLS / dec / 1e6, 3),
+            "stream_bytes": len(data),
+        }
+    arith = backends["arithmetic"]
+    vrans = backends["vrans"]
+    speedup = ((arith["encode_seconds"] + arith["decode_seconds"])
+               / max(vrans["encode_seconds"] + vrans["decode_seconds"],
+                     1e-9))
+    return {
+        "workload": (f"{ENTROPY_SYMBOLS}sym-{ENTROPY_CONTEXTS}ctx-"
+                     f"{ENTROPY_ALPHABET}alpha"),
+        "backends": backends,
+        "vrans_speedup_vs_arithmetic": round(speedup, 2),
+    }
+
+
+def _prior_entropy_record() -> dict:
+    """Last trajectory entry carrying an ``entropy`` block, if any."""
+    if not TRAJECTORY.exists():
+        return {}
+    try:
+        trajectory = json.loads(TRAJECTORY.read_text())
+    except (ValueError, OSError):
+        return {}
+    if not isinstance(trajectory, list):
+        return {}
+    for record in reversed(trajectory):
+        if isinstance(record, dict) and "entropy" in record:
+            return record["entropy"]
+    return {}
+
+
+def _print_entropy(entropy_row: dict, prior: dict) -> None:
+    """Render the per-backend table, diffed against the prior entry."""
+    prior_backends = prior.get("backends", {})
+    print(f"\nentropy backends ({entropy_row['workload']}):")
+    print(f"{'backend':12s} {'enc s':>10s} {'dec s':>10s} "
+          f"{'Msym/s enc':>11s} {'Msym/s dec':>11s} {'bytes':>8s} "
+          f"{'vs prior':>9s}")
+    for name, row in entropy_row["backends"].items():
+        was = prior_backends.get(name)
+        if was:
+            now = row["encode_seconds"] + row["decode_seconds"]
+            then = was["encode_seconds"] + was["decode_seconds"]
+            delta = f"{now / max(then, 1e-9):8.2f}x"
+        else:
+            delta = "      new"
+        print(f"{name:12s} {row['encode_seconds']:10.4f} "
+              f"{row['decode_seconds']:10.4f} "
+              f"{row['encode_msym_per_s']:11.2f} "
+              f"{row['decode_msym_per_s']:11.2f} "
+              f"{row['stream_bytes']:8d} {delta}")
+    print(f"vrans end-to-end speedup vs arithmetic: "
+          f"x{entropy_row['vrans_speedup_vs_arithmetic']:.1f} "
+          f"(floor x{ENTROPY_MIN_SPEEDUP:.0f})")
+
+
 def _bound_for(codec, frames):
     if codec.capabilities.bound_kind == "l2":
         return None  # unbounded: untrained codecs have no corrector
@@ -227,6 +329,11 @@ def test_codec_registry_smoke(benchmark):
     # must stay within noise of each other
     facade_row = _facade_overhead()
 
+    # entropy backends: per-backend symbol-coding throughput, diffed
+    # against the previous trajectory entry
+    prior_entropy = _prior_entropy_record()
+    entropy_row = _entropy_throughput()
+
     print(f"\n{'codec':10s} {'enc s':>10s} {'dec s':>10s} "
           f"{'bytes':>8s} {'ratio':>8s}")
     for name, r in rows.items():
@@ -249,10 +356,16 @@ def test_codec_registry_smoke(benchmark):
     assert (facade_row["session_seconds"]
             <= facade_row["engine_seconds"] * 1.5 + 0.05), facade_row
 
+    _print_entropy(entropy_row, prior_entropy)
+    # acceptance: the vectorized backend must make symbol coding at
+    # least 5x faster than the per-symbol arithmetic loop
+    assert (entropy_row["vrans_speedup_vs_arithmetic"]
+            >= ENTROPY_MIN_SPEEDUP), entropy_row
+
     record = {"workload": "e3sm-12x16x16-seed11",
               "rel_bound": REL_BOUND,
               "codecs": rows, "executors": engine_row,
-              "facade": facade_row}
+              "facade": facade_row, "entropy": entropy_row}
     save_json("codec_registry_smoke", record)
 
     # append to the trajectory file so PRs can diff perf over time

@@ -65,6 +65,8 @@ from .codecs import (Codec, LatentDiffusionCodec, as_codec, get_codec,
 from .data.base import SpatiotemporalDataset, train_test_windows
 from .data.registry import (DatasetSpec, get_dataset_spec, list_datasets,
                             spec_of)
+from .entropy.backend import get_backend as get_entropy_backend
+from .entropy.backend import using_backend
 from .pipeline.artifacts import (ArtifactStore, is_artifact,
                                  read_manifest, save_artifact)
 from .pipeline.blob import CompressedBlob
@@ -302,6 +304,13 @@ class Session:
         Base seed for deterministic per-window/variable/chunk seeding.
     chunk_windows:
         Codec windows per chunk for iterator (streaming) sources.
+    entropy_backend:
+        Entropy-coder selection for every stream this session writes:
+        ``"arithmetic"`` (the legacy default), ``"rans"``, or
+        ``"vrans"`` (the vectorized fast path) — see
+        :mod:`repro.entropy.backend`.  ``None`` keeps the process
+        default.  Decoding never needs it: streams carry a backend
+        tag, and untagged legacy streams decode via arithmetic.
     """
 
     def __init__(self, codec: Union[str, Codec, object, None] = None,
@@ -311,10 +320,17 @@ class Session:
                               None] = None,
                  executor: Union[str, Executor] = "thread",
                  workers: Optional[int] = None,
-                 seed: int = 0, chunk_windows: int = 4):
+                 seed: int = 0, chunk_windows: int = 4,
+                 entropy_backend: Optional[str] = None):
         self.model = model
         self.seed = seed
         self.chunk_windows = chunk_windows
+        try:
+            self.entropy_backend = (
+                None if entropy_backend is None
+                else get_entropy_backend(entropy_backend).name)
+        except KeyError as exc:
+            raise SessionError(exc.args[0]) from None
         self.executor = get_executor(executor, max_workers=workers)
         self.workers = self.executor.max_workers
         if store is not None and not isinstance(store, ArtifactStore):
@@ -351,8 +367,11 @@ class Session:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backend = (f" entropy={self.entropy_backend!r}"
+                   if self.entropy_backend else "")
         return (f"<Session codec={self._default_name!r} "
-                f"executor={self.executor.name!r} seed={self.seed}>")
+                f"executor={self.executor.name!r}{backend} "
+                f"seed={self.seed}>")
 
     # -- codec resolution ----------------------------------------------
     def _load_artifact_codec(self, artifact: str,
@@ -448,7 +467,8 @@ class Session:
                  label: Optional[str] = None,
                  chunk_windows: Optional[int] = None,
                  dataset_overrides: Optional[dict] = None,
-                 keep_reconstruction: bool = True) -> Archive:
+                 keep_reconstruction: bool = True,
+                 entropy_backend: Optional[str] = None) -> Archive:
         """Compress any supported source into an :class:`Archive`.
 
         Dispatch by source type:
@@ -471,20 +491,26 @@ class Session:
         ``bound`` is a :class:`~repro.bound.Bound` (the legacy
         ``error_bound``/``nrmse_bound`` kwargs still work); bounds
         apply per window/variable/chunk, each normalized against its
-        own data statistics.
+        own data statistics.  ``entropy_backend`` overrides the
+        session's entropy-coder selection for this call.
         """
         target = Bound.coalesce(bound=bound, error_bound=error_bound,
                                 nrmse_bound=nrmse_bound)
         seed = self.seed if seed is None else seed
+        try:
+            entropy = (self.entropy_backend if entropy_backend is None
+                       else get_entropy_backend(entropy_backend).name)
+        except KeyError as exc:
+            raise SessionError(exc.args[0]) from None
 
         if isinstance(source, Mapping) or (
                 isinstance(source, np.ndarray) and source.ndim == 4):
             return self._compress_multivar(source, codec, target, names,
-                                           seed)
+                                           seed, entropy)
         if isinstance(source, (str, DatasetSpec, SpatiotemporalDataset)):
             return self._compress_plan(source, codec, target, variables,
                                        shards, seed, dataset_overrides,
-                                       keep_reconstruction)
+                                       keep_reconstruction, entropy)
         if isinstance(source, np.ndarray):
             if source.ndim != 3:
                 raise SessionError(
@@ -493,25 +519,29 @@ class Session:
             if shards is not None and shards > 1:
                 return self._compress_sharded_stack(
                     source, codec, target, shards, seed, label,
-                    keep_reconstruction)
-            return self._compress_stack(source, codec, target, seed)
+                    keep_reconstruction, entropy)
+            return self._compress_stack(source, codec, target, seed,
+                                        entropy)
         if isinstance(source, Iterable):
             return self._compress_stream(source, codec, target, seed,
-                                         chunk_windows)
+                                         chunk_windows, entropy)
         raise SessionError(
             f"cannot compress {type(source).__name__}; pass an array, "
             f"a dataset name/spec, a variable mapping, or a frame "
             f"iterator")
 
     # per-source pipelines ------------------------------------------------
-    def _engine(self, codec: Codec, seed: int) -> CodecEngine:
-        return CodecEngine(codec, base_seed=seed, executor=self.executor)
+    def _engine(self, codec: Codec, seed: int,
+                entropy: Optional[str]) -> CodecEngine:
+        return CodecEngine(codec, base_seed=seed, executor=self.executor,
+                           entropy_backend=entropy)
 
     def _compress_stack(self, frames: np.ndarray, codec, target,
-                        seed: int) -> Archive:
+                        seed: int, entropy: Optional[str]) -> Archive:
         resolved = self.resolve_codec(codec)
-        result = resolved.compress_bounded(frames, bound=target,
-                                           seed=seed)
+        with using_backend(entropy):
+            result = resolved.compress_bounded(frames, bound=target,
+                                               seed=seed)
         # blob-native codecs write their raw wire format (the legacy
         # single-file layout); everything else gets a tagged envelope
         if result.blob is not None:
@@ -537,51 +567,54 @@ class Session:
             "wall_seconds": batch.wall_seconds})
 
     def _compress_sharded_stack(self, frames, codec, target, shards,
-                                seed, label, keep_reconstruction
-                                ) -> Archive:
+                                seed, label, keep_reconstruction,
+                                entropy: Optional[str]) -> Archive:
         resolved = self.resolve_codec(codec)
         slices = time_slices(frames.shape[0], shards=shards)
         stem = label or "stack"
         meta = [(f"{stem}/v0/t{a:04d}-{b:04d}", 0, a, b)
                 for a, b in slices]
-        engine = self._engine(resolved, seed)
+        engine = self._engine(resolved, seed, entropy)
         batch = engine.compress([frames[a:b] for a, b in slices],
                                 bound=target,
                                 keep_reconstruction=keep_reconstruction)
         return self._pack_shards(resolved, meta, batch)
 
     def _compress_plan(self, dataset, codec, target, variables, shards,
-                       seed, dataset_overrides, keep_reconstruction
-                       ) -> Archive:
+                       seed, dataset_overrides, keep_reconstruction,
+                       entropy: Optional[str]) -> Archive:
         resolved = self.resolve_codec(codec)
         spec = self._dataset_spec(dataset, dataset_overrides)
         plan: ShardPlan = plan_shards(spec, variables=variables,
                                       shards=shards or 1, base_seed=seed)
-        engine = self._engine(resolved, seed)
+        engine = self._engine(resolved, seed, entropy)
         batch = engine.compress_plan(plan, bound=target,
                                      keep_reconstruction=keep_reconstruction)
         meta = [(t.shard_id, t.variable, t.t0, t.t1) for t in plan]
         return self._pack_shards(resolved, meta, batch)
 
-    def _compress_multivar(self, data, codec, target, names, seed
-                           ) -> Archive:
+    def _compress_multivar(self, data, codec, target, names, seed,
+                           entropy: Optional[str]) -> Archive:
         resolved = self.resolve_codec(codec)
         mv = MultiVariableCompressor(resolved, max_workers=self.workers)
-        result = mv.compress(data, names=names, bound=target,
-                             noise_seed=seed)
-        wire = result.archive().to_bytes()
+        with using_backend(entropy):
+            result = mv.compress(data, names=names, bound=target,
+                                 noise_seed=seed)
+            wire = result.archive().to_bytes()
         return Archive(wire, "multivar", stats={
             "codec": resolved.name, "ratio": result.ratio,
             "nrmse": result.worst_nrmse(), "bytes": len(wire),
             "variables": result.variables})
 
     def _compress_stream(self, frames, codec, target, seed,
-                         chunk_windows) -> Archive:
+                         chunk_windows,
+                         entropy: Optional[str]) -> Archive:
         resolved = self.resolve_codec(codec)
         sc = StreamingCompressor(
             resolved, chunk_windows=chunk_windows or self.chunk_windows)
-        stream = sc.compress(frames, bound=target, noise_seed=seed)
-        wire = stream.to_bytes()
+        with using_backend(entropy):
+            stream = sc.compress(frames, bound=target, noise_seed=seed)
+            wire = stream.to_bytes()
         acc = stream.accounting()
         return Archive(wire, "stream", stats={
             "codec": resolved.name, "ratio": acc.ratio,

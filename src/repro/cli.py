@@ -52,6 +52,7 @@ from .api import Archive, Session, SessionError
 from .codecs import codec_specs, get_codec, list_codecs
 from .data.registry import (dataset_entries, get_dataset_spec,
                             list_datasets)
+from .entropy.backend import list_backends as list_entropy_backends
 from .pipeline.bundle import load_bundle, save_bundle
 from .pipeline.executors import list_executors
 
@@ -84,7 +85,9 @@ def _session(args: argparse.Namespace, **extra) -> Session:
     return Session(codec=getattr(args, "codec", None),
                    model=getattr(args, "model", None),
                    artifact=getattr(args, "codec_artifact", None),
-                   seed=getattr(args, "seed", 0), **extra)
+                   seed=getattr(args, "seed", 0),
+                   entropy_backend=getattr(args, "entropy_backend", None),
+                   **extra)
 
 
 # ----------------------------------------------------------------------
@@ -339,6 +342,7 @@ def _render_info(info: dict) -> int:
     print(f"keyframes        : {blob.keyframe_strategy} "
           f"(interval {blob.keyframe_interval})")
     print(f"sampler          : {blob.sampler} ({blob.sample_steps} steps)")
+    print(f"entropy backend  : {blob.entropy_backend}")
     from .pipeline.compressor import window_starts
     print(f"windows          : "
           f"{len(window_starts(blob.shape[0], blob.window))}")
@@ -490,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--error-bound", type=float, default=None,
                    help="absolute L2 bound tau (normalized onto the "
                         "codec's native bound metric)")
+    c.add_argument("--entropy-backend", default=None,
+                   choices=list_entropy_backends(),
+                   help="entropy coder for every written stream "
+                        "(default: arithmetic, the legacy format; "
+                        "vrans is the vectorized fast path; decoding "
+                        "always auto-detects from the stream)")
     c.add_argument("--seed", type=int, default=0)
     c.set_defaults(fn=_cmd_compress)
 

@@ -150,14 +150,19 @@ class VAEHyperprior(Module):
             x_hat = self.decoder(Tensor(y_int))
         return x_hat.numpy()
 
-    def compress(self, x: np.ndarray) -> Tuple[Dict, np.ndarray]:
+    def compress(self, x: np.ndarray,
+                 entropy_backend=None) -> Tuple[Dict, np.ndarray]:
         """Entropy-code frames to byte streams.
 
         Returns ``(streams, y_int)``: the dict of byte payloads and
         headers needed by :meth:`decompress`, plus the rounded latents
         (so callers — the keyframe pipeline — can reuse them as
-        conditioning without a decode pass).
+        conditioning without a decode pass).  ``entropy_backend``
+        selects the symbol coder for both streams (``None`` uses the
+        process default); the choice rides in the stream headers so
+        :meth:`decompress` self-selects.
         """
+        from ..entropy.backend import get_backend
         x = np.asarray(x, dtype=np.float64)
         with no_grad():
             y = self.encoder(Tensor(x)).numpy()
@@ -166,12 +171,15 @@ class VAEHyperprior(Module):
             mu, sigma = self.hyper_decoder(Tensor(z_int))
             mu, sigma = mu.numpy(), sigma.numpy()
         y_int = np.rint(y)
-        z_stream, z_header = self.z_prior.compress(z_int)
-        y_stream, y_header = self.y_conditional.compress(y_int, mu, sigma)
+        coder = get_backend(entropy_backend)
+        z_stream, z_header = self.z_prior.compress(z_int, backend=coder)
+        y_stream, y_header = self.y_conditional.compress(y_int, mu, sigma,
+                                                         backend=coder)
         streams = {
             "y_stream": y_stream, "y_header": y_header,
             "z_stream": z_stream, "z_header": z_header,
             "y_shape": tuple(y.shape), "z_shape": tuple(z.shape),
+            "entropy_backend": coder.name,
         }
         return streams, y_int
 

@@ -10,23 +10,38 @@ Implements the pieces the paper's rate model relies on (Sec. 3.1):
   (:mod:`repro.entropy.gaussian`);
 * symbol-stream helpers tying models to the coder
   (:mod:`repro.entropy.coder`);
-* an alternative rANS backend with the same table interface
-  (:mod:`repro.entropy.rans`).
+* an alternative scalar rANS backend with the same table interface
+  (:mod:`repro.entropy.rans`);
+* a lane-vectorized interleaved rANS backend — the fast path
+  (:mod:`repro.entropy.vrans`);
+* the pluggable backend registry tying them together
+  (:mod:`repro.entropy.backend`): ``get_backend("arithmetic" | "rans"
+  | "vrans")``, one-byte wire tags for container headers, and a
+  process-wide default that ``Session(entropy_backend=...)`` scopes.
 """
 
-from .coder import decode_symbols, encode_symbols
+from .backend import (DEFAULT_BACKEND, LEGACY_TAG, EntropyBackend,
+                      backend_from_tag, get_backend,
+                      get_default_backend, list_backends,
+                      register_backend, set_default_backend,
+                      using_backend)
+from .coder import check_contexts, decode_symbols, encode_symbols
 from .factorized import FactorizedDensity
 from .gaussian import (SCALE_MIN, GaussianConditional, gaussian_likelihood,
                        build_scale_table)
 from .rangecoder import ArithmeticDecoder, ArithmeticEncoder
 from .rans import (RansDecoder, RansEncoder, decode_symbols_rans,
                    encode_symbols_rans)
+from .vrans import decode_symbols_vrans, encode_symbols_vrans
 from .bitio import BitReader, BitWriter
 
 __all__ = [
     "ArithmeticEncoder", "ArithmeticDecoder", "BitReader", "BitWriter",
     "FactorizedDensity", "GaussianConditional", "gaussian_likelihood",
     "build_scale_table", "SCALE_MIN", "encode_symbols", "decode_symbols",
-    "RansEncoder", "RansDecoder", "encode_symbols_rans",
-    "decode_symbols_rans",
+    "check_contexts", "RansEncoder", "RansDecoder", "encode_symbols_rans",
+    "decode_symbols_rans", "encode_symbols_vrans", "decode_symbols_vrans",
+    "EntropyBackend", "get_backend", "backend_from_tag", "list_backends",
+    "register_backend", "get_default_backend", "set_default_backend",
+    "using_backend", "DEFAULT_BACKEND", "LEGACY_TAG",
 ]

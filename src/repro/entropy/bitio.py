@@ -22,6 +22,25 @@ class BitWriter:
             self._nbits = 0
 
     def write_run(self, bit: int, count: int) -> None:
+        """Write ``count`` copies of ``bit``.
+
+        Runs covering whole bytes are appended as bytes instead of
+        single bits — the arithmetic coder's pending-carry runs are
+        adversarially long (one per renormalization), and emitting them
+        bitwise is worst-case quadratic.  Output is byte-identical to
+        ``count`` repeated :meth:`write` calls.
+        """
+        bit &= 1
+        if count <= 0:
+            return
+        if self._nbits:  # top up the current partial byte first
+            take = min(count, 8 - self._nbits)
+            for _ in range(take):
+                self.write(bit)
+            count -= take
+        nbytes, count = divmod(count, 8)
+        if nbytes:
+            self._buf += (b"\xff" if bit else b"\x00") * nbytes
         for _ in range(count):
             self.write(bit)
 

@@ -20,7 +20,23 @@ import numpy as np
 
 from .rangecoder import MAX_TOTAL, ArithmeticDecoder, ArithmeticEncoder
 
-__all__ = ["encode_symbols", "decode_symbols", "pmf_to_cumulative"]
+__all__ = ["encode_symbols", "decode_symbols", "pmf_to_cumulative",
+           "check_contexts"]
+
+
+def check_contexts(contexts: np.ndarray, n_contexts: int) -> None:
+    """Validate ``0 <= contexts < n_contexts``.
+
+    Negative ids would silently wrap through numpy's fancy indexing and
+    encode (or decode) under the *wrong* table — garbage streams with
+    no error.  Every symbol-stream endpoint calls this before touching
+    ``cumulative[contexts, ...]``.
+    """
+    if contexts.size and (contexts.min() < 0
+                          or contexts.max() >= n_contexts):
+        raise ValueError(
+            f"context id out of range [0, {n_contexts}): "
+            f"[{contexts.min()}, {contexts.max()}]")
 
 
 def pmf_to_cumulative(pmf: np.ndarray, total: int = MAX_TOTAL) -> np.ndarray:
@@ -79,6 +95,7 @@ def encode_symbols(symbols: np.ndarray, cumulative: np.ndarray,
     contexts = np.asarray(contexts, dtype=np.int64).ravel()
     if symbols.shape != contexts.shape:
         raise ValueError("symbols and contexts must have equal length")
+    check_contexts(contexts, cumulative.shape[0])
     alphabet = cumulative.shape[1] - 1
     if symbols.size and (symbols.min() < 0 or symbols.max() >= alphabet):
         raise ValueError(
@@ -99,6 +116,7 @@ def decode_symbols(data: bytes, cumulative: np.ndarray,
                    contexts: np.ndarray) -> np.ndarray:
     """Inverse of :func:`encode_symbols` (requires the same contexts)."""
     contexts = np.asarray(contexts, dtype=np.int64).ravel()
+    check_contexts(contexts, cumulative.shape[0])
     dec = ArithmeticDecoder(data)
     out = np.empty(contexts.size, dtype=np.int64)
     totals = cumulative[:, -1]

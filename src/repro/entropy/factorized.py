@@ -17,7 +17,8 @@ import numpy as np
 
 from ..nn import Module, Parameter, Tensor, no_grad
 from ..nn import functional as F
-from .coder import decode_symbols, encode_symbols, pmf_to_cumulative
+from .backend import DEFAULT_BACKEND, get_backend
+from .coder import pmf_to_cumulative
 
 __all__ = ["FactorizedDensity"]
 
@@ -128,11 +129,16 @@ class FactorizedDensity(Module):
         pmf[:, -1] += np.maximum(hi_tail, 0.0)
         return pmf_to_cumulative(pmf)
 
-    def compress(self, z_int: np.ndarray) -> Tuple[bytes, Dict[str, int]]:
+    def compress(self, z_int: np.ndarray,
+                 backend=None) -> Tuple[bytes, Dict[str, int]]:
         """Losslessly encode rounded hyper-latents ``(B, C, H, W)``.
 
         Returns the byte stream plus the header needed to decode
         (support bounds and shape live in the caller's container).
+        ``backend`` selects the entropy coder
+        (:func:`repro.entropy.backend.get_backend`; ``None`` uses the
+        process default); non-default choices are recorded in the
+        header so :meth:`decompress` self-selects.
         """
         z_int = np.asarray(z_int)
         zmin = int(min(z_int.min(), 0))
@@ -143,17 +149,26 @@ class FactorizedDensity(Module):
         symbols = (z_int.reshape(B, C, m) - zmin).astype(np.int64)
         contexts = np.broadcast_to(np.arange(C)[None, :, None],
                                    (B, C, m)).ravel()
-        data = encode_symbols(symbols.ravel(), tables, contexts)
-        return data, {"zmin": zmin, "zmax": zmax}
+        coder = get_backend(backend)
+        data = coder.encode(symbols.ravel(), tables, contexts)
+        header = {"zmin": zmin, "zmax": zmax}
+        if coder.name != DEFAULT_BACKEND:
+            header["backend"] = coder.name
+        return data, header
 
     def decompress(self, data: bytes, shape: Sequence[int],
                    header: Dict[str, int]) -> np.ndarray:
-        """Inverse of :meth:`compress`."""
+        """Inverse of :meth:`compress`.
+
+        Headers without a ``"backend"`` entry are legacy arithmetic
+        streams and decode bit-identically through the default coder.
+        """
         shape = tuple(shape)
         B, C = shape[0], shape[1]
         m = int(np.prod(shape)) // (B * C)
         tables = self._integer_cdf_tables(header["zmin"], header["zmax"])
         contexts = np.broadcast_to(np.arange(C)[None, :, None],
                                    (B, C, m)).ravel()
-        symbols = decode_symbols(data, tables, contexts)
+        coder = get_backend(header.get("backend", DEFAULT_BACKEND))
+        symbols = coder.decode(data, tables, contexts)
         return (symbols + header["zmin"]).reshape(shape).astype(np.float64)

@@ -24,7 +24,8 @@ from scipy import special as _sp
 
 from ..nn import Tensor, as_tensor
 from ..nn import functional as F
-from .coder import decode_symbols, encode_symbols, pmf_to_cumulative
+from .backend import DEFAULT_BACKEND, get_backend
+from .coder import pmf_to_cumulative
 
 __all__ = ["SCALE_MIN", "build_scale_table", "gaussian_likelihood",
            "GaussianConditional"]
@@ -96,11 +97,15 @@ class GaussianConditional:
         return pmf_to_cumulative(pmf)
 
     def compress(self, y_int: np.ndarray, mu: np.ndarray,
-                 sigma: np.ndarray) -> Tuple[bytes, Dict[str, int]]:
+                 sigma: np.ndarray,
+                 backend=None) -> Tuple[bytes, Dict[str, int]]:
         """Encode rounded latents given the hyperprior's ``(mu, sigma)``.
 
         ``y_int``, ``mu`` and ``sigma`` must share one shape; the
         decoder must be driven with bit-identical ``mu``/``sigma``.
+        ``backend`` selects the entropy coder (``None`` uses the
+        process default); non-default choices are recorded in the
+        header so :meth:`decompress` self-selects.
         """
         y_int = np.asarray(y_int)
         mu_round = np.rint(np.asarray(mu))
@@ -108,16 +113,25 @@ class GaussianConditional:
         L = int(max(1, np.abs(offsets).max() if offsets.size else 1))
         tables = self._offset_tables(L)
         contexts = self._bin_indices(np.asarray(sigma)).ravel()
-        data = encode_symbols(offsets.ravel() + L, tables, contexts)
-        return data, {"L": L}
+        coder = get_backend(backend)
+        data = coder.encode(offsets.ravel() + L, tables, contexts)
+        header = {"L": L}
+        if coder.name != DEFAULT_BACKEND:
+            header["backend"] = coder.name
+        return data, header
 
     def decompress(self, data: bytes, mu: np.ndarray, sigma: np.ndarray,
                    header: Dict[str, int]) -> np.ndarray:
-        """Inverse of :meth:`compress`; returns rounded latents."""
+        """Inverse of :meth:`compress`; returns rounded latents.
+
+        Headers without a ``"backend"`` entry are legacy arithmetic
+        streams and decode bit-identically through the default coder.
+        """
         L = int(header["L"])
         tables = self._offset_tables(L)
         contexts = self._bin_indices(np.asarray(sigma)).ravel()
-        symbols = decode_symbols(data, tables, contexts)
+        coder = get_backend(header.get("backend", DEFAULT_BACKEND))
+        symbols = coder.decode(data, tables, contexts)
         mu_round = np.rint(np.asarray(mu))
         offsets = symbols.reshape(mu_round.shape) - L
         return (mu_round + offsets).astype(np.float64)

@@ -33,6 +33,7 @@ from typing import List
 
 import numpy as np
 
+from .coder import check_contexts
 from .rangecoder import MAX_TOTAL
 
 __all__ = ["RansEncoder", "RansDecoder", "encode_symbols_rans",
@@ -143,6 +144,24 @@ class RansDecoder:
             x = (x << 32) | word
         self._state = x
 
+    def verify_consumed(self) -> None:
+        """Raise unless the stream was consumed completely and exactly.
+
+        A fully decoded stream must have read every renormalization
+        word *and* returned the state to the encoder's initial value
+        (pushes and pops are exact inverses).  Truncated streams with a
+        plausible prefix and streams with trailing garbage both decode
+        "successfully" without this check.
+        """
+        if self._pos != len(self._data):
+            raise ValueError(
+                f"corrupted rANS stream: {len(self._data) - self._pos} "
+                f"trailing bytes after the final symbol")
+        if self._state != RANS_L:
+            raise ValueError(
+                "corrupted rANS stream: decoder did not return to the "
+                "initial state")
+
 
 def encode_symbols_rans(symbols: np.ndarray, cumulative: np.ndarray,
                         contexts: np.ndarray) -> bytes:
@@ -155,6 +174,7 @@ def encode_symbols_rans(symbols: np.ndarray, cumulative: np.ndarray,
     contexts = np.asarray(contexts, dtype=np.int64).ravel()
     if symbols.shape != contexts.shape:
         raise ValueError("symbols and contexts must have equal length")
+    check_contexts(contexts, cumulative.shape[0])
     alphabet = cumulative.shape[1] - 1
     if symbols.size and (symbols.min() < 0 or symbols.max() >= alphabet):
         raise ValueError(
@@ -174,8 +194,13 @@ def encode_symbols_rans(symbols: np.ndarray, cumulative: np.ndarray,
 
 def decode_symbols_rans(data: bytes, cumulative: np.ndarray,
                         contexts: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`encode_symbols_rans` (same contexts required)."""
+    """Inverse of :func:`encode_symbols_rans` (same contexts required).
+
+    Strict: raises ``ValueError`` when the stream is truncated or
+    carries trailing bytes (see :meth:`RansDecoder.verify_consumed`).
+    """
     contexts = np.asarray(contexts, dtype=np.int64).ravel()
+    check_contexts(contexts, cumulative.shape[0])
     dec = RansDecoder(data)
     out = np.empty(contexts.size, dtype=np.int64)
     totals = cumulative[:, -1]
@@ -186,4 +211,5 @@ def decode_symbols_rans(data: bytes, cumulative: np.ndarray,
         s = int(np.searchsorted(row, slot, side="right")) - 1
         dec.advance(int(row[s]), int(row[s + 1]), total)
         out[i] = s
+    dec.verify_consumed()
     return out

@@ -16,6 +16,13 @@ Window origins are not stored: they are a pure function of ``(T,
 window)`` (see :func:`repro.pipeline.compressor.window_starts`), so the
 decoder re-derives them.
 
+Streams written with a non-default entropy backend (see
+:mod:`repro.entropy.backend`) bump the container to version 3, which
+inserts the backend's one-byte wire tag after the fixed header; the
+decoder self-selects the right coder from it.  Arithmetic-coded blobs
+keep the version-2 layout byte-for-byte, and version-2 readers of this
+class never see a tag — untagged means arithmetic.
+
 ``to_bytes``/``from_bytes`` implement a compact binary format — the
 length of :meth:`CompressedBlob.to_bytes` is exactly the
 ``Size(L) + Size(G)`` denominator of Eq. 11, headers included, so all
@@ -34,6 +41,10 @@ __all__ = ["WindowStreams", "CompressedBlob"]
 
 _MAGIC = b"LDCB"
 _VERSION = 2
+#: version 3 == version 2 plus a one-byte entropy-backend tag; only
+#: written when the backend is not the arithmetic default
+_VERSION_TAGGED = 3
+_DEFAULT_ENTROPY = "arithmetic"
 
 
 @dataclass
@@ -68,6 +79,8 @@ class CompressedBlob:
     y_shape: Tuple[int, int, int, int] = (0, 0, 0, 0)  # (K_total, C, h, w)
     z_shape: Tuple[int, int, int, int] = (0, 0, 0, 0)
     bound_payload: bytes = b""
+    #: entropy backend both latent streams were coded with
+    entropy_backend: str = _DEFAULT_ENTROPY
 
     # ------------------------------------------------------------------
     def latent_bytes(self) -> int:
@@ -90,10 +103,16 @@ class CompressedBlob:
         if norms.shape != (T, 2):
             raise ValueError(f"frame_norms must be ({T}, 2), "
                              f"got {norms.shape}")
+        version = (_VERSION if self.entropy_backend == _DEFAULT_ENTROPY
+                   else _VERSION_TAGGED)
         parts = [_MAGIC, struct.pack(
-            "<BIIIIBIIq", _VERSION, T, H, W, self.window,
+            "<BIIIIBIIq", version, T, H, W, self.window,
             len(strategy), self.keyframe_interval, self.sample_steps,
             self.noise_seed)]
+        if version == _VERSION_TAGGED:
+            from ..entropy.backend import get_backend
+            parts.append(struct.pack("<B",
+                                     get_backend(self.entropy_backend).tag))
         parts.append(strategy)
         parts.append(struct.pack("<B", len(sampler)))
         parts.append(sampler)
@@ -119,9 +138,14 @@ class CompressedBlob:
         fmt = "<BIIIIBIIq"
         version, T, H, W, window, slen, interval, steps, seed = (
             struct.unpack_from(fmt, data, 4))
-        if version != _VERSION:
+        if version not in (_VERSION, _VERSION_TAGGED):
             raise ValueError(f"unsupported blob version {version}")
         pos = 4 + struct.calcsize(fmt)
+        entropy_backend = _DEFAULT_ENTROPY
+        if version == _VERSION_TAGGED:
+            from ..entropy.backend import backend_from_tag
+            entropy_backend = backend_from_tag(data[pos]).name
+            pos += 1
         strategy = data[pos:pos + slen].decode()
         pos += slen
         splen, = struct.unpack_from("<B", data, pos)
@@ -148,18 +172,24 @@ class CompressedBlob:
         y_stream, pos = take_stream(pos)
         z_stream, pos = take_stream(pos)
         bound_payload, pos = take_stream(pos)
+        y_header: Dict[str, object] = {"L": L}
+        z_header: Dict[str, object] = {"zmin": zmin, "zmax": zmax}
+        if entropy_backend != _DEFAULT_ENTROPY:
+            y_header["backend"] = entropy_backend
+            z_header["backend"] = entropy_backend
         return cls(shape=(T, H, W), window=window,
                    keyframe_strategy=strategy, keyframe_interval=interval,
                    sampler=sampler, sample_steps=steps, noise_seed=seed,
                    frame_norms=norms, y_stream=y_stream, z_stream=z_stream,
-                   y_header={"L": L},
-                   z_header={"zmin": zmin, "zmax": zmax},
+                   y_header=y_header, z_header=z_header,
                    y_shape=y_shape, z_shape=z_shape,
-                   bound_payload=bound_payload)
+                   bound_payload=bound_payload,
+                   entropy_backend=entropy_backend)
 
     # ------------------------------------------------------------------
     def streams_dict(self) -> Dict:
         """Bundle in the format ``VAEHyperprior.decompress_latents`` takes."""
         return {"y_stream": self.y_stream, "y_header": self.y_header,
                 "z_stream": self.z_stream, "z_header": self.z_header,
-                "y_shape": self.y_shape, "z_shape": self.z_shape}
+                "y_shape": self.y_shape, "z_shape": self.z_shape,
+                "entropy_backend": self.entropy_backend}

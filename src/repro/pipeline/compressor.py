@@ -148,7 +148,8 @@ class LatentDiffusionCompressor:
             noise_seed=noise_seed, frame_norms=norms,
             y_stream=streams["y_stream"], z_stream=streams["z_stream"],
             y_header=streams["y_header"], z_header=streams["z_header"],
-            y_shape=streams["y_shape"], z_shape=streams["z_shape"])
+            y_shape=streams["y_shape"], z_shape=streams["z_shape"],
+            entropy_backend=streams.get("entropy_backend", "arithmetic"))
 
         tau = error_bound
         if nrmse_bound is not None:

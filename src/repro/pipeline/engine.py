@@ -31,6 +31,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from ..bound import Bound
+from ..entropy.backend import get_backend, using_backend
 from ..metrics import CompressionAccounting
 from .executors import Executor, get_executor
 
@@ -118,6 +119,9 @@ class _WindowJob:
     error_bound: Optional[float] = None
     nrmse_bound: Optional[float] = None
     keep_reconstruction: bool = True
+    #: entropy-backend name the worker scopes around the compress call
+    #: (rides in the job so process pools see the parent's selection)
+    entropy_backend: Optional[str] = None
 
 
 @dataclass
@@ -149,16 +153,18 @@ def _run_window_job(job: _WindowJob) -> WindowReport:
     stack = job.stack if job.stack is not None else job.source.materialize()
     stack = np.asarray(stack)
     t0 = time.perf_counter()
-    if isinstance(job.bound, Bound):
-        res = codec.compress_bounded(stack, bound=job.bound,
-                                     seed=job.seed)
-    elif job.bound is not None or (job.error_bound is None
-                                   and job.nrmse_bound is None):
-        res = codec.compress(stack, job.bound, seed=job.seed)
-    else:
-        res = codec.compress_bounded(stack, error_bound=job.error_bound,
-                                     nrmse_bound=job.nrmse_bound,
-                                     seed=job.seed)
+    with using_backend(job.entropy_backend):
+        if isinstance(job.bound, Bound):
+            res = codec.compress_bounded(stack, bound=job.bound,
+                                         seed=job.seed)
+        elif job.bound is not None or (job.error_bound is None
+                                       and job.nrmse_bound is None):
+            res = codec.compress(stack, job.bound, seed=job.seed)
+        else:
+            res = codec.compress_bounded(stack,
+                                         error_bound=job.error_bound,
+                                         nrmse_bound=job.nrmse_bound,
+                                         seed=job.seed)
     if not job.keep_reconstruction:
         res.payload  # force lazy serialization before detail is dropped
         res.reconstruction = None
@@ -192,17 +198,25 @@ class CodecEngine:
         Backend name (``"serial"`` / ``"thread"`` / ``"process"``) or a
         ready :class:`~repro.pipeline.executors.Executor` instance
         (which then carries its own ``max_workers``).
+    entropy_backend:
+        Entropy-coder selection scoped around every compress call
+        (``None`` keeps the process default).  Rides inside each job,
+        so process-pool workers apply it too and archives stay
+        byte-identical across executor backends.
     """
 
     def __init__(self, codec, max_workers: Optional[int] = None,
                  base_seed: int = 0, seed_stride: int = SEED_STRIDE,
-                 executor: Union[str, Executor] = "thread"):
+                 executor: Union[str, Executor] = "thread",
+                 entropy_backend: Optional[str] = None):
         from ..codecs import as_codec  # local: codecs imports pipeline
         self.codec = as_codec(codec)
         self.executor = get_executor(executor, max_workers=max_workers)
         self.max_workers = self.executor.max_workers
         self.base_seed = base_seed
         self.seed_stride = seed_stride
+        self.entropy_backend = (None if entropy_backend is None
+                                else get_backend(entropy_backend).name)
 
     # ------------------------------------------------------------------
     def seed_for(self, index: int) -> int:
@@ -261,7 +275,8 @@ class CodecEngine:
                            stack=np.asarray(stack), bound=bound,
                            error_bound=error_bound,
                            nrmse_bound=nrmse_bound,
-                           keep_reconstruction=keep_reconstruction)
+                           keep_reconstruction=keep_reconstruction,
+                           entropy_backend=self.entropy_backend)
                 for i, stack in enumerate(stacks)]
         return self._execute(jobs)
 
@@ -285,7 +300,8 @@ class CodecEngine:
                            source=task, shard_id=task.shard_id,
                            bound=bound, error_bound=error_bound,
                            nrmse_bound=nrmse_bound,
-                           keep_reconstruction=keep_reconstruction)
+                           keep_reconstruction=keep_reconstruction,
+                           entropy_backend=self.entropy_backend)
                 for i, task in enumerate(plan)]
         return self._execute(jobs)
 

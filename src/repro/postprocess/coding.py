@@ -1,10 +1,17 @@
 """Entropy coding of correction payloads (quantized coefficients).
 
 A self-describing, self-delimiting integer codec: a compact histogram
-header plus an arithmetic-coded body.  Used for PCA coefficient values,
+header plus an entropy-coded body.  Used for PCA coefficient values,
 kept-index lists, per-block counts and escape-block residuals —
 everything in the ``G`` term of Eq. 11 goes through here, so its size
 accounting is honest bytes, not estimates.
+
+The body coder is pluggable (:mod:`repro.entropy.backend`): payloads
+written with the default arithmetic backend keep the legacy ``RI``
+magic byte-for-byte; any other backend writes ``RT`` plus the
+backend's one-byte wire tag, so :func:`decode_ints` self-selects the
+decoder with no caller hints — which is how every baseline codec in
+the repo gains backend choice without touching its own format.
 """
 
 from __future__ import annotations
@@ -14,12 +21,15 @@ from typing import Tuple
 
 import numpy as np
 
-from ..entropy.coder import decode_symbols, encode_symbols, pmf_to_cumulative
+from ..entropy.backend import (DEFAULT_BACKEND, backend_from_tag,
+                               get_backend)
+from ..entropy.coder import pmf_to_cumulative
 
 __all__ = ["encode_ints", "decode_ints"]
 
 _MAGIC = b"RI"
 _VARINT_MAGIC = b"RV"
+_TAGGED_MAGIC = b"RT"  # + one backend tag byte, then the _MAGIC layout
 _HEADER = "<IqiI"  # count, vmin, alphabet, body length
 
 #: Above this alphabet size the histogram header would dominate; fall
@@ -68,18 +78,21 @@ def _decode_varints(data: bytes, offset: int) -> Tuple[np.ndarray, int]:
     return _unzigzag(vals), pos
 
 
-def encode_ints(values: np.ndarray) -> bytes:
+def encode_ints(values: np.ndarray, backend=None) -> bytes:
     """Encode an integer array into a self-delimiting byte payload.
 
     Layout: magic, count, vmin, alphabet size, body length, 32-bit
-    histogram, arithmetic-coded body.  The histogram header is the
+    histogram, entropy-coded body.  The histogram header is the
     price of adaptivity; for the small alphabets of quantized residual
-    coefficients it is a few dozen bytes.
+    coefficients it is a few dozen bytes.  ``backend`` selects the
+    body coder (``None`` uses the process default); the arithmetic
+    default keeps the legacy wire format byte-for-byte.
     """
     values = np.asarray(values, dtype=np.int64).ravel()
     n = values.size
     if n == 0:
         return _MAGIC + struct.pack(_HEADER, 0, 0, 0, 0)
+    coder = get_backend(backend)
     vmin = int(values.min())
     vmax = int(values.max())
     alphabet = vmax - vmin + 1
@@ -92,8 +105,12 @@ def encode_ints(values: np.ndarray) -> bytes:
         body = b""
     else:
         tables = pmf_to_cumulative(hist[None, :].astype(np.float64))
-        body = encode_symbols(symbols, tables, np.zeros(n, dtype=np.int64))
-    header = _MAGIC + struct.pack(_HEADER, n, vmin, alphabet, len(body))
+        body = coder.encode(symbols, tables, np.zeros(n, dtype=np.int64))
+    if coder.name == DEFAULT_BACKEND:
+        header = _MAGIC
+    else:
+        header = _TAGGED_MAGIC + struct.pack("<B", coder.tag)
+    header += struct.pack(_HEADER, n, vmin, alphabet, len(body))
     header += hist.astype("<u4").tobytes()
     coded = header + body
     # The histogram header can dominate small payloads; keep whichever
@@ -105,15 +122,23 @@ def decode_ints(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
     """Decode one :func:`encode_ints` payload starting at ``offset``.
 
     Returns ``(values, next_offset)`` so multiple payloads can be
-    concatenated back to back.
+    concatenated back to back.  The body decoder is chosen by the
+    payload itself: legacy ``RI`` payloads are arithmetic, ``RT``
+    payloads carry a one-byte backend tag.
     """
-    if data[offset:offset + 2] == _VARINT_MAGIC:
+    magic = data[offset:offset + 2]
+    if magic == _VARINT_MAGIC:
         return _decode_varints(data, offset)
-    if data[offset:offset + 2] != _MAGIC:
+    if magic == _TAGGED_MAGIC:
+        coder = backend_from_tag(data[offset + 2])
+        pos = offset + 3
+    elif magic == _MAGIC:
+        coder = get_backend(DEFAULT_BACKEND)
+        pos = offset + 2
+    else:
         raise ValueError("corrupted payload: bad magic")
-    n, vmin, alphabet, body_len = struct.unpack_from(_HEADER, data,
-                                                     offset + 2)
-    pos = offset + 2 + struct.calcsize(_HEADER)
+    n, vmin, alphabet, body_len = struct.unpack_from(_HEADER, data, pos)
+    pos += struct.calcsize(_HEADER)
     if n == 0:
         return np.zeros(0, dtype=np.int64), pos
     hist = np.frombuffer(data, dtype="<u4", count=alphabet,
@@ -122,6 +147,6 @@ def decode_ints(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
     if alphabet == 1:
         return np.full(n, vmin, dtype=np.int64), pos
     tables = pmf_to_cumulative(hist[None, :].astype(np.float64))
-    symbols = decode_symbols(data[pos:pos + body_len], tables,
-                             np.zeros(n, dtype=np.int64))
+    symbols = coder.decode(data[pos:pos + body_len], tables,
+                           np.zeros(n, dtype=np.int64))
     return symbols + vmin, pos + body_len

@@ -1,0 +1,183 @@
+"""Entropy-backend selection end to end.
+
+The acceptance criteria of the entropy-layer hardening: a session (or
+the CLI) can pick ``arithmetic`` / ``rans`` / ``vrans`` for every
+stream it writes, archives carry the backend tag so a *fresh* session
+decodes them with no hints, legacy (untagged / version-2) containers
+keep decoding bit-identically, and executor backends stay
+byte-interchangeable under a non-default coder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Archive, Bound, Session, SessionError
+from repro.cli import main
+from repro.data import get_dataset
+from repro.entropy import get_default_backend, using_backend
+from repro.metrics import nrmse
+from repro.pipeline.blob import CompressedBlob
+from repro.postprocess.coding import decode_ints, encode_ints
+
+BOUND = Bound.nrmse(0.02)
+TOL = 0.02 * (1 + 1e-9)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return get_dataset("e3sm", t=12, h=16, w=16, seed=9).frames(0)
+
+
+class TestSessionSelection:
+    @pytest.mark.parametrize("backend", ["arithmetic", "rans", "vrans"])
+    def test_array_roundtrip_with_fresh_session(self, frames, backend):
+        with Session(codec="szlike", entropy_backend=backend) as s:
+            archive = s.compress(frames, bound=BOUND)
+        # decoding needs no backend hint: payloads self-describe
+        with Session() as fresh:
+            out = fresh.decompress(archive)
+        assert nrmse(frames, out) <= TOL
+
+    def test_per_call_override_beats_session_default(self, frames):
+        with Session(codec="szlike", entropy_backend="vrans") as s:
+            tagged = s.compress(frames, bound=BOUND)
+            legacy = s.compress(frames, bound=BOUND,
+                                entropy_backend="arithmetic")
+            assert tagged.to_bytes() != legacy.to_bytes()
+            np.testing.assert_array_equal(s.decompress(tagged),
+                                          s.decompress(legacy))
+
+    def test_arithmetic_selection_is_byte_identical_to_default(
+            self, frames):
+        """Selecting the default backend changes nothing on the wire —
+        pre-backend archives and tagged-arithmetic archives are the
+        same bytes."""
+        with Session(codec="szlike") as plain, \
+                Session(codec="szlike",
+                        entropy_backend="arithmetic") as explicit:
+            a = plain.compress(frames, bound=BOUND)
+            b = explicit.compress(frames, bound=BOUND)
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_default_restored_after_compress(self, frames):
+        with Session(codec="szlike", entropy_backend="vrans") as s:
+            s.compress(frames, bound=BOUND)
+        assert get_default_backend().name == "arithmetic"
+
+    def test_unknown_backend_raises_session_error(self, frames):
+        with pytest.raises(SessionError, match="entropy backend"):
+            Session(codec="szlike", entropy_backend="huffman")
+        with Session(codec="szlike") as s:
+            with pytest.raises(SessionError, match="entropy backend"):
+                s.compress(frames, bound=BOUND,
+                           entropy_backend="huffman")
+
+    def test_multivar_and_stream_sources(self, frames):
+        data = {"u": frames, "v": frames[::-1].copy()}
+        with Session(codec="szlike", entropy_backend="vrans") as s:
+            mv = s.compress(data, bound=BOUND)
+            st = s.compress(iter(frames), bound=BOUND)
+        with Session() as fresh:
+            out = fresh.decompress(mv)
+            assert sorted(out) == ["u", "v"]
+            for key in data:
+                assert nrmse(data[key], out[key]) <= TOL
+            streamed = fresh.decompress(st)
+        assert nrmse(frames, streamed) <= TOL
+
+
+class TestExecutorByteIdentity:
+    def _archive(self, executor):
+        with Session(codec="szlike", executor=executor, seed=3,
+                     entropy_backend="vrans") as s:
+            return s.compress("e3sm", bound=BOUND, variables=[0],
+                              shards=4,
+                              dataset_overrides={"t": 12, "h": 16,
+                                                 "w": 16},
+                              keep_reconstruction=False).to_bytes()
+
+    def test_serial_thread_process_identical_under_vrans(self):
+        serial = self._archive("serial")
+        assert self._archive("thread") == serial
+        assert self._archive("process") == serial
+
+
+class TestContainerTags:
+    def _blob(self, backend):
+        rng = np.random.default_rng(0)
+        return CompressedBlob(
+            shape=(4, 8, 8), window=4, keyframe_strategy="fixed",
+            keyframe_interval=2, sampler="ddim", sample_steps=2,
+            noise_seed=7,
+            frame_norms=rng.random((4, 2)).astype("<f4"),
+            y_stream=b"yy", z_stream=b"zz",
+            y_header={"L": 3}, z_header={"zmin": -1, "zmax": 2},
+            y_shape=(2, 1, 2, 2), z_shape=(2, 1, 1, 1),
+            entropy_backend=backend)
+
+    def test_arithmetic_blob_keeps_version_2_wire(self):
+        data = self._blob("arithmetic").to_bytes()
+        assert data[4] == 2  # version byte: legacy layout untouched
+        back = CompressedBlob.from_bytes(data)
+        assert back.entropy_backend == "arithmetic"
+        assert back.y_header == {"L": 3}
+
+    def test_tagged_blob_bumps_to_version_3(self):
+        blob = self._blob("vrans")
+        data = blob.to_bytes()
+        assert data[4] == 3
+        back = CompressedBlob.from_bytes(data)
+        assert back.entropy_backend == "vrans"
+        assert back.y_header == {"L": 3, "backend": "vrans"}
+        assert back.z_header == {"zmin": -1, "zmax": 2,
+                                 "backend": "vrans"}
+        assert back.streams_dict()["entropy_backend"] == "vrans"
+
+    def test_tagged_blob_is_one_byte_longer(self):
+        assert (len(self._blob("rans").to_bytes())
+                == len(self._blob("arithmetic").to_bytes()) + 1)
+
+    def test_encode_ints_tags_non_default_backends(self):
+        values = np.repeat(np.arange(-40, 41), 40)
+        legacy = encode_ints(values)
+        for backend in ("rans", "vrans"):
+            tagged = encode_ints(values, backend=backend)
+            out, end = decode_ints(tagged)
+            np.testing.assert_array_equal(out, values)
+            assert end == len(tagged)
+            assert tagged[:2] == b"RT"
+        out, _ = decode_ints(legacy)
+        np.testing.assert_array_equal(out, values)
+        assert legacy[:2] in (b"RI", b"RV")
+
+    def test_encode_ints_default_scopes_with_using_backend(self):
+        values = np.repeat(np.arange(-40, 41), 40)
+        with using_backend("vrans"):
+            scoped = encode_ints(values)
+        assert scoped == encode_ints(values, backend="vrans")
+        out, _ = decode_ints(scoped)
+        np.testing.assert_array_equal(out, values)
+
+
+class TestCLI:
+    def test_compress_decompress_with_entropy_flag(self, tmp_path,
+                                                   capsys):
+        out = tmp_path / "e3sm.cdx"
+        restored = tmp_path / "restored.npy"
+        rc = main(["compress", "--dataset", "e3sm", "--shape",
+                   "12x16x16", "--codec", "szlike", "--nrmse-bound",
+                   "0.02", "--entropy-backend", "vrans", str(out)])
+        assert rc == 0
+        archive = Archive.open(out)
+        assert archive.kind == "shard"
+        rc = main(["decompress", "-", str(out), str(restored)])
+        assert rc == 0
+        frames = get_dataset("e3sm", t=12, h=16, w=16).frames(0)
+        assert nrmse(frames, np.load(restored)) <= TOL
+        capsys.readouterr()
+
+    def test_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compress", "--dataset", "e3sm", "--codec", "szlike",
+                  "--entropy-backend", "nope",
+                  str(tmp_path / "x.cdx")])

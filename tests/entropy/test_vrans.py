@@ -1,0 +1,159 @@
+"""Unit tests for the lane-vectorized interleaved rANS coder."""
+
+import numpy as np
+import pytest
+
+from repro.entropy.coder import pmf_to_cumulative
+from repro.entropy.rans import encode_symbols_rans
+from repro.entropy.vrans import (MAX_LANES, decode_symbols_vrans,
+                                 encode_symbols_vrans, lane_count)
+
+
+def _case(seed, n, n_ctx=5, alphabet=17, total=None):
+    rng = np.random.default_rng(seed)
+    pmf = rng.random((n_ctx, alphabet)) + 0.01
+    tables = (pmf_to_cumulative(pmf) if total is None
+              else pmf_to_cumulative(pmf, total=total))
+    contexts = rng.integers(0, n_ctx, size=n)
+    symbols = rng.integers(0, alphabet, size=n)
+    return symbols, tables, contexts
+
+
+class TestVransRoundtrip:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 63, 64, 65, 511, 512,
+                                   513, 1000, 4096, 5000])
+    def test_roundtrip_across_lane_boundaries(self, n):
+        symbols, tables, contexts = _case(n, n)
+        data = encode_symbols_vrans(symbols, tables, contexts)
+        out = decode_symbols_vrans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    @pytest.mark.parametrize("lanes", [1, 2, 3, 8, 64, MAX_LANES])
+    def test_explicit_lane_width(self, lanes):
+        symbols, tables, contexts = _case(1, 700)
+        data = encode_symbols_vrans(symbols, tables, contexts,
+                                    lanes=lanes)
+        assert data[0] == lanes  # header records the width
+        out = decode_symbols_vrans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_non_power_of_two_totals(self):
+        # exercises the vectorized b-uniqueness rescale on both sides
+        symbols, tables, contexts = _case(2, 800, total=1000)
+        data = encode_symbols_vrans(symbols, tables, contexts)
+        out = decode_symbols_vrans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_single_symbol_alphabet(self):
+        tables = pmf_to_cumulative(np.ones((3, 1)))
+        contexts = np.random.default_rng(3).integers(0, 3, size=200)
+        symbols = np.zeros(200, dtype=np.int64)
+        data = encode_symbols_vrans(symbols, tables, contexts)
+        out = decode_symbols_vrans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_mixed_per_row_totals_fallback(self):
+        # rows with different totals cannot use the flattened
+        # searchsorted key; the masked-comparison fallback must agree
+        tables = np.array([[0, 1, 3], [0, 2, 4], [0, 3, 7]],
+                          dtype=np.int64)
+        rng = np.random.default_rng(4)
+        contexts = rng.integers(0, 3, size=600)
+        symbols = rng.integers(0, 2, size=600)
+        data = encode_symbols_vrans(symbols, tables, contexts)
+        out = decode_symbols_vrans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_empty_stream(self):
+        _, tables, _ = _case(5, 10)
+        empty = np.zeros(0, dtype=np.int64)
+        data = encode_symbols_vrans(empty, tables, empty)
+        out = decode_symbols_vrans(data, tables, empty)
+        assert out.size == 0
+
+    def test_size_close_to_scalar_rans(self):
+        """Lane interleaving costs only the per-lane state header."""
+        symbols, tables, contexts = _case(6, 4000)
+        v = encode_symbols_vrans(symbols, tables, contexts)
+        r = encode_symbols_rans(symbols, tables, contexts)
+        lanes = v[0]
+        assert len(v) <= len(r) + 1 + 8 * lanes + 4 * lanes
+
+    def test_lane_count_is_deterministic(self):
+        assert lane_count(10) == 1
+        assert lane_count(1000) == 7
+        assert lane_count(100000) == 64
+        # the state header stays a bounded fraction of the payload
+        assert all(8 * lane_count(n) <= max(9, n // 12)
+                   for n in range(0, 20000, 37))
+
+
+class TestVransValidation:
+    def test_rejects_out_of_range_symbols(self):
+        symbols, tables, contexts = _case(7, 10)
+        bad = symbols.copy()
+        bad[0] = tables.shape[1]  # >= alphabet
+        with pytest.raises(ValueError):
+            encode_symbols_vrans(bad, tables, contexts)
+
+    def test_rejects_bad_contexts(self):
+        symbols, tables, contexts = _case(8, 10)
+        for bad_value in (-1, tables.shape[0]):
+            bad = contexts.copy()
+            bad[3] = bad_value
+            with pytest.raises(ValueError, match="context id"):
+                encode_symbols_vrans(symbols, tables, bad)
+            with pytest.raises(ValueError, match="context id"):
+                decode_symbols_vrans(b"\x01" + b"\x00" * 8, tables, bad)
+
+    def test_rejects_length_mismatch(self):
+        symbols, tables, contexts = _case(9, 10)
+        with pytest.raises(ValueError):
+            encode_symbols_vrans(symbols[:5], tables, contexts)
+
+    def test_rejects_bad_lane_request(self):
+        symbols, tables, contexts = _case(10, 10)
+        for lanes in (0, MAX_LANES + 1):
+            with pytest.raises(ValueError):
+                encode_symbols_vrans(symbols, tables, contexts,
+                                     lanes=lanes)
+
+
+class TestVransCorruption:
+    def _encoded(self, n=900):
+        symbols, tables, contexts = _case(11, n)
+        data = encode_symbols_vrans(symbols, tables, contexts)
+        return symbols, tables, contexts, data
+
+    def test_truncated_words_raise(self):
+        _, tables, contexts, data = self._encoded()
+        with pytest.raises(ValueError, match="corrupted vrans"):
+            decode_symbols_vrans(data[:-4], tables, contexts)
+
+    def test_trailing_words_raise(self):
+        _, tables, contexts, data = self._encoded()
+        with pytest.raises(ValueError, match="corrupted vrans"):
+            decode_symbols_vrans(data + b"\x00\x00\x00\x00", tables,
+                                 contexts)
+
+    def test_misaligned_tail_raises(self):
+        _, tables, contexts, data = self._encoded()
+        with pytest.raises(ValueError, match="truncated"):
+            decode_symbols_vrans(data + b"\x00", tables, contexts)
+
+    def test_empty_or_headerless_raise(self):
+        _, tables, contexts, _ = self._encoded()
+        with pytest.raises(ValueError):
+            decode_symbols_vrans(b"", tables, contexts)
+        with pytest.raises(ValueError):
+            decode_symbols_vrans(b"\x00", tables, contexts)  # 0 lanes
+        with pytest.raises(ValueError):
+            decode_symbols_vrans(b"\x04" + b"\x00" * 8, tables,
+                                 contexts)  # 4 lanes, 1 state
+
+    def test_flipped_state_raises(self):
+        _, tables, contexts, data = self._encoded()
+        mutated = bytearray(data)
+        mutated[5] ^= 0xFF  # inside the lane-state header
+        with pytest.raises(ValueError, match="corrupted vrans"):
+            decode_symbols_vrans(bytes(mutated), tables, contexts)
