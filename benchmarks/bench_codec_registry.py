@@ -23,10 +23,17 @@ On a single-CPU box the thread and process backends measure within a
 few percent of serial (there is nothing to parallelize); the process
 pool's advantage over the GIL-bound codec loops appears with real
 cores.
+
+The ``nn`` block times every learned codec twice — on the inference
+fast path and under an in-run legacy emulation (fast kernels off,
+window batching off) — asserts the flagship speedup floor, and embeds
+the top ops of a profiled decompress (``repro.nn.profile``); the full
+table is written to ``BENCH_nn_profile.txt`` for CI to upload.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 import time
@@ -211,8 +218,8 @@ def _entropy_throughput() -> dict:
     }
 
 
-def _prior_entropy_record() -> dict:
-    """Last trajectory entry carrying an ``entropy`` block, if any."""
+def _prior_record(key: str) -> dict:
+    """Last trajectory entry carrying a ``key`` block, if any."""
     if not TRAJECTORY.exists():
         return {}
     try:
@@ -222,9 +229,131 @@ def _prior_entropy_record() -> dict:
     if not isinstance(trajectory, list):
         return {}
     for record in reversed(trajectory):
-        if isinstance(record, dict) and "entropy" in record:
-            return record["entropy"]
+        if isinstance(record, dict) and key in record:
+            return record[key]
     return {}
+
+
+def _prior_entropy_record() -> dict:
+    """Last trajectory entry carrying an ``entropy`` block, if any."""
+    return _prior_record("entropy")
+
+
+# ----------------------------------------------------------------------
+# nn inference fast path: fast vs legacy-emulation timings + profile
+# ----------------------------------------------------------------------
+#: learned codecs driven by the nn stack's inference fast path
+NN_CODECS = ("ours", "gcd", "cdc-eps", "cdc-x", "vae-sr")
+NN_REPS = 3
+#: acceptance criterion: the flagship pipeline's fused no-grad kernels
+#: + batched windows must beat the legacy per-op path by this factor.
+#: The gcd/cdc baselines are GEMM-bound in float64 on small latent
+#: grids (the fast path removes graph overhead, not FLOPs), so their
+#: speedups are recorded but only asserted to never regress below 1x.
+NN_MIN_SPEEDUP_OURS = 3.0
+NN_PROFILE_TXT = REPO_ROOT / "BENCH_nn_profile.txt"
+NN_PROFILE_TOP = 5
+
+
+@contextlib.contextmanager
+def _legacy_emulation():
+    """Re-create the pre-fast-path inference configuration in-run.
+
+    Disables the fused no-grad kernels (``fastpath.disabled()``) *and*
+    the batched-window denoise loops (``MAX_BATCH_WINDOWS = 1``, GCD's
+    noise-buffer budget forced to its sequential fallback), so the
+    speedup is measured against an honest legacy baseline on the same
+    machine rather than against wall clocks from older trajectory
+    entries recorded on different hardware.
+    """
+    import repro.baselines.gcd as gcd_mod
+    import repro.pipeline.compressor as pipe_mod
+    from repro.nn import fastpath
+    saved = (pipe_mod.MAX_BATCH_WINDOWS, gcd_mod.GCD_NOISE_BYTES_MAX)
+    pipe_mod.MAX_BATCH_WINDOWS = 1
+    gcd_mod.GCD_NOISE_BYTES_MAX = 0
+    try:
+        with fastpath.disabled():
+            yield
+    finally:
+        pipe_mod.MAX_BATCH_WINDOWS, gcd_mod.GCD_NOISE_BYTES_MAX = saved
+
+
+def _nn_fastpath_block(frames: np.ndarray) -> dict:
+    """Fast-vs-legacy timings per learned codec + hot-op profile.
+
+    Returns the ``record["nn"]`` block: min-of-reps compress+decompress
+    wall clock on the fast path and under :func:`_legacy_emulation`,
+    the resulting speedups, and the top profiled ops of a flagship
+    decompress (the table the fast-path work optimizes against).
+    """
+    from repro.nn import profile as nn_profile
+
+    codecs = {}
+    for name in NN_CODECS:
+        codec = get_codec(name)
+        bound = _bound_for(codec, frames)
+        res = codec.compress(frames, bound, seed=0)  # untimed warmup
+        codec.decompress(res.payload)
+        fast = legacy = float("inf")
+        for _ in range(NN_REPS):
+            t0 = time.perf_counter()
+            codec.compress(frames, bound, seed=0)
+            codec.decompress(res.payload)
+            fast = min(fast, time.perf_counter() - t0)
+        with _legacy_emulation():
+            codec.compress(frames, bound, seed=0)  # untimed warmup
+            for _ in range(NN_REPS):
+                t0 = time.perf_counter()
+                codec.compress(frames, bound, seed=0)
+                codec.decompress(res.payload)
+                legacy = min(legacy, time.perf_counter() - t0)
+        codecs[name] = {
+            "fast_seconds": round(fast, 6),
+            "legacy_seconds": round(legacy, 6),
+            "speedup": round(legacy / max(fast, 1e-9), 2),
+        }
+
+    # hot-op profile of the flagship decompress — "optimize what the
+    # profile actually blames", and the artifact CI uploads
+    codec = get_codec("ours")
+    res = codec.compress(frames, _bound_for(codec, frames), seed=0)
+    with nn_profile.profile() as prof:
+        codec.decompress(res.payload)
+    try:
+        NN_PROFILE_TXT.write_text(
+            "hot ops of an `ours` decompress "
+            "(e3sm-12x16x16-seed11; cumulative, parent/child overlap)\n"
+            + prof.table() + "\n")
+    except OSError as exc:  # read-only checkout: artifact is optional
+        print(f"warning: cannot write {NN_PROFILE_TXT.name} ({exc})")
+    return {
+        "workload": "e3sm-12x16x16-seed11",
+        "codecs": codecs,
+        "profile_top": prof.top(NN_PROFILE_TOP),
+    }
+
+
+def _print_nn(nn_row: dict, prior: dict) -> None:
+    """Render the fast-path table, diffed against the prior entry."""
+    prior_codecs = prior.get("codecs", {})
+    print(f"\nnn inference fast path ({nn_row['workload']}, "
+          f"compress+decompress, min of {NN_REPS}):")
+    print(f"{'codec':10s} {'fast s':>10s} {'legacy s':>10s} "
+          f"{'speedup':>8s} {'vs prior':>9s}")
+    for name, row in nn_row["codecs"].items():
+        was = prior_codecs.get(name)
+        if was:
+            delta = (f"{row['fast_seconds'] / max(was['fast_seconds'], 1e-9):8.2f}x")
+        else:
+            delta = "      new"
+        print(f"{name:10s} {row['fast_seconds']:10.4f} "
+              f"{row['legacy_seconds']:10.4f} {row['speedup']:7.2f}x "
+              f"{delta}")
+    print("hot ops (cumulative seconds, parent/child rows overlap):")
+    for op in nn_row["profile_top"]:
+        print(f"  {op['op']:<28} x{op['calls']:<6d} {op['seconds']:.4f}s "
+              f"peak {op['peak_bytes'] / (1 << 20):.2f} MiB")
 
 
 def _print_entropy(entropy_row: dict, prior: dict) -> None:
@@ -334,6 +463,11 @@ def test_codec_registry_smoke(benchmark):
     prior_entropy = _prior_entropy_record()
     entropy_row = _entropy_throughput()
 
+    # nn inference fast path: fused no-grad kernels + batched windows
+    # vs an in-run legacy emulation, plus the hot-op profile artifact
+    prior_nn = _prior_record("nn")
+    nn_row = _nn_fastpath_block(frames)
+
     print(f"\n{'codec':10s} {'enc s':>10s} {'dec s':>10s} "
           f"{'bytes':>8s} {'ratio':>8s}")
     for name, r in rows.items():
@@ -362,10 +496,19 @@ def test_codec_registry_smoke(benchmark):
     assert (entropy_row["vrans_speedup_vs_arithmetic"]
             >= ENTROPY_MIN_SPEEDUP), entropy_row
 
+    _print_nn(nn_row, prior_nn)
+    # acceptance: the flagship pipeline must beat the legacy path 3x;
+    # the GEMM-bound baselines must at least never regress below it
+    assert (nn_row["codecs"]["ours"]["speedup"]
+            >= NN_MIN_SPEEDUP_OURS), nn_row
+    for name, row in nn_row["codecs"].items():
+        assert row["speedup"] >= 1.0, (name, row)
+
     record = {"workload": "e3sm-12x16x16-seed11",
               "rel_bound": REL_BOUND,
               "codecs": rows, "executors": engine_row,
-              "facade": facade_row, "entropy": entropy_row}
+              "facade": facade_row, "entropy": entropy_row,
+              "nn": nn_row}
     save_json("codec_registry_smoke", record)
 
     # append to the trajectory file so PRs can diff perf over time

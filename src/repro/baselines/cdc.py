@@ -15,7 +15,7 @@ Table 2 quantifies.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -107,6 +107,11 @@ class CDCCompressor(LearnedBaseline):
         inp = np.concatenate([x_t, cond], axis=1)[:, None]  # (B,1,C,H,W)
         with no_grad():
             out = self.unet(Tensor(inp), t).numpy()[:, 0]
+        return self._eps_from_out(x_t, out, t)
+
+    def _eps_from_out(self, x_t: np.ndarray, out: np.ndarray,
+                      t: int) -> np.ndarray:
+        """Convert the network output to an eps estimate."""
         if self.parameterization == "eps":
             return out
         # x-parameterization: convert the x0 estimate to an eps estimate
@@ -173,10 +178,24 @@ class CDCCompressor(LearnedBaseline):
         shape = (y_int.shape[0], self.GROUP, *cond.shape[2:])
         rng = np.random.default_rng(seed)
         x = rng.standard_normal(shape)
+        # Preallocate the UNet input once: conditioning channels never
+        # change across steps, only the x_t slice is rewritten.  The
+        # per-step noise buffer is likewise reused (standard_normal's
+        # ``out=`` draws the identical stream).
+        B = shape[0]
+        inp = np.empty((B, 1, self.GROUP + cond.shape[1], *shape[2:]))
+        inp[:, 0, self.GROUP:] = cond
+        noise = np.empty_like(x)
         for t in range(self.schedule.steps, 0, -1):
-            eps_hat = self._denoise(x, cond, t)
-            noise = (rng.standard_normal(x.shape) if t > 1
-                     else np.zeros_like(x))
-            x = self.schedule.posterior_step(x, t, eps_hat, noise,
-                                             clip_x0=(-1.5, 1.5))
+            inp[:, 0, :self.GROUP] = x
+            with no_grad():
+                out = self.unet(Tensor(inp), t).numpy()[:, 0]
+            eps_hat = self._eps_from_out(x, out, t)
+            if t > 1:
+                rng.standard_normal(out=noise)
+                x = self.schedule.posterior_step(x, t, eps_hat, noise,
+                                                 clip_x0=(-1.5, 1.5))
+            else:
+                x = self.schedule.posterior_step(x, t, eps_hat, None,
+                                                 clip_x0=(-1.5, 1.5))
         return x.reshape(-1, *shape[2:])[:num_frames]

@@ -17,7 +17,7 @@ import numpy as np
 from ..config import VAEConfig
 from ..entropy import FactorizedDensity, GaussianConditional
 from ..nn import (GDN, Conv2d, ConvTranspose2d, Module, Sequential, SiLU,
-                  Tensor, no_grad)
+                  Tensor, fastpath, no_grad)
 from ..nn import functional as F
 from .hyperprior import HyperDecoder, HyperEncoder
 from .quantization import quantize_noise, quantize_round
@@ -53,6 +53,9 @@ class Encoder(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.net(x)
 
+    def _fast(self, x: np.ndarray) -> np.ndarray:
+        return self.net._fast(x)
+
 
 class Decoder(Module):
     """Synthesis transform ``D_x``: latents -> frames."""
@@ -77,6 +80,9 @@ class Decoder(Module):
 
     def forward(self, y: Tensor) -> Tensor:
         return self.net(y)
+
+    def _fast(self, y: np.ndarray) -> np.ndarray:
+        return self.net._fast(y)
 
 
 @dataclass
@@ -140,13 +146,19 @@ class VAEHyperprior(Module):
     # ------------------------------------------------------------------
     def encode_latents(self, x: np.ndarray) -> np.ndarray:
         """Rounded latents ``Round(E_x(x))`` for frames ``(B,C,H,W)``."""
+        x = np.asarray(x, dtype=np.float64)
         with no_grad():
+            if fastpath.active():
+                return np.rint(self.encoder._fast(x))
             y = self.encoder(Tensor(x))
         return np.rint(y.numpy())
 
     def decode_latents(self, y_int: np.ndarray) -> np.ndarray:
         """Frame reconstructions from (integer) latents."""
+        y_int = np.asarray(y_int, dtype=np.float64)
         with no_grad():
+            if fastpath.active():
+                return self.decoder._fast(y_int)
             x_hat = self.decoder(Tensor(y_int))
         return x_hat.numpy()
 
@@ -165,7 +177,10 @@ class VAEHyperprior(Module):
         from ..entropy.backend import get_backend
         x = np.asarray(x, dtype=np.float64)
         with no_grad():
-            y = self.encoder(Tensor(x)).numpy()
+            if fastpath.active():
+                y = self.encoder._fast(x)
+            else:
+                y = self.encoder(Tensor(x)).numpy()
             z = self.hyper_encoder(Tensor(y)).numpy()
             z_int = np.rint(z)
             mu, sigma = self.hyper_decoder(Tensor(z_int))

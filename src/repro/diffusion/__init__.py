@@ -26,7 +26,9 @@ from .ema import EMA
 from .embeddings import sinusoidal_embedding
 from .finetune import finetune_steps
 from .parameterization import PARAMETERIZATIONS, ParameterizedDDPM
-from .sampler import ddim_sample, ancestral_sample, generate_latents
+from .sampler import (ddim_sample, ancestral_sample, generate_latents,
+                      ddim_sample_batched, ancestral_sample_batched,
+                      generate_latents_batched)
 from .schedule import NoiseSchedule
 
 __all__ = [
@@ -34,6 +36,7 @@ __all__ = [
     "KeyframeSpec", "keyframe_spec", "interpolation_keyframes",
     "prediction_keyframes", "mixed_keyframes", "splice",
     "ancestral_sample", "ddim_sample", "dpm_solver_sample",
-    "generate_latents", "finetune_steps",
+    "generate_latents", "ancestral_sample_batched", "ddim_sample_batched",
+    "generate_latents_batched", "finetune_steps",
     "ParameterizedDDPM", "PARAMETERIZATIONS", "EMA",
 ]

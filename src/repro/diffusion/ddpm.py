@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..config import DiffusionConfig
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, no_grad
 from ..nn import functional as F
 from .conditioning import KeyframeSpec, splice
 from .schedule import NoiseSchedule
@@ -65,8 +65,8 @@ class ConditionalDDPM(Module):
         y_t_gen = self.schedule.q_sample(y0, t, eps)      # noised everywhere
         y_t = splice(y_t_gen, y0, spec)                   # keyframes clean
         eps_hat = self.unet(Tensor(y_t), t)
-        mask = Tensor(np.broadcast_to(
-            spec.gen_mask(y0.shape), y0.shape).copy())
+        # read-only broadcast view is fine: the mask is only multiplied
+        mask = Tensor(np.broadcast_to(spec.gen_mask(y0.shape), y0.shape))
         diff = (eps_hat - Tensor(eps)) * mask
         n_gen = B * spec.num_gen * int(np.prod(y0.shape[2:]))
         return F.sum(diff * diff) * (1.0 / n_gen)
@@ -74,7 +74,8 @@ class ConditionalDDPM(Module):
     # ------------------------------------------------------------------
     def predict_noise(self, y_t: np.ndarray, t: int) -> np.ndarray:
         """Inference-time ε̂ for a (spliced) window."""
-        from ..nn import no_grad
+        if type(y_t) is not np.ndarray or y_t.dtype != np.float64:
+            y_t = np.asarray(y_t, dtype=np.float64)
         with no_grad():
-            out = self.unet(Tensor(np.asarray(y_t, dtype=np.float64)), t)
+            out = self.unet(Tensor(y_t), t)
         return out.numpy()

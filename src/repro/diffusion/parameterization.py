@@ -108,8 +108,8 @@ class ParameterizedDDPM(ConditionalDDPM):
         else:  # v
             target = v_target(y0, eps, sqrt_ab, sqrt_1mab)
 
-        mask = Tensor(np.broadcast_to(
-            spec.gen_mask(y0.shape), y0.shape).copy())
+        # read-only broadcast view is fine: the mask is only multiplied
+        mask = Tensor(np.broadcast_to(spec.gen_mask(y0.shape), y0.shape))
         diff = (net_out - Tensor(target)) * mask
         n_gen = B * spec.num_gen * int(np.prod(y0.shape[2:]))
         return F.sum(diff * diff) * (1.0 / n_gen)

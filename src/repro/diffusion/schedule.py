@@ -72,6 +72,15 @@ class NoiseSchedule:
         # DDPM posterior variance \tilde beta_t
         self.posterior_variance = (
             betas * (1.0 - prev) / np.maximum(1.0 - self.alpha_bars, 1e-12))
+        # Per-step scalars of the posterior mean / predict_x0, hoisted so
+        # the samplers touch no per-call scalar arithmetic.  Each entry
+        # replicates the former inline expression op-for-op (same
+        # multiply/divide order), so sampling output is bit-identical.
+        denom = np.maximum(1.0 - self.alpha_bars, 1e-12)
+        self.posterior_coef_x0 = np.sqrt(prev) * betas / denom
+        self.posterior_coef_yt = np.sqrt(self.alphas) * (1.0 - prev) / denom
+        self.posterior_sigma = np.sqrt(self.posterior_variance)
+        self.predict_x0_denom = np.maximum(self.sqrt_alpha_bars, 1e-12)
 
     # -- 1-based step accessors -----------------------------------------
     def _idx(self, t: int) -> int:
@@ -94,10 +103,10 @@ class NoiseSchedule:
         """Invert Eq. 4 to estimate the clean signal from ε̂."""
         i = self._idx(t)
         return ((y_t - self.sqrt_one_minus_alpha_bars[i] * eps_hat)
-                / max(self.sqrt_alpha_bars[i], 1e-12))
+                / self.predict_x0_denom[i])
 
     def posterior_step(self, y_t: np.ndarray, t: int, eps_hat: np.ndarray,
-                       noise: np.ndarray,
+                       noise: Optional[np.ndarray],
                        clip_x0: Optional[Tuple[float, float]] = None
                        ) -> np.ndarray:
         """One ancestral reverse step ``y_t -> y_{t-1}`` (DDPM).
@@ -105,19 +114,17 @@ class NoiseSchedule:
         ``clip_x0`` optionally clamps the implied clean-signal estimate
         before forming the posterior mean — the standard stabilizer for
         samplers operating in a bounded (min-max normalized) space.
+        ``noise`` may be ``None`` at ``t == 1``, where it is unused.
         """
         i = self._idx(t)
         x0 = self.predict_x0(y_t, t, eps_hat)
         if clip_x0 is not None:
             x0 = np.clip(x0, clip_x0[0], clip_x0[1])
-        ab = self.alpha_bars[i]
-        ab_prev = self.alpha_bars_prev[i]
-        denom = max(1.0 - ab, 1e-12)
-        mean = (math.sqrt(ab_prev) * self.betas[i] / denom * x0
-                + math.sqrt(self.alphas[i]) * (1.0 - ab_prev) / denom * y_t)
+        mean = (self.posterior_coef_x0[i] * x0
+                + self.posterior_coef_yt[i] * y_t)
         if t == 1:
             return mean
-        return mean + math.sqrt(self.posterior_variance[i]) * noise
+        return mean + self.posterior_sigma[i] * noise
 
     def ddim_step(self, y_t: np.ndarray, t: int, t_prev: int,
                   eps_hat: np.ndarray,
@@ -138,9 +145,8 @@ class NoiseSchedule:
         if t_prev == 0:
             return x0
         j = self._idx(t_prev)
-        ab_prev = self.alpha_bars[j]
-        return (math.sqrt(ab_prev) * x0
-                + math.sqrt(1.0 - ab_prev) * eps_hat)
+        return (self.sqrt_alpha_bars[j] * x0
+                + self.sqrt_one_minus_alpha_bars[j] * eps_hat)
 
     def spaced_timesteps(self, num: int) -> np.ndarray:
         """Descending sub-sequence of timesteps for few-step sampling."""

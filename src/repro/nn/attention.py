@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from . import ops
+from . import fastpath, ops
 from .tensor import Tensor, as_tensor
 
 __all__ = ["scaled_dot_product_attention", "spatial_tokens", "temporal_tokens",
@@ -27,6 +27,8 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
     ``q, k, v`` have shape ``(..., L, D)``; output matches ``q``.
     """
     q, k, v = as_tensor(q), as_tensor(k), as_tensor(v)
+    if fastpath.active():
+        return Tensor(fastpath.sdpa(q.data, k.data, v.data))
     d = q.shape[-1]
     scores = ops.matmul(q, ops.swapaxes(k, -1, -2)) * (1.0 / math.sqrt(d))
     weights = ops.softmax(scores, axis=-1)

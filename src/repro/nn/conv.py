@@ -1,10 +1,17 @@
-"""Differentiable 2-D convolution ops (tap-loop formulation).
+"""Differentiable 2-D convolution ops (tap-loop + im2col formulations).
 
-Rather than materialising im2col matrices (memory-heavy for the frame
-sizes used here), forward/backward are computed as a short loop over
-kernel taps — each tap is a fully vectorised ``einsum`` over the batch.
-For the 3x3/5x5 kernels used by the VAE and UNet this is both fast and
-cache-friendly (see the HPC guide notes on strided access).
+Two interchangeable kernel strategies compute the same cross-correlation:
+
+* a short loop over kernel taps — each tap a fully vectorised ``einsum``
+  over the batch (memory-lean, good for large frames);
+* an im2col/``as_strided`` patch matrix contracted in a single GEMM
+  (fastest for the small latent grids the UNet spends its time on).
+
+``_conv2d_forward`` picks between them with a byte-budget heuristic so
+grad-mode and ``no_grad`` forwards always run the *same* kernel for a
+given shape.  Einsum contraction paths are planned once per
+(subscripts, shapes, dtypes) signature and memoized — ``np.einsum_path``
+re-planning used to dominate the inference profile.
 
 Shape conventions (match PyTorch):
 
@@ -20,12 +27,102 @@ import numpy as np
 
 from .tensor import Tensor, as_tensor
 
-__all__ = ["conv2d", "conv_transpose2d", "avg_pool2d", "upsample_nearest2d"]
+__all__ = ["conv2d", "conv_transpose2d", "avg_pool2d", "upsample_nearest2d",
+           "cached_einsum"]
+
+# Patch-matrix byte budget above which the im2col kernel would thrash
+# memory; beyond it the tap loop wins.  Tests monkeypatch this to force
+# either kernel.
+IM2COL_MAX_BYTES = 1 << 26
+
+_EINSUM_PATHS: Dict[tuple, list] = {}
+
+
+def _pad2d(x: np.ndarray, p: int) -> np.ndarray:
+    """Zero-pad the two trailing axes by ``p`` on each side.
+
+    Equivalent to ``np.pad`` with a constant mode but without its
+    per-axis Python bookkeeping, which showed up in the denoise-loop
+    profile (hundreds of small pads per sampled window).
+    """
+    B, C, H, W = x.shape
+    xp = np.zeros((B, C, H + 2 * p, W + 2 * p), dtype=x.dtype)
+    xp[:, :, p:-p, p:-p] = x
+    return xp
+
+
+def cached_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum`` with the contraction path memoized per signature.
+
+    ``optimize=True`` re-runs the path optimizer on every call — for the
+    small per-tap contractions here the planning costs more than the
+    contraction itself.  Paths depend only on subscripts, operand shapes
+    and dtypes, so they are cached on exactly that key.
+    """
+    key = (subscripts,) + tuple(
+        (op.shape, op.dtype.str) for op in operands)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(subscripts, *operands, optimize=path)
 
 
 # ----------------------------------------------------------------------
 # Raw NumPy kernels (shared by forward and backward passes)
 # ----------------------------------------------------------------------
+def _im2col(xp: np.ndarray, kh: int, kw: int, stride: int,
+            Ho: int, Wo: int) -> np.ndarray:
+    """Patch matrix ``(Cin*kh*kw, B*Ho*Wo)`` of the padded input.
+
+    The patch axis comes *last* so the gather that materializes the
+    strided view copies contiguous ``Wo``-length runs (the ``Wo`` axis
+    has the input's unit stride) instead of ``kw``-length ones — about
+    2x faster for 3x3 kernels on latent-sized grids.
+    """
+    B, C = xp.shape[0], xp.shape[1]
+    sB, sC, sH, sW = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp, shape=(C, kh, kw, B, Ho, Wo),
+        strides=(sC, sH, sW, sB, sH * stride, sW * stride),
+        writeable=False)
+    return windows.reshape(C * kh * kw, B * Ho * Wo)
+
+
+def _use_im2col(B: int, C: int, Ho: int, Wo: int, kh: int, kw: int,
+                itemsize: int) -> bool:
+    if kh == 1 and kw == 1:
+        return False            # 1x1 taps are already a single einsum
+    from .fastpath import is_enabled
+    if not is_enabled():
+        return False
+    return B * Ho * Wo * C * kh * kw * itemsize <= IM2COL_MAX_BYTES
+
+
+def _conv2d_forward_taps(x: np.ndarray, w: np.ndarray, stride: int,
+                         Ho: int, Wo: int) -> np.ndarray:
+    """Tap-loop kernel over the already-padded input."""
+    B = x.shape[0]
+    Cout, _, kh, kw = w.shape
+    y = np.zeros((B, Cout, Ho, Wo), dtype=x.dtype)
+    for k in range(kh):
+        for l in range(kw):
+            xs = x[:, :, k:k + stride * Ho:stride, l:l + stride * Wo:stride]
+            y += cached_einsum("bchw,oc->bohw", xs, w[:, :, k, l])
+    return y
+
+
+def _conv2d_forward_im2col(x: np.ndarray, w: np.ndarray, stride: int,
+                           Ho: int, Wo: int) -> np.ndarray:
+    """Single-GEMM kernel over the already-padded input."""
+    B = x.shape[0]
+    Cout, Cin, kh, kw = w.shape
+    cols = _im2col(x, kh, kw, stride, Ho, Wo)
+    y = w.reshape(Cout, Cin * kh * kw) @ cols
+    return np.ascontiguousarray(
+        y.reshape(Cout, B, Ho, Wo).transpose(1, 0, 2, 3))
+
+
 def _conv2d_forward(x: np.ndarray, w: np.ndarray, stride: int,
                     padding: int) -> np.ndarray:
     """y[b,o,i,j] = sum_{c,k,l} x[b,c,i*s+k-p, j*s+l-p] * w[o,c,k,l]."""
@@ -33,16 +130,13 @@ def _conv2d_forward(x: np.ndarray, w: np.ndarray, stride: int,
     Cout, Cin2, kh, kw = w.shape
     assert Cin == Cin2, f"channel mismatch: {Cin} vs {Cin2}"
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        x = _pad2d(x, padding)
     Hp, Wp = x.shape[2], x.shape[3]
     Ho = (Hp - kh) // stride + 1
     Wo = (Wp - kw) // stride + 1
-    y = np.zeros((B, Cout, Ho, Wo), dtype=x.dtype)
-    for k in range(kh):
-        for l in range(kw):
-            xs = x[:, :, k:k + stride * Ho:stride, l:l + stride * Wo:stride]
-            y += np.einsum("bchw,oc->bohw", xs, w[:, :, k, l], optimize=True)
-    return y
+    if _use_im2col(B, Cin, Ho, Wo, kh, kw, x.itemsize):
+        return _conv2d_forward_im2col(x, w, stride, Ho, Wo)
+    return _conv2d_forward_taps(x, w, stride, Ho, Wo)
 
 
 def _conv2d_grad_input(g: np.ndarray, w: np.ndarray, stride: int,
@@ -54,7 +148,7 @@ def _conv2d_grad_input(g: np.ndarray, w: np.ndarray, stride: int,
     dxp = np.zeros((B, Cin, H + 2 * padding, W + 2 * padding), dtype=g.dtype)
     for k in range(kh):
         for l in range(kw):
-            contrib = np.einsum("bohw,oc->bchw", g, w[:, :, k, l], optimize=True)
+            contrib = cached_einsum("bohw,oc->bchw", g, w[:, :, k, l])
             dxp[:, :, k:k + stride * Ho:stride, l:l + stride * Wo:stride] += contrib
     if padding:
         return dxp[:, :, padding:-padding, padding:-padding]
@@ -66,14 +160,19 @@ def _conv2d_grad_weight(x: np.ndarray, g: np.ndarray, stride: int,
     """Adjoint of :func:`_conv2d_forward` w.r.t. its weight."""
     kh, kw = kshape
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        x = _pad2d(x, padding)
     Ho, Wo = g.shape[2], g.shape[3]
     Cout, Cin = g.shape[1], x.shape[1]
-    dw = np.zeros((Cout, Cin, kh, kw), dtype=g.dtype)
+    B = x.shape[0]
+    if _use_im2col(B, Cin, Ho, Wo, kh, kw, x.itemsize):
+        cols = _im2col(x, kh, kw, stride, Ho, Wo)
+        gm = g.transpose(1, 0, 2, 3).reshape(Cout, B * Ho * Wo)
+        return (gm @ cols.T).reshape(Cout, Cin, kh, kw)
+    dw = np.empty((Cout, Cin, kh, kw), dtype=g.dtype)
     for k in range(kh):
         for l in range(kw):
             xs = x[:, :, k:k + stride * Ho:stride, l:l + stride * Wo:stride]
-            dw[:, :, k, l] = np.einsum("bohw,bchw->oc", g, xs, optimize=True)
+            dw[:, :, k, l] = cached_einsum("bohw,bchw->oc", g, xs)
     return dw
 
 

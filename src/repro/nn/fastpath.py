@@ -1,0 +1,217 @@
+"""Allocation-lean raw-ndarray kernels for the inference fast path.
+
+Under ``no_grad`` the autodiff layer still pays for every op: a
+``Tensor`` wrapper, a backward closure (built then discarded), and an
+``as_tensor`` coercion per operand.  For the learned codecs those costs
+dominate the profile — a single UNet forward records ~13k ops on tiny
+latent grids.  The kernels here compute the *same* forward math directly
+on ``np.ndarray``s.
+
+Bitwise contract: every function mirrors, numpy-call for numpy-call and
+in the same order, the op chain its grad-mode counterpart records in
+``ops.py`` / ``modules.py``.  ``tests/nn/test_fastpath.py`` asserts
+grad-mode and fast-path outputs are bitwise equal across the module zoo;
+keep that invariant when editing either side.
+
+The module also owns the fast-path switch: ``disabled()`` routes every
+module back through the autodiff op chains (and the conv dispatch back
+to the legacy tap loop), which the codec bench uses to measure an
+honest in-run baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from scipy import special as _sp_special
+
+from . import conv as _conv
+from .tensor import is_grad_enabled
+
+__all__ = [
+    "is_enabled", "disabled", "active",
+    "silu", "relu", "leaky_relu", "gelu", "tanh", "sigmoid", "softplus",
+    "linear", "conv2d", "conv_transpose2d", "group_norm", "layer_norm",
+    "sdpa", "temporal_tokens", "untokenize_temporal",
+    "spatial_tokens", "untokenize_spatial",
+    "avg_pool2d", "upsample_nearest2d",
+]
+
+
+# ----------------------------------------------------------------------
+# Switch
+# ----------------------------------------------------------------------
+_ENABLED: List[bool] = [True]
+
+
+def is_enabled() -> bool:
+    """Whether fused kernels and the im2col conv dispatch are allowed."""
+    return _ENABLED[-1]
+
+
+class disabled:
+    """Context manager forcing the legacy op-chain / tap-loop paths."""
+
+    def __enter__(self) -> "disabled":
+        _ENABLED.append(False)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ENABLED.pop()
+
+
+def active() -> bool:
+    """True when a module should take its fused no-grad branch."""
+    return _ENABLED[-1] and not is_grad_enabled()
+
+
+# ----------------------------------------------------------------------
+# Elementwise activations (mirror ops.py forwards)
+# ----------------------------------------------------------------------
+def silu(x: np.ndarray) -> np.ndarray:
+    s = _sp_special.expit(x)
+    return x * s
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return x * (x > 0)
+
+
+def leaky_relu(x: np.ndarray, slope: float = 0.01) -> np.ndarray:
+    return x * np.where(x > 0, 1.0, slope)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    cdf = 0.5 * (1.0 + _sp_special.erf(x / math.sqrt(2.0)))
+    return x * cdf
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return _sp_special.expit(x)
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    return np.logaddexp(0.0, x)
+
+
+# ----------------------------------------------------------------------
+# Affine / conv layers
+# ----------------------------------------------------------------------
+def linear(x: np.ndarray, w: np.ndarray,
+           b: Optional[np.ndarray] = None) -> np.ndarray:
+    y = x @ w.transpose((1, 0))
+    if b is not None:
+        y = y + b
+    return y
+
+
+def conv2d(x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
+           stride: int, padding: int,
+           act: Optional[Callable[[np.ndarray], np.ndarray]] = None
+           ) -> np.ndarray:
+    """Fused conv + bias + optional activation, no intermediate Tensors."""
+    y = _conv._conv2d_forward(x, w, stride, padding)
+    if b is not None:
+        y = y + b.reshape(1, -1, 1, 1)
+    if act is not None:
+        y = act(y)
+    return y
+
+
+def conv_transpose2d(x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
+                     stride: int, padding: int, output_padding: int,
+                     act: Optional[Callable[[np.ndarray], np.ndarray]] = None
+                     ) -> np.ndarray:
+    B, Cin, H, W = x.shape
+    Cin2, Cout, kh, kw = w.shape
+    assert Cin == Cin2, f"channel mismatch: {Cin} vs {Cin2}"
+    Ho, Wo = _conv.conv_transpose2d_out_shape(H, W, kh, kw, stride, padding,
+                                              output_padding)
+    y = _conv._conv2d_grad_input(x, w, stride, padding, (B, Cout, Ho, Wo))
+    if b is not None:
+        y = y + b.reshape(1, -1, 1, 1)
+    if act is not None:
+        y = act(y)
+    return y
+
+
+def avg_pool2d(x: np.ndarray, kernel: int) -> np.ndarray:
+    B, C, H, W = x.shape
+    return x.reshape(B, C, H // kernel, kernel, W // kernel,
+                     kernel).mean(axis=(3, 5))
+
+
+def upsample_nearest2d(x: np.ndarray, factor: int) -> np.ndarray:
+    return np.repeat(np.repeat(x, factor, axis=2), factor, axis=3)
+
+
+# ----------------------------------------------------------------------
+# Normalization layers
+# ----------------------------------------------------------------------
+def group_norm(x: np.ndarray, num_groups: int, weight: np.ndarray,
+               bias: np.ndarray, eps: float) -> np.ndarray:
+    shape = x.shape
+    B, C = shape[0], shape[1]
+    spatial = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    xg = x.reshape(B, num_groups, (C // num_groups) * spatial)
+    mu = xg.mean(axis=2, keepdims=True)
+    diff = xg - mu
+    v = (diff * diff).mean(axis=2, keepdims=True)
+    xn = (diff / np.sqrt(v + eps)).reshape(shape)
+    wshape = (1, C) + (1,) * (len(shape) - 2)
+    return xn * weight.reshape(wshape) + bias.reshape(wshape)
+
+
+def layer_norm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+               eps: float) -> np.ndarray:
+    mu = x.mean(axis=-1, keepdims=True)
+    diff = x - mu
+    v = (diff * diff).mean(axis=-1, keepdims=True)
+    xn = diff / np.sqrt(v + eps)
+    return xn * weight + bias
+
+
+# ----------------------------------------------------------------------
+# Attention
+# ----------------------------------------------------------------------
+def sdpa(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    d = q.shape[-1]
+    scores = (q @ np.swapaxes(k, -1, -2)) * (1.0 / math.sqrt(d))
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    weights = e / e.sum(axis=-1, keepdims=True)
+    return weights @ v
+
+
+def spatial_tokens(x5: np.ndarray) -> np.ndarray:
+    """``(B, N, C, H, W)`` -> ``(B*N, H*W, C)`` in one reshape/swap."""
+    B, N, C, H, W = x5.shape
+    return x5.reshape(B * N, C, H * W).swapaxes(1, 2)
+
+
+def untokenize_spatial(tok: np.ndarray, shape) -> np.ndarray:
+    B, N, C, H, W = shape
+    return tok.swapaxes(1, 2).reshape(B, N, C, H, W)
+
+
+def temporal_tokens(x5: np.ndarray) -> np.ndarray:
+    """``(B, N, C, H, W)`` -> ``(B*H*W, N, C)`` without per-op Tensors.
+
+    The single ``transpose`` view plus one (copying) ``reshape``
+    replaces the grad path's ``moveaxis``-style chain of intermediate
+    Tensor copies.
+    """
+    B, N, C, H, W = x5.shape
+    return x5.transpose(0, 3, 4, 1, 2).reshape(B * H * W, N, C)
+
+
+def untokenize_temporal(tok: np.ndarray, shape) -> np.ndarray:
+    B, N, C, H, W = shape
+    return tok.reshape(B, H, W, N, C).transpose(0, 3, 4, 1, 2)

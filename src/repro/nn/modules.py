@@ -15,9 +15,15 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import conv as F_conv
+from . import fastpath
 from . import init as initializers
 from . import ops
 from .tensor import Tensor, as_tensor
+
+
+def _data(x) -> np.ndarray:
+    """Raw float64 array of a tensor-like (fast-path input coercion)."""
+    return x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
 
 __all__ = [
     "Parameter", "Module", "Sequential", "ModuleList", "Identity",
@@ -122,9 +128,26 @@ class Sequential(Module):
             self._modules[str(i)] = layer
 
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         for layer in self.layers:
             x = layer(x)
         return x
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        """No-grad chain; conv + elementwise pairs run as one fused call."""
+        i, n = 0, len(self.layers)
+        while i < n:
+            layer = self.layers[i]
+            if (isinstance(layer, (Conv2d, ConvTranspose2d)) and i + 1 < n
+                    and getattr(self.layers[i + 1], "_elementwise", False)):
+                arr = layer._fast(arr, act=self.layers[i + 1]._fast)
+                i += 2
+                continue
+            fast = getattr(layer, "_fast", None)
+            arr = fast(arr) if fast is not None else _data(layer(Tensor(arr)))
+            i += 1
+        return arr
 
     def __len__(self) -> int:
         return len(self.layers)
@@ -163,6 +186,9 @@ class Identity(Module):
     def forward(self, x):
         return x
 
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return arr
+
 
 class Linear(Module):
     """Affine map ``y = x Wᵀ + b`` on the last axis."""
@@ -182,10 +208,17 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x) -> Tensor:
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         y = ops.matmul(as_tensor(x), ops.transpose(self.weight))
         if self.bias is not None:
             y = ops.add(y, self.bias)
         return y
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.linear(
+            arr, self.weight.data,
+            self.bias.data if self.bias is not None else None)
 
 
 class Conv2d(Module):
@@ -207,8 +240,16 @@ class Conv2d(Module):
             self.bias = None
 
     def forward(self, x) -> Tensor:
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return F_conv.conv2d(as_tensor(x), self.weight, self.bias,
                              stride=self.stride, padding=self.padding)
+
+    def _fast(self, arr: np.ndarray, act=None) -> np.ndarray:
+        return fastpath.conv2d(
+            arr, self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride, self.padding, act=act)
 
 
 class ConvTranspose2d(Module):
@@ -231,9 +272,17 @@ class ConvTranspose2d(Module):
             self.bias = None
 
     def forward(self, x) -> Tensor:
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return F_conv.conv_transpose2d(
             as_tensor(x), self.weight, self.bias, stride=self.stride,
             padding=self.padding, output_padding=self.output_padding)
+
+    def _fast(self, arr: np.ndarray, act=None) -> np.ndarray:
+        return fastpath.conv_transpose2d(
+            arr, self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride, self.padding, self.output_padding, act=act)
 
 
 class GroupNorm(Module):
@@ -252,6 +301,8 @@ class GroupNorm(Module):
         self.bias = Parameter(np.zeros(num_channels))
 
     def forward(self, x) -> Tensor:
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         x = as_tensor(x)
         shape = x.shape
         B, C = shape[0], shape[1]
@@ -267,6 +318,10 @@ class GroupNorm(Module):
         b = ops.reshape(self.bias, wshape)
         return ops.add(ops.mul(xn, w), b)
 
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.group_norm(arr, self.num_groups, self.weight.data,
+                                   self.bias.data, self.eps)
+
 
 class LayerNorm(Module):
     """Layer normalization over the last axis (token features)."""
@@ -279,42 +334,90 @@ class LayerNorm(Module):
         self.bias = Parameter(np.zeros(dim))
 
     def forward(self, x) -> Tensor:
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         x = as_tensor(x)
         mu = ops.mean(x, axis=-1, keepdims=True)
         v = ops.var(x, axis=-1, keepdims=True)
         xn = ops.div(ops.sub(x, mu), ops.sqrt(ops.add(v, self.eps)))
         return ops.add(ops.mul(xn, self.weight), self.bias)
 
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.layer_norm(arr, self.weight.data, self.bias.data,
+                                   self.eps)
+
 
 class ReLU(Module):
+    _elementwise = True
+
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return ops.relu(x)
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.relu(arr)
 
 
 class LeakyReLU(Module):
+    _elementwise = True
+
     def __init__(self, slope: float = 0.01):
         super().__init__()
         self.slope = slope
 
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return ops.leaky_relu(x, self.slope)
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.leaky_relu(arr, self.slope)
 
 
 class SiLU(Module):
+    _elementwise = True
+
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return ops.silu(x)
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.silu(arr)
 
 
 class GELU(Module):
+    _elementwise = True
+
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return ops.gelu(x)
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.gelu(arr)
 
 
 class Tanh(Module):
+    _elementwise = True
+
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return ops.tanh(x)
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.tanh(arr)
 
 
 class Sigmoid(Module):
+    _elementwise = True
+
     def forward(self, x):
+        if fastpath.active():
+            return Tensor(self._fast(_data(x)))
         return ops.sigmoid(x)
+
+    def _fast(self, arr: np.ndarray) -> np.ndarray:
+        return fastpath.sigmoid(arr)

@@ -126,9 +126,10 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into ``self.grad`` (allocating on first use)."""
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        g = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        # Never alias the incoming gradient in-place: backward closures
+        # may hand the same array to several parents.
+        self.grad = g if self.grad is None else self.grad + g
 
     def _receive(self, grads_map: Dict[int, np.ndarray], g: np.ndarray) -> None:
         """Route an incoming gradient during a backward pass.
@@ -137,7 +138,9 @@ class Tensor:
         gradient in ``grads_map`` until the topological sweep reaches
         them.
         """
-        g = unbroadcast(np.asarray(g, dtype=np.float64), self.data.shape)
+        if type(g) is not np.ndarray or g.dtype != np.float64:
+            g = np.asarray(g, dtype=np.float64)
+        g = unbroadcast(g, self.data.shape)
         if self._backward is None:
             self._accumulate(g)
             return

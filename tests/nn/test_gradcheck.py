@@ -287,6 +287,46 @@ class TestAttention:
             F.scaled_dot_product_attention,
             [arr(2, 4, 3), arr(2, 4, 3), arr(2, 4, 3)], atol=1e-5)
 
+
+class TestConvKernelDispatch:
+    """Both conv kernels must carry correct gradients.
+
+    The byte-budget heuristic is forced each way so the single-GEMM
+    im2col kernel and the tap loop are each gradchecked explicitly,
+    whatever the default dispatch would pick for these shapes.
+    """
+
+    def _check(self):
+        check_gradients(
+            lambda x, w, b: F.conv2d(x, w, b, stride=2, padding=1),
+            [arr(2, 3, 7, 7), arr(4, 3, 3, 3), arr(4)], atol=1e-5)
+
+    def test_conv2d_im2col_forced(self, monkeypatch):
+        from repro.nn import conv as conv_mod
+        monkeypatch.setattr(conv_mod, "IM2COL_MAX_BYTES", 1 << 40)
+        self._check()
+
+    def test_conv2d_taps_forced(self, monkeypatch):
+        from repro.nn import conv as conv_mod
+        monkeypatch.setattr(conv_mod, "IM2COL_MAX_BYTES", 0)
+        self._check()
+
+
+class TestGDNFused:
+    """The fused GDN op's analytic backward against numeric gradients."""
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_gdn_fused(self, inverse):
+        from repro.nn.gdn import _PEDESTAL, _gdn_apply
+        C = 3
+        beta_p = np.sqrt(RNG.uniform(0.5, 1.5, size=C) + _PEDESTAL)
+        gamma_p = np.sqrt(RNG.uniform(0.05, 0.2, size=(C, C)) + _PEDESTAL)
+        # bounds far below the drawn parameters: the straight-through
+        # lower_bound mask stays smooth around the evaluation point
+        check_gradients(
+            lambda x, b, g: _gdn_apply(x, b, g, 1e-4, 1e-4, inverse),
+            [arr(2, C, 4, 4), beta_p, gamma_p], atol=1e-5)
+
     def test_token_roundtrip_spatial(self):
         x = Tensor(arr(2, 3, 4, 2, 5))
         t = F.spatial_tokens(x)
