@@ -1,5 +1,5 @@
 """Entropy-backend ablation: arithmetic (range) coder vs rANS vs
-lane-vectorized interleaved rANS.
+lane-vectorized interleaved rANS vs table-cached LUT rANS.
 
 All backends code the same symbol streams under the same quantized
 probability tables, so compressed sizes must agree to within a few
@@ -18,8 +18,9 @@ import numpy as np
 import pytest
 
 from repro.entropy import (decode_symbols, decode_symbols_rans,
-                           decode_symbols_vrans, encode_symbols,
-                           encode_symbols_rans, encode_symbols_vrans)
+                           decode_symbols_trans, decode_symbols_vrans,
+                           encode_symbols, encode_symbols_rans,
+                           encode_symbols_trans, encode_symbols_vrans)
 from repro.entropy.coder import pmf_to_cumulative
 
 from .conftest import save_json
@@ -61,6 +62,10 @@ def test_ablation_entropy_backends(benchmark):
     t0 = time.perf_counter()
     v_stream = encode_symbols_vrans(symbols, tables, contexts)
     t_vrans_enc = time.perf_counter() - t0
+    encode_symbols_trans(symbols, tables, contexts)  # warm the cache
+    t0 = time.perf_counter()
+    t_stream = encode_symbols_trans(symbols, tables, contexts)
+    t_trans_enc = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     a_out = decode_symbols(a_stream, tables, contexts)
@@ -71,10 +76,14 @@ def test_ablation_entropy_backends(benchmark):
     t0 = time.perf_counter()
     v_out = decode_symbols_vrans(v_stream, tables, contexts)
     t_vrans_dec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    t_out = decode_symbols_trans(t_stream, tables, contexts)
+    t_trans_dec = time.perf_counter() - t0
 
     np.testing.assert_array_equal(a_out, symbols)
     np.testing.assert_array_equal(r_out, symbols)
     np.testing.assert_array_equal(v_out, symbols)
+    np.testing.assert_array_equal(t_out, symbols)
 
     print(f"\nAblation (entropy backend), {symbols.size} symbols, "
           f"entropy {h_bytes:.0f} B:")
@@ -84,6 +93,8 @@ def test_ablation_entropy_backends(benchmark):
           f"enc {t_rans_enc * 1e3:.0f} ms / dec {t_rans_dec * 1e3:.0f} ms")
     print(f"  vrANS:      {len(v_stream)} B, "
           f"enc {t_vrans_enc * 1e3:.0f} ms / dec {t_vrans_dec * 1e3:.0f} ms")
+    print(f"  trANS:      {len(t_stream)} B, "
+          f"enc {t_trans_enc * 1e3:.0f} ms / dec {t_trans_dec * 1e3:.0f} ms")
     save_json("ablation_entropy", {
         "entropy_bytes": h_bytes,
         "arithmetic_bytes": len(a_stream),
@@ -92,14 +103,18 @@ def test_ablation_entropy_backends(benchmark):
         "arith_enc_s": t_arith_enc, "arith_dec_s": t_arith_dec,
         "rans_enc_s": t_rans_enc, "rans_dec_s": t_rans_dec,
         "vrans_enc_s": t_vrans_enc, "vrans_dec_s": t_vrans_dec,
+        "trans_bytes": len(t_stream),
+        "trans_enc_s": t_trans_enc, "trans_dec_s": t_trans_dec,
     })
 
     # all land within 1% + termination slack of the entropy (vrans
     # additionally carries its lane-state header)
     lane_header = 1 + 8 * v_stream[0]
+    trans_header = 1 + 8 * t_stream[0]
     assert len(a_stream) <= h_bytes * 1.01 + 16
     assert len(r_stream) <= h_bytes * 1.01 + 16
     assert len(v_stream) <= h_bytes * 1.01 + 16 + lane_header
+    assert len(t_stream) <= h_bytes * 1.01 + 16 + trans_header
     # and within 2% + slack of each other
     assert abs(len(a_stream) - len(r_stream)) <= 0.02 * len(a_stream) + 16
     assert (abs(len(a_stream) - len(v_stream))

@@ -168,53 +168,106 @@ ENTROPY_REPS = 3
 #: acceptance criterion: the vectorized backend must beat the
 #: per-symbol arithmetic loop by at least this factor end to end
 ENTROPY_MIN_SPEEDUP = 5.0
+#: second stream: a large alphabet makes the decode-side symbol search
+#: the dominant cost, which is exactly what the trans LUT removes —
+#: this is the stream its speedup floor is asserted on
+ENTROPY_LARGE_CONTEXTS = 16
+ENTROPY_LARGE_ALPHABET = 512
+#: acceptance criterion: the table-cached LUT backend must beat vrans
+#: end to end on the large-alphabet stream by at least this factor
+TRANS_MIN_SPEEDUP = 2.0
+#: the Python-loop backends are ~100x off the pace on this stream;
+#: cap their share of the bench wall clock, the vectorized pair still
+#: runs the full stream
+ENTROPY_LARGE_SLOW_CAP = 6_000
 
 
-def _entropy_throughput() -> dict:
-    """Per-backend symbol-coding throughput on one fixed stream.
-
-    The per-symbol Python loop is the dominant cost of every codec's
-    compress/decompress, so this block is the trajectory to watch when
-    touching the entropy layer.
-    """
-    rng = np.random.default_rng(11)
-    pmf = rng.random((ENTROPY_CONTEXTS, ENTROPY_ALPHABET)) + 0.01
+def _stream(n_ctx: int, alphabet: int, n: int, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    pmf = rng.random((n_ctx, alphabet)) + 0.01
     tables = pmf_to_cumulative(pmf)
-    contexts = rng.integers(0, ENTROPY_CONTEXTS, size=ENTROPY_SYMBOLS)
+    contexts = rng.integers(0, n_ctx, size=n)
     # inverse-CDF draw so symbols follow their context's table
-    u = rng.random(ENTROPY_SYMBOLS) * tables[contexts, -1]
+    u = rng.random(n) * tables[contexts, -1]
     symbols = (tables[contexts] <= u[:, None]).sum(axis=1) - 1
+    return symbols, tables, contexts
 
+
+def _time_backends(symbols, tables, contexts, slow_cap=None) -> dict:
+    """Min-of-reps encode/decode wall clock per registered backend.
+
+    ``slow_cap`` truncates the stream for the per-symbol Python-loop
+    backends (arithmetic, rans) so a deliberately search-heavy stream
+    does not spend the whole bench budget timing known-slow loops; the
+    reported Msym/s stays comparable either way.
+    """
     backends = {}
     for name in list_backends():
         be = get_backend(name)
+        sym, ctx = symbols, contexts
+        if slow_cap is not None and name in ("arithmetic", "rans"):
+            sym, ctx = symbols[:slow_cap], contexts[:slow_cap]
         enc = dec = float("inf")
-        data = be.encode(symbols, tables, contexts)  # untimed warmup
+        data = be.encode(sym, tables, ctx)  # untimed warmup
         for _ in range(ENTROPY_REPS):
             t0 = time.perf_counter()
-            data = be.encode(symbols, tables, contexts)
+            data = be.encode(sym, tables, ctx)
             enc = min(enc, time.perf_counter() - t0)
             t0 = time.perf_counter()
-            out = be.decode(data, tables, contexts)
+            out = be.decode(data, tables, ctx)
             dec = min(dec, time.perf_counter() - t0)
-        np.testing.assert_array_equal(out, symbols)
+        np.testing.assert_array_equal(out, sym)
         backends[name] = {
             "encode_seconds": round(enc, 6),
             "decode_seconds": round(dec, 6),
-            "encode_msym_per_s": round(ENTROPY_SYMBOLS / enc / 1e6, 3),
-            "decode_msym_per_s": round(ENTROPY_SYMBOLS / dec / 1e6, 3),
+            "encode_msym_per_s": round(sym.size / enc / 1e6, 3),
+            "decode_msym_per_s": round(sym.size / dec / 1e6, 3),
             "stream_bytes": len(data),
+            "symbols": int(sym.size),
         }
-    arith = backends["arithmetic"]
-    vrans = backends["vrans"]
-    speedup = ((arith["encode_seconds"] + arith["decode_seconds"])
-               / max(vrans["encode_seconds"] + vrans["decode_seconds"],
-                     1e-9))
+    return backends
+
+
+def _e2e_speedup(backends: dict, fast: str, slow: str) -> float:
+    """End-to-end (encode+decode) speedup of ``fast`` over ``slow``,
+    normalized per symbol (the slow side may run a capped stream)."""
+    f, s = backends[fast], backends[slow]
+    per_f = (f["encode_seconds"] + f["decode_seconds"]) / f["symbols"]
+    per_s = (s["encode_seconds"] + s["decode_seconds"]) / s["symbols"]
+    return per_s / max(per_f, 1e-12)
+
+
+def _entropy_throughput() -> dict:
+    """Per-backend symbol-coding throughput on two fixed streams.
+
+    The per-symbol Python loop is the dominant cost of every codec's
+    compress/decompress, so this block is the trajectory to watch when
+    touching the entropy layer.  The small-alphabet stream is the
+    original vrans-vs-arithmetic trajectory; the large-alphabet stream
+    stresses the decode-side symbol search that the trans LUT replaces
+    with an O(1) gather.
+    """
+    symbols, tables, contexts = _stream(
+        ENTROPY_CONTEXTS, ENTROPY_ALPHABET, ENTROPY_SYMBOLS)
+    backends = _time_backends(symbols, tables, contexts)
+
+    lsymbols, ltables, lcontexts = _stream(
+        ENTROPY_LARGE_CONTEXTS, ENTROPY_LARGE_ALPHABET, ENTROPY_SYMBOLS)
+    large = _time_backends(lsymbols, ltables, lcontexts,
+                           slow_cap=ENTROPY_LARGE_SLOW_CAP)
+
     return {
         "workload": (f"{ENTROPY_SYMBOLS}sym-{ENTROPY_CONTEXTS}ctx-"
                      f"{ENTROPY_ALPHABET}alpha"),
         "backends": backends,
-        "vrans_speedup_vs_arithmetic": round(speedup, 2),
+        "vrans_speedup_vs_arithmetic": round(
+            _e2e_speedup(backends, "vrans", "arithmetic"), 2),
+        "workload_large": (f"{ENTROPY_SYMBOLS}sym-"
+                           f"{ENTROPY_LARGE_CONTEXTS}ctx-"
+                           f"{ENTROPY_LARGE_ALPHABET}alpha"),
+        "backends_large": large,
+        "trans_speedup_vs_vrans": round(
+            _e2e_speedup(large, "trans", "vrans"), 2),
     }
 
 
@@ -356,19 +409,22 @@ def _print_nn(nn_row: dict, prior: dict) -> None:
               f"peak {op['peak_bytes'] / (1 << 20):.2f} MiB")
 
 
-def _print_entropy(entropy_row: dict, prior: dict) -> None:
-    """Render the per-backend table, diffed against the prior entry."""
-    prior_backends = prior.get("backends", {})
-    print(f"\nentropy backends ({entropy_row['workload']}):")
+def _print_entropy_table(workload: str, backends: dict,
+                         prior_backends: dict) -> None:
+    print(f"\nentropy backends ({workload}):")
     print(f"{'backend':12s} {'enc s':>10s} {'dec s':>10s} "
           f"{'Msym/s enc':>11s} {'Msym/s dec':>11s} {'bytes':>8s} "
           f"{'vs prior':>9s}")
-    for name, row in entropy_row["backends"].items():
+    for name, row in backends.items():
         was = prior_backends.get(name)
         if was:
-            now = row["encode_seconds"] + row["decode_seconds"]
-            then = was["encode_seconds"] + was["decode_seconds"]
-            delta = f"{now / max(then, 1e-9):8.2f}x"
+            # per-symbol normalization: stream lengths may differ
+            # across entries (the slow-backend cap)
+            now = ((row["encode_seconds"] + row["decode_seconds"])
+                   / row.get("symbols", ENTROPY_SYMBOLS))
+            then = ((was["encode_seconds"] + was["decode_seconds"])
+                    / was.get("symbols", ENTROPY_SYMBOLS))
+            delta = f"{now / max(then, 1e-12):8.2f}x"
         else:
             delta = "      new"
         print(f"{name:12s} {row['encode_seconds']:10.4f} "
@@ -376,9 +432,22 @@ def _print_entropy(entropy_row: dict, prior: dict) -> None:
               f"{row['encode_msym_per_s']:11.2f} "
               f"{row['decode_msym_per_s']:11.2f} "
               f"{row['stream_bytes']:8d} {delta}")
+
+
+def _print_entropy(entropy_row: dict, prior: dict) -> None:
+    """Render the per-backend tables, diffed against the prior entry."""
+    _print_entropy_table(entropy_row["workload"],
+                         entropy_row["backends"],
+                         prior.get("backends", {}))
     print(f"vrans end-to-end speedup vs arithmetic: "
           f"x{entropy_row['vrans_speedup_vs_arithmetic']:.1f} "
           f"(floor x{ENTROPY_MIN_SPEEDUP:.0f})")
+    _print_entropy_table(entropy_row["workload_large"],
+                         entropy_row["backends_large"],
+                         prior.get("backends_large", {}))
+    print(f"trans end-to-end speedup vs vrans (large alphabet): "
+          f"x{entropy_row['trans_speedup_vs_vrans']:.1f} "
+          f"(floor x{TRANS_MIN_SPEEDUP:.0f})")
 
 
 def _bound_for(codec, frames):
@@ -495,6 +564,10 @@ def test_codec_registry_smoke(benchmark):
     # least 5x faster than the per-symbol arithmetic loop
     assert (entropy_row["vrans_speedup_vs_arithmetic"]
             >= ENTROPY_MIN_SPEEDUP), entropy_row
+    # acceptance: the table-cached LUT backend must beat vrans at
+    # least 2x end to end on the search-heavy large-alphabet stream
+    assert (entropy_row["trans_speedup_vs_vrans"]
+            >= TRANS_MIN_SPEEDUP), entropy_row
 
     _print_nn(nn_row, prior_nn)
     # acceptance: the flagship pipeline must beat the legacy path 3x;

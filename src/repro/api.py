@@ -306,8 +306,9 @@ class Session:
         Codec windows per chunk for iterator (streaming) sources.
     entropy_backend:
         Entropy-coder selection for every stream this session writes:
-        ``"arithmetic"`` (the legacy default), ``"rans"``, or
-        ``"vrans"`` (the vectorized fast path) — see
+        ``"arithmetic"`` (the legacy default), ``"rans"``, ``"vrans"``
+        (the vectorized fast path), or ``"trans"`` (table-cached LUT
+        rANS — fastest decode, reuses tables across windows) — see
         :mod:`repro.entropy.backend`.  ``None`` keeps the process
         default.  Decoding never needs it: streams carry a backend
         tag, and untagged legacy streams decode via arithmetic.

@@ -498,8 +498,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list_entropy_backends(),
                    help="entropy coder for every written stream "
                         "(default: arithmetic, the legacy format; "
-                        "vrans is the vectorized fast path; decoding "
-                        "always auto-detects from the stream)")
+                        "vrans is the vectorized fast path, trans the "
+                        "table-cached LUT coder with the fastest "
+                        "decode; decoding always auto-detects from "
+                        "the stream)")
     c.add_argument("--seed", type=int, default=0)
     c.set_defaults(fn=_cmd_compress)
 

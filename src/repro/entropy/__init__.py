@@ -14,10 +14,17 @@ Implements the pieces the paper's rate model relies on (Sec. 3.1):
   (:mod:`repro.entropy.rans`);
 * a lane-vectorized interleaved rANS backend — the fast path
   (:mod:`repro.entropy.vrans`);
+* a table-cached LUT rANS backend — fast path round 2, with O(1)
+  symbol decode and a process-wide :class:`TableCache` that reuses
+  rescale/LUT work across windows (:mod:`repro.entropy.tablecoder`);
 * the pluggable backend registry tying them together
   (:mod:`repro.entropy.backend`): ``get_backend("arithmetic" | "rans"
-  | "vrans")``, one-byte wire tags for container headers, and a
-  process-wide default that ``Session(entropy_backend=...)`` scopes.
+  | "vrans" | "trans")``, one-byte wire tags for container headers,
+  and a process-wide default that ``Session(entropy_backend=...)``
+  scopes.
+
+Strict decoders raise :class:`EntropyDecodeError` (a ``ValueError``)
+on corrupted streams instead of returning garbage.
 """
 
 from .backend import (DEFAULT_BACKEND, LEGACY_TAG, EntropyBackend,
@@ -25,13 +32,16 @@ from .backend import (DEFAULT_BACKEND, LEGACY_TAG, EntropyBackend,
                       get_default_backend, list_backends,
                       register_backend, set_default_backend,
                       using_backend)
-from .coder import check_contexts, decode_symbols, encode_symbols
+from .coder import (EntropyDecodeError, check_contexts, decode_symbols,
+                    encode_symbols)
 from .factorized import FactorizedDensity
 from .gaussian import (SCALE_MIN, GaussianConditional, gaussian_likelihood,
                        build_scale_table)
 from .rangecoder import ArithmeticDecoder, ArithmeticEncoder
 from .rans import (RansDecoder, RansEncoder, decode_symbols_rans,
                    encode_symbols_rans)
+from .tablecoder import (TableCache, decode_symbols_trans,
+                         encode_symbols_trans, get_table_cache)
 from .vrans import decode_symbols_vrans, encode_symbols_vrans
 from .bitio import BitReader, BitWriter
 
@@ -41,6 +51,8 @@ __all__ = [
     "build_scale_table", "SCALE_MIN", "encode_symbols", "decode_symbols",
     "check_contexts", "RansEncoder", "RansDecoder", "encode_symbols_rans",
     "decode_symbols_rans", "encode_symbols_vrans", "decode_symbols_vrans",
+    "encode_symbols_trans", "decode_symbols_trans", "TableCache",
+    "get_table_cache", "EntropyDecodeError",
     "EntropyBackend", "get_backend", "backend_from_tag", "list_backends",
     "register_backend", "get_default_backend", "set_default_backend",
     "using_backend", "DEFAULT_BACKEND", "LEGACY_TAG",

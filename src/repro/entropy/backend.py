@@ -17,9 +17,15 @@ the coder behind that contract a named, tagged strategy:
     end-of-stream verification.
 ``vrans``
     N-lane interleaved rANS with numpy lane-vectorized state updates
-    (:mod:`repro.entropy.vrans`) — the fast path; the per-symbol
+    (:mod:`repro.entropy.vrans`) — the first fast path; the per-symbol
     Python loop of the other two is the dominant cost of every
     compress/decompress in the repo.
+``trans``
+    Table-cached LUT rANS (:mod:`repro.entropy.tablecoder`) — fast
+    path round 2: per-context slot→symbol lookup tables give O(1)
+    symbol decode (no searchsorted, no mixed-total slow path), and a
+    process-wide :class:`~repro.entropy.tablecoder.TableCache` reuses
+    the rescale/LUT build across the many windows of a stream.
 
 Each backend owns a one-byte wire ``tag`` (> 0) that containers store
 in their stream headers so decoders self-select; tag ``0`` is reserved
@@ -47,6 +53,7 @@ import numpy as np
 
 from . import coder as _coder
 from . import rans as _rans
+from . import tablecoder as _tablecoder
 from . import vrans as _vrans
 
 __all__ = ["EntropyBackend", "register_backend", "get_backend",
@@ -125,6 +132,22 @@ class VransBackend(EntropyBackend):
         return _vrans.decode_symbols_vrans(data, cumulative, contexts)
 
 
+class TransBackend(EntropyBackend):
+    """Table-cached LUT rANS — O(1) symbol decode, cross-window
+    table reuse."""
+
+    name = "trans"
+    tag = 4
+
+    def encode(self, symbols, cumulative, contexts):
+        return _tablecoder.encode_symbols_trans(symbols, cumulative,
+                                                contexts)
+
+    def decode(self, data, cumulative, contexts):
+        return _tablecoder.decode_symbols_trans(data, cumulative,
+                                                contexts)
+
+
 _BACKENDS: Dict[str, EntropyBackend] = {}
 _BY_TAG: Dict[int, EntropyBackend] = {}
 
@@ -187,6 +210,7 @@ def backend_from_tag(tag: int) -> EntropyBackend:
 register_backend(ArithmeticBackend())
 register_backend(RansBackend())
 register_backend(VransBackend())
+register_backend(TransBackend())
 
 #: Process-wide default state.  Deliberately process-global (not
 #: thread-local): the engine's and multivar's thread pools must see

@@ -21,7 +21,19 @@ import numpy as np
 from .rangecoder import MAX_TOTAL, ArithmeticDecoder, ArithmeticEncoder
 
 __all__ = ["encode_symbols", "decode_symbols", "pmf_to_cumulative",
-           "check_contexts"]
+           "check_contexts", "EntropyDecodeError"]
+
+
+class EntropyDecodeError(ValueError):
+    """A compressed symbol stream failed validation during decode.
+
+    Raised by the strict decoders (``vrans``, ``trans``) on truncated
+    streams, trailing words, states that fail to return to the initial
+    rANS value, or slots that fall outside their table's valid range —
+    anywhere the alternative would be silently decoding garbage.
+    Subclasses :class:`ValueError` so callers that catch the historical
+    error type keep working.
+    """
 
 
 def check_contexts(contexts: np.ndarray, n_contexts: int) -> None:

@@ -19,6 +19,7 @@ from ..nn import Module, Parameter, Tensor, no_grad
 from ..nn import functional as F
 from .backend import DEFAULT_BACKEND, get_backend
 from .coder import pmf_to_cumulative
+from .tablecoder import TableCache, get_table_cache
 
 __all__ = ["FactorizedDensity"]
 
@@ -112,7 +113,23 @@ class FactorizedDensity(Module):
     # Actual entropy coding of rounded hyper-latents
     # ------------------------------------------------------------------
     def _integer_cdf_tables(self, zmin: int, zmax: int) -> np.ndarray:
-        """Quantized cumulative tables over ``[zmin, zmax]`` per channel."""
+        """Quantized cumulative tables over ``[zmin, zmax]`` per channel.
+
+        Memoized in the process
+        :class:`~repro.entropy.tablecoder.TableCache` keyed on a digest
+        of the model parameters plus the support bounds: the CDF
+        network forward pass and quantization repeat identically for
+        every window of a sweep, so they run once per distinct
+        ``(weights, zmin, zmax)`` instead of per compress/decompress.
+        """
+        key = ("factorized-cdf",
+               TableCache.digest(*(p.numpy()
+                                   for _, p in self.named_parameters())),
+               int(zmin), int(zmax))
+        return get_table_cache().get(
+            key, lambda: self._build_integer_cdf_tables(zmin, zmax))
+
+    def _build_integer_cdf_tables(self, zmin: int, zmax: int) -> np.ndarray:
         support = np.arange(zmin, zmax + 1, dtype=np.float64)
         M = support.size
         with no_grad():
@@ -127,7 +144,9 @@ class FactorizedDensity(Module):
         hi_tail = 1.0 - upper[:, 0, -1]
         pmf[:, 0] += np.maximum(lo_tail, 0.0)
         pmf[:, -1] += np.maximum(hi_tail, 0.0)
-        return pmf_to_cumulative(pmf)
+        tables = pmf_to_cumulative(pmf)
+        tables.setflags(write=False)  # cached: shared across callers
+        return tables
 
     def compress(self, z_int: np.ndarray,
                  backend=None) -> Tuple[bytes, Dict[str, int]]:

@@ -26,6 +26,7 @@ from ..nn import Tensor, as_tensor
 from ..nn import functional as F
 from .backend import DEFAULT_BACKEND, get_backend
 from .coder import pmf_to_cumulative
+from .tablecoder import TableCache, get_table_cache
 
 __all__ = ["SCALE_MIN", "build_scale_table", "gaussian_likelihood",
            "GaussianConditional"]
@@ -84,7 +85,20 @@ class GaussianConditional:
             0, len(self.scale_table) - 1)
 
     def _offset_tables(self, L: int) -> np.ndarray:
-        """Cumulative tables for offsets ``[-L, L]`` per scale bin."""
+        """Cumulative tables for offsets ``[-L, L]`` per scale bin.
+
+        Memoized in the process
+        :class:`~repro.entropy.tablecoder.TableCache`: the table
+        depends only on ``(scale_table, L)``, which repeats identically
+        across the windows and shards of a sweep, so the erf grid and
+        quantization run once per distinct key instead of per call.
+        """
+        key = ("gauss-offsets", TableCache.digest(self.scale_table),
+               int(L))
+        return get_table_cache().get(
+            key, lambda: self._build_offset_tables(L))
+
+    def _build_offset_tables(self, L: int) -> np.ndarray:
         ks = np.arange(-L, L + 1, dtype=np.float64)
         sig = self.scale_table[:, None]
         pmf = (_std_normal_cdf((ks + 0.5) / sig)
@@ -94,7 +108,9 @@ class GaussianConditional:
         pmf[:, 0] += np.maximum(_std_normal_cdf((-L - 0.5) / sig[:, 0]), 0.0)
         pmf[:, -1] += np.maximum(1.0 - _std_normal_cdf((L + 0.5) / sig[:, 0]),
                                  0.0)
-        return pmf_to_cumulative(pmf)
+        tables = pmf_to_cumulative(pmf)
+        tables.setflags(write=False)  # cached: shared across callers
+        return tables
 
     def compress(self, y_int: np.ndarray, mu: np.ndarray,
                  sigma: np.ndarray,

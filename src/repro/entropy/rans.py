@@ -163,12 +163,54 @@ class RansDecoder:
                 "initial state")
 
 
+def _build_pow2_rescaled(cumulative: np.ndarray) -> np.ndarray:
+    """Row-wise power-of-two rescale of a cumulative table.
+
+    Applies the exact per-boundary map :func:`_rescale` uses inside
+    :meth:`RansEncoder.push` / :meth:`RansDecoder.advance` — so driving
+    the coder with these rows makes the per-symbol rescale an identity
+    and the streams stay byte-for-byte what the unscaled rows produce.
+    Tables that are already power-of-two per row (everything
+    :func:`repro.entropy.coder.pmf_to_cumulative` builds) pass through
+    untouched.
+    """
+    cum = np.ascontiguousarray(np.asarray(cumulative, dtype=np.int64))
+    totals = cum[:, -1]
+    if int(totals.max(initial=0)) > MAX_TOTAL:
+        raise ValueError(f"total {int(totals.max())} exceeds MAX_TOTAL "
+                         f"{MAX_TOTAL}")
+    safe = np.maximum(totals, 1)  # all-zero rows stay unusable, not fatal
+    v = (safe - 1).astype(np.uint64)
+    for shift in (1, 2, 4, 8, 16):  # bit-smear: exact where log2 is not
+        v = v | (v >> np.uint64(shift))
+    scaled_tot = (v + np.uint64(1)).astype(np.int64)
+    if np.array_equal(scaled_tot, totals):
+        out = cum.copy()  # never cache an alias of the caller's array
+    else:
+        out = cum * scaled_tot[:, None] // safe[:, None]
+    out.setflags(write=False)
+    return out
+
+
+def _pow2_rescaled_table(cumulative: np.ndarray) -> np.ndarray:
+    """Memoized :func:`_build_pow2_rescaled` (process
+    :class:`~repro.entropy.tablecoder.TableCache`): identical tables —
+    one per window of a sweep — rescale once, not per call."""
+    # local import: tablecoder imports RANS_L from this module
+    from .tablecoder import TableCache, get_table_cache
+    cum = np.asarray(cumulative)
+    key = ("rans-pow2", TableCache.digest(cum))
+    return get_table_cache().get(key, lambda: _build_pow2_rescaled(cum))
+
+
 def encode_symbols_rans(symbols: np.ndarray, cumulative: np.ndarray,
                         contexts: np.ndarray) -> bytes:
     """rANS-encode ``symbols[i]`` under ``cumulative[contexts[i]]``.
 
     Drop-in equivalent of :func:`repro.entropy.coder.encode_symbols`
-    with the rANS backend.
+    with the rANS backend.  The power-of-two b-uniqueness rescale is
+    memoized per distinct table (byte-identical streams, see
+    :func:`_build_pow2_rescaled`).
     """
     symbols = np.asarray(symbols, dtype=np.int64).ravel()
     contexts = np.asarray(contexts, dtype=np.int64).ravel()
@@ -180,9 +222,10 @@ def encode_symbols_rans(symbols: np.ndarray, cumulative: np.ndarray,
         raise ValueError(
             f"symbol out of range [0, {alphabet}): "
             f"[{symbols.min()}, {symbols.max()}]")
-    lo = cumulative[contexts, symbols]
-    hi = cumulative[contexts, symbols + 1]
-    tot = cumulative[contexts, -1]
+    scaled = _pow2_rescaled_table(cumulative)
+    lo = scaled[contexts, symbols]
+    hi = scaled[contexts, symbols + 1]
+    tot = scaled[contexts, -1]
     enc = RansEncoder()
     push = enc.push
     # LIFO: push in reverse so decode pops forward
@@ -203,9 +246,13 @@ def decode_symbols_rans(data: bytes, cumulative: np.ndarray,
     check_contexts(contexts, cumulative.shape[0])
     dec = RansDecoder(data)
     out = np.empty(contexts.size, dtype=np.int64)
-    totals = cumulative[:, -1]
+    # decode in the (memoized) power-of-two domain: peek/advance see
+    # rescale-identity rows, and the searchsorted symbol choice is
+    # unchanged because the boundary map preserves the partition
+    scaled = _pow2_rescaled_table(cumulative)
+    totals = scaled[:, -1]
     for i, c in enumerate(contexts.tolist()):
-        row = cumulative[c]
+        row = scaled[c]
         total = int(totals[c])
         slot = dec.peek(total)
         s = int(np.searchsorted(row, slot, side="right")) - 1

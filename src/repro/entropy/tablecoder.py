@@ -1,0 +1,423 @@
+"""Table-cached LUT rANS coder (``trans``) and the process table cache.
+
+Entropy fast path, round 2.  The ``vrans`` backend removed the
+per-symbol Python loop, but its decoder still resolves every lane's
+symbol with a ``searchsorted`` over the cumulative rows, and *both*
+endpoints rebuild the b-uniqueness rescale from scratch on every call
+— for every window of every shard, even though the quantized-parameter
+tables of the factorized and Gaussian models repeat identically across
+windows.  This module removes both costs:
+
+**Slot→symbol LUT (tANS-style O(1) decode).**  Every context row is
+rescaled once to one *shared* power-of-two total ``2^precision``
+(``precision = ceil(log2(max row total))``; the partition-preserving
+map ``c -> c * 2^p // total`` of :mod:`repro.entropy.rans`).  With a
+shared power-of-two total, the decode slot is a bit-mask of the state,
+and three precomputed lookup tables — ``slot -> symbol``,
+``slot -> freq``, ``slot -> slot - cum_lo`` — turn the whole symbol
+resolution *and* the state update into one fancy-index gather each:
+
+    slot = x & mask
+    sym  = sym_lut[ctx, slot]                  # O(1), no search
+    x    = freq_lut[ctx, slot] * (x >> p) + bias_lut[ctx, slot]
+
+This also erases the mixed-per-row-total slow path ``vrans`` falls back
+to: after the shared rescale every row has the same total by
+construction.  The LUTs are built vectorized (``np.repeat`` over the
+rescaled frequencies) and cover all ``2^p`` slots of every row exactly
+— a malformed table that cannot cover its slots is rejected at build
+time, so a masked slot can never index out of range.
+
+**Cross-window table reuse (:class:`TableCache`).**  Rescale, LUT
+build and the encode-side rescaled cumulative table are computed once
+per *distinct* table and memoized in a process-wide LRU keyed on a
+cheap digest of the cumulative table bytes (plus the derivation kind),
+so the thousands of windows of a sweep that share one quantized table
+pay the build exactly once.  The cache holds only *derived* state: the
+wire format is decodable by table reconstruction alone, and a cold
+cache reproduces byte-identical streams (asserted in the tests).
+
+Wire layout mirrors ``vrans`` (``u8 lane count | lanes x u64 final
+states (LE) | u32 words (LE)``) under its own backend tag; the lane
+policy caps at :data:`MAX_LANES` = 255 lanes (vs 64 for ``vrans``)
+because the leaner per-step kernel amortizes across wider steps.
+Decoding is strict: truncated or leftover words and lanes that do not
+return to ``RANS_L`` raise :class:`~repro.entropy.coder.EntropyDecodeError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from .coder import EntropyDecodeError, check_contexts
+from .rangecoder import MAX_TOTAL
+from .rans import RANS_L
+
+__all__ = ["TableCache", "get_table_cache", "TransTables",
+           "build_trans_tables", "encode_symbols_trans",
+           "decode_symbols_trans", "lane_count", "MAX_LANES"]
+
+#: Largest storable lane count (the header field is one byte).
+MAX_LANES = 255
+
+_STATE_L = np.uint64(RANS_L)
+_WORD_BITS = np.uint64(32)
+_WORD_MASK = np.uint64(0xFFFFFFFF)
+#: Numerator of the renormalization threshold: ``b * RANS_L = 2^63``.
+_X_MAX_NUM = np.uint64((1 << 32) * RANS_L)
+
+
+def lane_count(n: int) -> int:
+    """Deterministic lane width for an ``n``-symbol stream.
+
+    Same scaling rule as ``vrans`` (the ``lanes * 8``-byte state header
+    stays a bounded fraction of small payloads) but with the cap raised
+    to the full one-byte range: the LUT kernel does so little work per
+    step that wider steps keep buying wall clock where ``vrans``'s
+    searchsorted kernel had already flattened out.
+    """
+    return max(1, min(MAX_LANES, n // 128))
+
+
+# ----------------------------------------------------------------------
+# Process-wide cache of derived coding tables
+# ----------------------------------------------------------------------
+class _Entry(NamedTuple):
+    value: Any
+    nbytes: int
+
+
+def _value_nbytes(value: Any) -> int:
+    """Total ndarray bytes held by a cached value (arrays, tuples of
+    arrays, or NamedTuples thereof)."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, tuple):
+        return sum(_value_nbytes(v) for v in value)
+    return 0
+
+
+class TableCache:
+    """LRU cache of coding tables derived from cumulative-frequency
+    tables.
+
+    Keys are caller-built tuples whose array parts go through
+    :meth:`digest` (a cheap BLAKE2 digest of dtype/shape/bytes), so two
+    windows carrying byte-identical tables share one entry regardless
+    of object identity.  Values are immutable derived artifacts — the
+    ``trans`` LUT bundle, ``rans``'s power-of-two rescaled rows, the
+    quantized model tables of :mod:`repro.entropy.factorized` and
+    :mod:`repro.entropy.gaussian` — never anything the wire format
+    depends on: a cold cache rebuilds bit-identical state.
+
+    Bounded by entry count *and* total ndarray bytes (LUT bundles for
+    16-bit-precision tables run tens of MiB); eviction is
+    least-recently-used.  Thread-safe: the engine's window pools hit
+    one shared table concurrently, and the first job's build blocks the
+    rest instead of duplicating it.
+    """
+
+    def __init__(self, max_entries: int = 32,
+                 max_bytes: int = 768 << 20):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+        self._bytes = 0
+
+    @staticmethod
+    def digest(*parts) -> bytes:
+        """Cheap content digest of arrays / scalars for cache keys."""
+        h = hashlib.blake2b(digest_size=16)
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                arr = np.ascontiguousarray(part)
+                h.update(repr((arr.dtype.str, arr.shape)).encode())
+                h.update(arr.view(np.uint8).reshape(-1).data)
+            else:
+                h.update(repr(part).encode())
+        return h.digest()
+
+    def get(self, key: Tuple, build: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building (and caching)
+        it on a miss.  Builds run under the cache lock so concurrent
+        windows sharing one table wait for a single build instead of
+        duplicating it."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry.value
+            self.misses += 1
+            value = build()
+            nbytes = _value_nbytes(value)
+            self._entries[key] = _Entry(value, nbytes)
+            self._bytes += nbytes
+            while self._entries and (len(self._entries) > self.max_entries
+                                     or self._bytes > self.max_bytes):
+                if len(self._entries) == 1:
+                    break  # never evict the entry being returned
+                _, old = self._entries.popitem(last=False)
+                self._bytes -= old.nbytes
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters survive for tests)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries), "bytes": self._bytes}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: the process-wide cache every endpoint defaults to
+_PROCESS_CACHE = TableCache()
+
+
+def get_table_cache() -> TableCache:
+    """The process-wide :class:`TableCache` (shared across windows,
+    shards and engine worker threads)."""
+    return _PROCESS_CACHE
+
+
+# ----------------------------------------------------------------------
+# trans coding tables
+# ----------------------------------------------------------------------
+class TransTables(NamedTuple):
+    """Derived coding state for one cumulative table.
+
+    ``scaled`` is the ``(n_contexts, alphabet + 1)`` cumulative table
+    rescaled so every row totals ``1 << precision``; the three flat
+    LUTs are indexed by ``(context << precision) | slot``.
+    """
+
+    precision: int
+    scaled: np.ndarray    # (n_ctx, width) uint64 rescaled cumulative
+    sym: np.ndarray       # flat (n_ctx << p,) u16/u32 slot -> symbol
+    freq: np.ndarray      # flat (n_ctx << p,) u32 slot -> frequency
+    bias: np.ndarray      # flat (n_ctx << p,) u32 slot -> slot - cum_lo
+
+
+def build_trans_tables(cumulative: np.ndarray) -> TransTables:
+    """Rescale a cumulative table to a shared power-of-two total and
+    build the slot LUTs (vectorized ``np.repeat`` over the rescaled
+    frequencies).
+
+    Rows must start at zero and be monotone; every row with positive
+    total covers all ``2^precision`` slots exactly after the rescale,
+    which is what makes the masked decode slot structurally in-range.
+    Degenerate all-zero rows (a total of zero) are tolerated — they
+    are unusable, so their slots carry zero frequencies and any stream
+    that claims them collapses into the strict decode checks instead
+    of decoding garbage.
+    """
+    cum = np.ascontiguousarray(np.asarray(cumulative, dtype=np.int64))
+    if cum.ndim != 2 or cum.shape[1] < 2:
+        raise ValueError(f"cumulative table must be (n_contexts, "
+                         f"alphabet + 1), got shape {cum.shape}")
+    n_ctx, width = cum.shape
+    alphabet = width - 1
+    totals = cum[:, -1]
+    if int(totals.max(initial=0)) > MAX_TOTAL:
+        raise ValueError(f"total {int(totals.max())} exceeds MAX_TOTAL "
+                         f"{MAX_TOTAL}")
+    if np.any(cum[:, 0] != 0):
+        raise ValueError("cumulative rows must start at 0")
+    if np.any(np.diff(cum, axis=1) < 0):
+        raise ValueError("cumulative rows must be monotone")
+    # smallest p with 2^p >= every row total (0 for the trivial
+    # all-ones table: a one-slot LUT per row)
+    precision = (max(1, int(totals.max(initial=1))) - 1).bit_length()
+    size = 1 << precision
+    degenerate = totals <= 0
+    safe_totals = np.where(degenerate, 1, totals)
+    scaled = cum * size // safe_totals[:, None]
+    freqs = np.diff(scaled, axis=1)
+    # repeat lengths must sum to ``size`` per row; give degenerate rows
+    # a placeholder full-range run (zeroed below, so decode stays strict)
+    if degenerate.any():
+        freqs = freqs.copy()
+        freqs[degenerate] = 0
+        freqs[degenerate, 0] = size
+    sym_dtype = np.uint16 if alphabet <= 0xFFFF else np.uint32
+    reps = freqs.ravel()
+    sym = np.repeat(np.tile(np.arange(alphabet, dtype=sym_dtype), n_ctx),
+                    reps)
+    freq = np.repeat(freqs.ravel().astype(np.uint32), reps)
+    lo = np.repeat(scaled[:, :-1].ravel().astype(np.uint32), reps)
+    bias = np.tile(np.arange(size, dtype=np.uint32), n_ctx) - lo
+    if degenerate.any():
+        flat = np.repeat(degenerate, size)
+        freq[flat] = 0
+        bias[flat] = 0
+    for arr in (sym, freq, bias):
+        arr.setflags(write=False)
+    scaled = scaled.astype(np.uint64)
+    scaled.setflags(write=False)
+    return TransTables(precision=precision, scaled=scaled, sym=sym,
+                       freq=freq, bias=bias)
+
+
+def _tables_for(cumulative: np.ndarray,
+                cache: Optional[TableCache]) -> TransTables:
+    cache = cache if cache is not None else _PROCESS_CACHE
+    key = ("trans", TableCache.digest(np.asarray(cumulative)))
+    return cache.get(key, lambda: build_trans_tables(cumulative))
+
+
+# ----------------------------------------------------------------------
+# coding
+# ----------------------------------------------------------------------
+def encode_symbols_trans(symbols: np.ndarray, cumulative: np.ndarray,
+                         contexts: np.ndarray,
+                         lanes: Optional[int] = None,
+                         cache: Optional[TableCache] = None) -> bytes:
+    """Interleaved-rANS encode under the cached shared-precision tables.
+
+    Drop-in equivalent of :func:`repro.entropy.coder.encode_symbols`;
+    ``lanes`` overrides the automatic width (the decoder reads it from
+    the stream header), ``cache`` overrides the process
+    :class:`TableCache`.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    contexts = np.asarray(contexts, dtype=np.int64).ravel()
+    if symbols.shape != contexts.shape:
+        raise ValueError("symbols and contexts must have equal length")
+    check_contexts(contexts, np.asarray(cumulative).shape[0])
+    alphabet = np.asarray(cumulative).shape[1] - 1
+    if symbols.size and (symbols.min() < 0 or symbols.max() >= alphabet):
+        raise ValueError(
+            f"symbol out of range [0, {alphabet}): "
+            f"[{symbols.min()}, {symbols.max()}]")
+    n = symbols.size
+    L = lane_count(n) if lanes is None else int(lanes)
+    if not 1 <= L <= MAX_LANES:
+        raise ValueError(f"lane count must be in [1, {MAX_LANES}], "
+                         f"got {L}")
+    states = np.full(L, _STATE_L, dtype=np.uint64)
+    if n == 0:
+        return struct.pack("<B", L) + states.astype("<u8").tobytes()
+
+    t = _tables_for(cumulative, cache)
+    p = np.uint64(t.precision)
+    lo = t.scaled[contexts, symbols]
+    hi = t.scaled[contexts, symbols + 1]
+    if np.any(hi <= lo):
+        raise ValueError("zero-frequency symbol is not encodable")
+    freq = hi - lo
+    # per-symbol renorm thresholds, hoisted out of the step loop
+    # (uniform total: x_max = (2^63 >> p) * freq)
+    x_max = (_X_MAX_NUM >> p) * freq
+
+    emitted = []  # chronological chunks of renormalization words
+    n_steps = -(-n // L)
+    # LIFO: walk steps in reverse; the partial step (if any) comes
+    # first and touches only the leading ``n - (n_steps-1)*L`` lanes.
+    for step in range(n_steps - 1, -1, -1):
+        a = step * L
+        k = min(L, n - a)
+        f = freq[a:a + k]
+        x = states[:k]
+        m = x >= x_max[a:a + k]
+        if m.any():
+            # ascending lane order within the step (np.nonzero order);
+            # the whole sequence is reversed below, so the decoder
+            # consumes descending-lane words while walking forward
+            emitted.append((x[m] & _WORD_MASK).astype("<u4"))
+            x = np.where(m, x >> _WORD_BITS, x)
+        q, r = np.divmod(x, f)
+        states[:k] = (q << p) + lo[a:a + k] + r
+
+    if emitted:
+        words = np.ascontiguousarray(np.concatenate(emitted)[::-1])
+    else:
+        words = np.zeros(0, dtype="<u4")
+    return (struct.pack("<B", L) + states.astype("<u8").tobytes()
+            + words.tobytes())
+
+
+def decode_symbols_trans(data: bytes, cumulative: np.ndarray,
+                         contexts: np.ndarray,
+                         cache: Optional[TableCache] = None) -> np.ndarray:
+    """Inverse of :func:`encode_symbols_trans` (same contexts required).
+
+    Every lane's symbol resolves with one LUT gather — no searchsorted,
+    no per-row-total slow path.  Strict: truncated streams, leftover
+    words, and lanes that fail to return to the initial rANS state all
+    raise :class:`~repro.entropy.coder.EntropyDecodeError`; masked
+    slots are structurally in-range because the LUT build proves full
+    slot coverage per row.
+    """
+    contexts = np.asarray(contexts, dtype=np.int64).ravel()
+    check_contexts(contexts, np.asarray(cumulative).shape[0])
+    data = bytes(data)
+    if len(data) < 1:
+        raise EntropyDecodeError("corrupted trans stream: empty")
+    L = data[0]
+    if L < 1:
+        raise EntropyDecodeError("corrupted trans stream: bad lane count")
+    body = len(data) - 1 - 8 * L
+    if body < 0 or body % 4:
+        raise EntropyDecodeError("corrupted trans stream: truncated")
+    states = np.frombuffer(data, dtype="<u8", count=L,
+                           offset=1).astype(np.uint64)
+    words = np.frombuffer(data, dtype="<u4",
+                          offset=1 + 8 * L).astype(np.uint64)
+
+    n = contexts.size
+    out = np.empty(n, dtype=np.int64)
+    if n:
+        t = _tables_for(cumulative, cache)
+        p = np.uint64(t.precision)
+        mask = np.uint64((1 << t.precision) - 1)
+        sym_lut, freq_lut, bias_lut = t.sym, t.freq, t.bias
+        # flat LUT base index per symbol, hoisted out of the step loop
+        j_base = contexts.astype(np.uint64) << p
+        wpos = 0
+        n_steps = -(-n // L)
+        for step in range(n_steps):
+            a = step * L
+            k = min(L, n - a)
+            x = states[:k]
+            j = j_base[a:a + k] + (x & mask)
+            out[a:a + k] = sym_lut[j]
+            x = freq_lut[j] * (x >> p) + bias_lut[j]
+            m = x < _STATE_L
+            cnt = int(m.sum())
+            if cnt:
+                if wpos + cnt > words.size:
+                    raise EntropyDecodeError(
+                        "corrupted trans stream: out of words")
+                lanes_idx = np.nonzero(m)[0][::-1]  # descending lanes
+                x[lanes_idx] = ((x[lanes_idx] << _WORD_BITS)
+                                | words[wpos:wpos + cnt])
+                wpos += cnt
+            states[:k] = x
+    else:
+        wpos = 0
+
+    if wpos != words.size:
+        raise EntropyDecodeError(f"corrupted trans stream: "
+                                 f"{words.size - wpos} unconsumed words")
+    if not np.all(states == _STATE_L):
+        raise EntropyDecodeError(
+            "corrupted trans stream: decoder did not return to the "
+            "initial state")
+    return out

@@ -28,8 +28,10 @@ words left to right.
 
 Stream layout: ``u8 lane count | lanes x u64 final states (LE) |
 u32 words (LE)``.  Decoding is strict: leftover words, missing words,
-or lanes that do not return to the initial state all raise
-``ValueError`` instead of decoding garbage.
+lanes that do not return to the initial state, or slots that fall
+outside their cumulative row all raise
+:class:`~repro.entropy.coder.EntropyDecodeError` (a ``ValueError``)
+instead of decoding garbage.
 
 The symbol lookup on the decode side is vectorized too: when every
 context row shares one frequency total (true for every table
@@ -46,7 +48,7 @@ from typing import Optional
 
 import numpy as np
 
-from .coder import check_contexts
+from .coder import EntropyDecodeError, check_contexts
 from .rangecoder import MAX_TOTAL
 from .rans import RANS_L
 
@@ -168,20 +170,21 @@ def decode_symbols_vrans(data: bytes, cumulative: np.ndarray,
                          contexts: np.ndarray) -> np.ndarray:
     """Inverse of :func:`encode_symbols_vrans` (same contexts required).
 
-    Strict: raises ``ValueError`` on truncated streams, trailing
-    words, or lanes that fail to return to the initial rANS state.
+    Strict: raises :class:`~repro.entropy.coder.EntropyDecodeError` on
+    truncated streams, trailing words, out-of-range decoded slots, or
+    lanes that fail to return to the initial rANS state.
     """
     contexts = np.asarray(contexts, dtype=np.int64).ravel()
     check_contexts(contexts, cumulative.shape[0])
     data = bytes(data)
     if len(data) < 1:
-        raise ValueError("corrupted vrans stream: empty")
+        raise EntropyDecodeError("corrupted vrans stream: empty")
     L = data[0]
     if L < 1:
-        raise ValueError("corrupted vrans stream: bad lane count")
+        raise EntropyDecodeError("corrupted vrans stream: bad lane count")
     body = len(data) - 1 - 8 * L
     if body < 0 or body % 4:
-        raise ValueError("corrupted vrans stream: truncated")
+        raise EntropyDecodeError("corrupted vrans stream: truncated")
     states = np.frombuffer(data, dtype="<u8", count=L,
                            offset=1).astype(np.uint64)
     words = np.frombuffer(data, dtype="<u4",
@@ -230,6 +233,15 @@ def decode_symbols_vrans(data: bytes, cumulative: np.ndarray,
         else:
             rows = cumulative[ctx]
             s = (rows <= slot_sym[:, None]).sum(axis=1) - 1
+            # A corrupted stream (or a table violating the row
+            # contract) can place the slot below ``row[0]`` or past the
+            # last boundary, yielding s == -1 or s == alphabet; fancy-
+            # indexing ``cumulative[ctx, s + 1]`` with those would wrap
+            # (or step out of the row) and decode garbage.
+            if s.size and (int(s.min()) < 0 or int(s.max()) >= width - 1):
+                raise EntropyDecodeError(
+                    "corrupted vrans stream: decoded slot outside the "
+                    "cumulative table range")
         out[a:a + k] = s
         lo = cumulative[ctx, s].astype(np.uint64)
         hi = cumulative[ctx, s + 1].astype(np.uint64)
@@ -241,7 +253,8 @@ def decode_symbols_vrans(data: bytes, cumulative: np.ndarray,
         cnt = int(m.sum())
         if cnt:
             if wpos + cnt > words.size:
-                raise ValueError("corrupted vrans stream: out of words")
+                raise EntropyDecodeError(
+                    "corrupted vrans stream: out of words")
             lanes_idx = np.nonzero(m)[0][::-1]  # descending lane order
             x[lanes_idx] = ((x[lanes_idx] << _WORD_BITS)
                             | words[wpos:wpos + cnt])
@@ -249,10 +262,10 @@ def decode_symbols_vrans(data: bytes, cumulative: np.ndarray,
         states[:k] = x
 
     if wpos != words.size:
-        raise ValueError(f"corrupted vrans stream: "
-                         f"{words.size - wpos} unconsumed words")
+        raise EntropyDecodeError(f"corrupted vrans stream: "
+                                 f"{words.size - wpos} unconsumed words")
     if not np.all(states == _STATE_L):
-        raise ValueError(
+        raise EntropyDecodeError(
             "corrupted vrans stream: decoder did not return to the "
             "initial state")
     return out

@@ -1,8 +1,9 @@
 """Entropy-backend selection end to end.
 
 The acceptance criteria of the entropy-layer hardening: a session (or
-the CLI) can pick ``arithmetic`` / ``rans`` / ``vrans`` for every
-stream it writes, archives carry the backend tag so a *fresh* session
+the CLI) can pick ``arithmetic`` / ``rans`` / ``vrans`` / ``trans``
+for every stream it writes, archives carry the backend tag so a
+*fresh* session
 decodes them with no hints, legacy (untagged / version-2) containers
 keep decoding bit-identically, and executor backends stay
 byte-interchangeable under a non-default coder.
@@ -29,7 +30,8 @@ def frames():
 
 
 class TestSessionSelection:
-    @pytest.mark.parametrize("backend", ["arithmetic", "rans", "vrans"])
+    @pytest.mark.parametrize("backend", ["arithmetic", "rans", "vrans",
+                                         "trans"])
     def test_array_roundtrip_with_fresh_session(self, frames, backend):
         with Session(codec="szlike", entropy_backend=backend) as s:
             archive = s.compress(frames, bound=BOUND)
@@ -137,10 +139,15 @@ class TestContainerTags:
         assert (len(self._blob("rans").to_bytes())
                 == len(self._blob("arithmetic").to_bytes()) + 1)
 
+    def test_trans_blob_roundtrips_tag(self):
+        back = CompressedBlob.from_bytes(self._blob("trans").to_bytes())
+        assert back.entropy_backend == "trans"
+        assert back.y_header == {"L": 3, "backend": "trans"}
+
     def test_encode_ints_tags_non_default_backends(self):
         values = np.repeat(np.arange(-40, 41), 40)
         legacy = encode_ints(values)
-        for backend in ("rans", "vrans"):
+        for backend in ("rans", "vrans", "trans"):
             tagged = encode_ints(values, backend=backend)
             out, end = decode_ints(tagged)
             np.testing.assert_array_equal(out, values)

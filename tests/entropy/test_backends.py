@@ -20,9 +20,11 @@ from repro.entropy import (DEFAULT_BACKEND, BitWriter, EntropyBackend,
                            register_backend, set_default_backend,
                            using_backend)
 from repro.entropy.coder import pmf_to_cumulative
+from repro.entropy.tablecoder import (encode_symbols_trans,
+                                      get_table_cache)
 from repro.entropy.vrans import encode_symbols_vrans
 
-ALL_BACKENDS = ("arithmetic", "rans", "vrans")
+ALL_BACKENDS = ("arithmetic", "rans", "trans", "vrans")
 
 
 def _random_stream(seed, n, n_ctx, alphabet, total=None):
@@ -192,8 +194,8 @@ class TestLegacyBitIdentity:
 
 class TestCrossBackendProperty:
     """Random tables — including non-power-of-two totals and
-    single-symbol alphabets — must round-trip identically under all
-    three backends."""
+    single-symbol alphabets — must round-trip identically under every
+    registered backend."""
 
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 10 ** 9), n=st.integers(0, 400),
@@ -223,6 +225,43 @@ class TestCrossBackendProperty:
         for name, out in decoded.items():
             np.testing.assert_array_equal(out, symbols, err_msg=name)
 
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10 ** 9), n=st.integers(0, 300),
+           n_ctx=st.integers(1, 5), alphabet=st.integers(1, 12))
+    def test_mixed_per_context_totals(self, seed, n, n_ctx, alphabet):
+        """Rows with *different* totals (vrans's slow path, trans's
+        LUT rescale) must round-trip under every backend."""
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(1, 50, size=(n_ctx, alphabet))
+        tables = np.concatenate(
+            [np.zeros((n_ctx, 1), dtype=np.int64),
+             np.cumsum(counts, axis=1)], axis=1)
+        contexts = rng.integers(0, n_ctx, size=n)
+        symbols = rng.integers(0, alphabet, size=n)
+        for name in ALL_BACKENDS:
+            backend = get_backend(name)
+            data = backend.encode(symbols, tables, contexts)
+            out = backend.decode(data, tables, contexts)
+            np.testing.assert_array_equal(out, symbols, err_msg=name)
+
+    def test_cold_and_warm_cache_are_byte_identical(self):
+        """The cache-using backends must produce the same stream
+        whether the table entry is freshly built or reused."""
+        symbols, tables, contexts = _random_stream(12, 500, 4, 19,
+                                                   total=777)
+        for name in ("rans", "trans"):
+            backend = get_backend(name)
+            get_table_cache().clear()
+            cold = backend.encode(symbols, tables, contexts)
+            before = get_table_cache().stats()["hits"]
+            warm = backend.encode(symbols, tables, contexts)
+            assert cold == warm, name
+            # the second encode reused the entry built by the first
+            assert get_table_cache().stats()["hits"] > before, name
+            np.testing.assert_array_equal(
+                backend.decode(warm, tables, contexts), symbols,
+                err_msg=name)
+
 
 class TestContextValidation:
     """Negative or oversized context ids must raise, not wrap."""
@@ -236,7 +275,7 @@ class TestContextValidation:
         contexts = contexts.copy()
         contexts[10] = bad_value
         for encode in (encode_symbols, encode_symbols_rans,
-                       encode_symbols_vrans):
+                       encode_symbols_vrans, encode_symbols_trans):
             with pytest.raises(ValueError, match="context id"):
                 encode(symbols, tables, contexts)
 

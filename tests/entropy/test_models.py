@@ -166,3 +166,55 @@ class TestFactorizedDensity:
         data, header = fd.compress(z)
         back = fd.decompress(data, z.shape, header)
         np.testing.assert_array_equal(back, z)
+
+
+class TestModelTableMemoization:
+    """The quantized coding tables of both models are cached in the
+    process TableCache — repeat compress calls with identical weights
+    and support must reuse them, and stale weights must not."""
+
+    def test_factorized_tables_cached_across_calls(self):
+        from repro.entropy import get_table_cache
+
+        rng = np.random.default_rng(5)
+        fd = FactorizedDensity(channels=2)
+        z = np.rint(rng.normal(0, 2, size=(2, 2, 6, 6)))
+        cache = get_table_cache()
+        cache.clear()
+        data, header = fd.compress(z)
+        before = cache.stats()["hits"]
+        # decompress + a second window with the same support reuse it
+        np.testing.assert_array_equal(
+            fd.decompress(data, z.shape, header), z)
+        fd.compress(z)
+        assert cache.stats()["hits"] >= before + 2
+
+    def test_factorized_cache_keys_on_weights(self):
+        rng = np.random.default_rng(6)
+        fd = FactorizedDensity(channels=2)
+        z = np.rint(rng.normal(0, 2, size=(2, 2, 6, 6)))
+        t1 = fd._integer_cdf_tables(-5, 5)
+        # perturb a weight: the cached entry must not be reused
+        p = fd.parameters()[0]
+        p.data = p.data + 0.25
+        t2 = fd._integer_cdf_tables(-5, 5)
+        assert not np.array_equal(t1, t2)
+        data, header = fd.compress(z)
+        np.testing.assert_array_equal(
+            fd.decompress(data, z.shape, header), z)
+
+    def test_gaussian_tables_cached_across_calls(self):
+        from repro.entropy import get_table_cache
+
+        gc = GaussianConditional()
+        cache = get_table_cache()
+        cache.clear()
+        t1 = gc._offset_tables(12)
+        before = cache.stats()["hits"]
+        t2 = gc._offset_tables(12)
+        assert t2 is t1  # same cached object
+        assert cache.stats()["hits"] == before + 1
+        # a different scale table must not collide
+        other = GaussianConditional(build_scale_table(levels=8))
+        t3 = other._offset_tables(12)
+        assert t3.shape != t1.shape

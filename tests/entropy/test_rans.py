@@ -134,6 +134,28 @@ class TestSymbolStreamInterface:
         out = decode_symbols_rans(data, tables, empty)
         assert out.size == 0
 
+    def test_memoized_rescale_is_byte_identical(self):
+        """The memoized power-of-two table path must emit exactly the
+        bytes a per-push ``RansEncoder`` produces from the raw
+        (non-power-of-two) rows — the identity PR 5 streams rely on."""
+        rng = np.random.default_rng(7)
+        n_ctx, alphabet, n = 3, 11, 400
+        counts = rng.integers(1, 40, size=(n_ctx, alphabet))
+        tables = np.concatenate(
+            [np.zeros((n_ctx, 1), dtype=np.int64),
+             np.cumsum(counts, axis=1)], axis=1)  # mixed, non-pow2
+        contexts = rng.integers(0, n_ctx, size=n)
+        symbols = rng.integers(0, alphabet, size=n)
+
+        fast = encode_symbols_rans(symbols, tables, contexts)
+        enc = RansEncoder()  # reference: raw rows, per-push rescale
+        for s, c in zip(symbols[::-1].tolist(), contexts[::-1].tolist()):
+            enc.push(int(tables[c, s]), int(tables[c, s + 1]),
+                     int(tables[c, -1]))
+        assert fast == enc.finish()
+        np.testing.assert_array_equal(
+            decode_symbols_rans(fast, tables, contexts), symbols)
+
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(0, 10 ** 9))
     def test_cross_backend_agreement(self, seed):

@@ -1,0 +1,344 @@
+"""Unit tests for the table-cached LUT rANS coder (``trans``)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.entropy.coder import EntropyDecodeError, pmf_to_cumulative
+from repro.entropy.tablecoder import (MAX_LANES, TableCache, TransTables,
+                                      build_trans_tables,
+                                      decode_symbols_trans,
+                                      encode_symbols_trans,
+                                      get_table_cache, lane_count)
+from repro.entropy.vrans import encode_symbols_vrans
+
+
+def _case(seed, n, n_ctx=5, alphabet=17, total=None):
+    rng = np.random.default_rng(seed)
+    pmf = rng.random((n_ctx, alphabet)) + 0.01
+    tables = (pmf_to_cumulative(pmf) if total is None
+              else pmf_to_cumulative(pmf, total=total))
+    contexts = rng.integers(0, n_ctx, size=n)
+    symbols = rng.integers(0, alphabet, size=n)
+    return symbols, tables, contexts
+
+
+def _mixed_case(seed, n, n_ctx=4, alphabet=9):
+    """Rows with *different*, non-power-of-two totals."""
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(1, 60, size=(n_ctx, alphabet))
+    tables = np.concatenate(
+        [np.zeros((n_ctx, 1), dtype=np.int64),
+         np.cumsum(counts, axis=1)], axis=1)
+    contexts = rng.integers(0, n_ctx, size=n)
+    symbols = rng.integers(0, alphabet, size=n)
+    return symbols, tables, contexts
+
+
+class TestBuildTransTables:
+    def test_lut_covers_every_slot_exactly(self):
+        _, tables, _ = _case(0, 0, n_ctx=3, alphabet=11, total=97)
+        t = build_trans_tables(tables)
+        size = 1 << t.precision
+        assert t.sym.shape == (3 * size,)
+        assert t.freq.shape == (3 * size,)
+        assert t.bias.shape == (3 * size,)
+        # per-context slot walk: the LUT must agree with the rescaled
+        # cumulative rows symbol by symbol
+        for c in range(3):
+            row = t.scaled[c].astype(np.int64)
+            base = c << t.precision
+            for slot in range(size):
+                s = int(t.sym[base | slot])
+                assert row[s] <= slot < row[s + 1]
+                assert t.freq[base | slot] == row[s + 1] - row[s]
+                assert t.bias[base | slot] == slot - row[s]
+
+    def test_precision_is_shared_and_minimal(self):
+        tables = np.array([[0, 1, 3], [0, 2, 4], [0, 3, 7]],
+                          dtype=np.int64)  # max total 7 -> p = 3
+        t = build_trans_tables(tables)
+        assert t.precision == 3
+        assert np.all(t.scaled[:, -1] == 8)  # every row rescaled to 2^p
+
+    def test_pow2_rows_pass_through_unscaled(self):
+        _, tables, _ = _case(1, 0, n_ctx=2, alphabet=5)  # pmf default pow2
+        t = build_trans_tables(tables)
+        np.testing.assert_array_equal(t.scaled.astype(np.int64), tables)
+
+    def test_rejects_malformed_tables(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            build_trans_tables(np.array([[1, 2, 4]], dtype=np.int64))
+        with pytest.raises(ValueError, match="monotone"):
+            build_trans_tables(np.array([[0, 3, 2]], dtype=np.int64))
+        with pytest.raises(ValueError, match="MAX_TOTAL"):
+            build_trans_tables(np.array([[0, 1 << 17]], dtype=np.int64))
+        with pytest.raises(ValueError, match="shape"):
+            build_trans_tables(np.zeros((3,), dtype=np.int64))
+
+    def test_degenerate_zero_total_row_is_unusable_not_fatal(self):
+        tables = np.array([[0, 2, 4], [0, 0, 0]], dtype=np.int64)
+        t = build_trans_tables(tables)
+        size = 1 << t.precision
+        # the degenerate row's slots carry zero frequency, so any
+        # stream claiming context 1 trips the strict decode checks
+        assert np.all(t.freq[size:2 * size] == 0)
+        with pytest.raises(ValueError, match="zero-frequency"):
+            encode_symbols_trans(np.zeros(4, dtype=np.int64), tables,
+                                 np.ones(4, dtype=np.int64))
+
+    def test_luts_are_read_only(self):
+        _, tables, _ = _case(2, 0)
+        t = build_trans_tables(tables)
+        for arr in (t.scaled, t.sym, t.freq, t.bias):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+
+class TestTransRoundtrip:
+    @pytest.mark.parametrize("n", [0, 1, 7, 127, 128, 129, 1000, 4096,
+                                   33000])
+    def test_roundtrip_across_lane_boundaries(self, n):
+        symbols, tables, contexts = _case(n, n)
+        data = encode_symbols_trans(symbols, tables, contexts)
+        out = decode_symbols_trans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    @pytest.mark.parametrize("lanes", [1, 2, 3, 64, 100, MAX_LANES])
+    def test_explicit_lane_width(self, lanes):
+        symbols, tables, contexts = _case(1, 900)
+        data = encode_symbols_trans(symbols, tables, contexts,
+                                    lanes=lanes)
+        assert data[0] == lanes  # header records the width
+        out = decode_symbols_trans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_non_power_of_two_totals(self):
+        symbols, tables, contexts = _case(2, 800, total=1000)
+        data = encode_symbols_trans(symbols, tables, contexts)
+        out = decode_symbols_trans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_mixed_per_row_totals(self):
+        """vrans's slow path; trans handles it through the shared
+        rescale with no fallback at all."""
+        symbols, tables, contexts = _mixed_case(3, 1200)
+        data = encode_symbols_trans(symbols, tables, contexts)
+        out = decode_symbols_trans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_single_symbol_alphabet(self):
+        tables = pmf_to_cumulative(np.ones((3, 1)))
+        contexts = np.random.default_rng(4).integers(0, 3, size=300)
+        symbols = np.zeros(300, dtype=np.int64)
+        data = encode_symbols_trans(symbols, tables, contexts)
+        out = decode_symbols_trans(data, tables, contexts)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_empty_stream(self):
+        _, tables, _ = _case(5, 10)
+        empty = np.zeros(0, dtype=np.int64)
+        data = encode_symbols_trans(empty, tables, empty)
+        assert len(data) == 1 + 8  # header + one idle lane
+        out = decode_symbols_trans(data, tables, empty)
+        assert out.size == 0
+
+    def test_size_close_to_vrans(self):
+        """Same rANS math, so only the wider state header differs."""
+        symbols, tables, contexts = _case(6, 8000)
+        tr = encode_symbols_trans(symbols, tables, contexts)
+        vr = encode_symbols_vrans(symbols, tables, contexts)
+        extra_lanes = tr[0] - vr[0]
+        assert len(tr) <= len(vr) + 12 * max(extra_lanes, 0) + 16
+
+    def test_lane_count_is_deterministic(self):
+        assert lane_count(10) == 1
+        assert lane_count(1000) == 7
+        assert lane_count(100000) == MAX_LANES
+        assert all(1 <= lane_count(n) <= MAX_LANES
+                   for n in range(0, 50000, 101))
+
+
+class TestTransValidation:
+    def test_rejects_out_of_range_symbols(self):
+        symbols, tables, contexts = _case(7, 10)
+        bad = symbols.copy()
+        bad[0] = tables.shape[1]  # >= alphabet
+        with pytest.raises(ValueError):
+            encode_symbols_trans(bad, tables, contexts)
+
+    def test_rejects_bad_contexts(self):
+        symbols, tables, contexts = _case(8, 10)
+        for bad_value in (-1, tables.shape[0]):
+            bad = contexts.copy()
+            bad[3] = bad_value
+            with pytest.raises(ValueError, match="context id"):
+                encode_symbols_trans(symbols, tables, bad)
+            with pytest.raises(ValueError, match="context id"):
+                decode_symbols_trans(b"\x01" + b"\x00" * 8, tables, bad)
+
+    def test_rejects_length_mismatch(self):
+        symbols, tables, contexts = _case(9, 10)
+        with pytest.raises(ValueError):
+            encode_symbols_trans(symbols[:5], tables, contexts)
+
+    def test_rejects_bad_lane_request(self):
+        symbols, tables, contexts = _case(10, 10)
+        for lanes in (0, MAX_LANES + 1):
+            with pytest.raises(ValueError):
+                encode_symbols_trans(symbols, tables, contexts,
+                                     lanes=lanes)
+
+
+class TestTransCorruption:
+    def _encoded(self, n=900):
+        symbols, tables, contexts = _case(11, n)
+        data = encode_symbols_trans(symbols, tables, contexts)
+        return symbols, tables, contexts, data
+
+    def test_truncated_words_raise(self):
+        _, tables, contexts, data = self._encoded()
+        with pytest.raises(EntropyDecodeError, match="corrupted trans"):
+            decode_symbols_trans(data[:-4], tables, contexts)
+
+    def test_trailing_words_raise(self):
+        _, tables, contexts, data = self._encoded()
+        with pytest.raises(EntropyDecodeError, match="corrupted trans"):
+            decode_symbols_trans(data + b"\x00" * 4, tables, contexts)
+
+    def test_misaligned_tail_raises(self):
+        _, tables, contexts, data = self._encoded()
+        with pytest.raises(EntropyDecodeError, match="truncated"):
+            decode_symbols_trans(data + b"\x00", tables, contexts)
+
+    def test_empty_or_headerless_raise(self):
+        _, tables, contexts, _ = self._encoded()
+        with pytest.raises(EntropyDecodeError):
+            decode_symbols_trans(b"", tables, contexts)
+        with pytest.raises(EntropyDecodeError):
+            decode_symbols_trans(b"\x00", tables, contexts)  # 0 lanes
+        with pytest.raises(EntropyDecodeError):
+            decode_symbols_trans(b"\x04" + b"\x00" * 8, tables,
+                                 contexts)  # 4 lanes, 1 state
+
+    def test_flipped_state_raises(self):
+        _, tables, contexts, data = self._encoded()
+        mutated = bytearray(data)
+        mutated[5] ^= 0xFF  # inside the lane-state header
+        with pytest.raises(EntropyDecodeError, match="corrupted trans"):
+            decode_symbols_trans(bytes(mutated), tables, contexts)
+
+    def test_degenerate_context_stream_raises(self):
+        """A stream claiming a zero-total context collapses into the
+        strict checks (zero LUT frequency pins the state at zero)."""
+        tables = np.array([[0, 2, 4], [0, 0, 0]], dtype=np.int64)
+        contexts = np.ones(4, dtype=np.int64)
+        data = struct.pack("<B", 1) + struct.pack("<Q", 1 << 31)
+        with pytest.raises(EntropyDecodeError):
+            decode_symbols_trans(data, tables, contexts)
+
+
+class TestTableCache:
+    def test_hit_returns_same_object(self):
+        cache = TableCache(max_entries=4)
+        built = []
+
+        def build():
+            built.append(1)
+            return np.arange(5)
+
+        a = cache.get(("k",), build)
+        b = cache.get(("k",), build)
+        assert a is b
+        assert built == [1]
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_by_entries(self):
+        cache = TableCache(max_entries=2)
+        cache.get(("a",), lambda: np.arange(3))
+        cache.get(("b",), lambda: np.arange(3))
+        cache.get(("a",), lambda: np.arange(3))  # refresh a
+        cache.get(("c",), lambda: np.arange(3))  # evicts b, not a
+        assert len(cache) == 2
+        rebuilt = []
+        cache.get(("a",), lambda: rebuilt.append("a"))
+        cache.get(("b",), lambda: rebuilt.append("b") or np.arange(3))
+        assert rebuilt == ["b"]
+
+    def test_byte_bound_eviction_keeps_newest(self):
+        cache = TableCache(max_entries=8, max_bytes=100)
+        cache.get(("small",), lambda: np.zeros(4, dtype=np.uint8))
+        big = cache.get(("big",), lambda: np.zeros(400, dtype=np.uint8))
+        # the oversized entry itself survives (never evict the value
+        # being returned) but pushed the older entry out
+        assert big.nbytes == 400
+        assert len(cache) == 1
+        assert cache.stats()["bytes"] == 400
+
+    def test_digest_distinguishes_content_dtype_and_shape(self):
+        a = np.arange(6, dtype=np.int64)
+        assert TableCache.digest(a) == TableCache.digest(a.copy())
+        assert TableCache.digest(a) != TableCache.digest(a + 1)
+        assert (TableCache.digest(a)
+                != TableCache.digest(a.astype(np.int32)))
+        assert (TableCache.digest(a)
+                != TableCache.digest(a.reshape(2, 3)))
+        assert TableCache.digest(a, 1) != TableCache.digest(a, 2)
+
+    def test_cold_vs_warm_streams_are_byte_identical(self):
+        """The wire format must not depend on cache state."""
+        symbols, tables, contexts = _mixed_case(12, 700)
+        cold_cache = TableCache()
+        warm_cache = TableCache()
+        warm_cache.get(("trans", TableCache.digest(
+            np.asarray(tables))), lambda: build_trans_tables(tables))
+        cold = encode_symbols_trans(symbols, tables, contexts,
+                                    cache=cold_cache)
+        warm = encode_symbols_trans(symbols, tables, contexts,
+                                    cache=warm_cache)
+        assert cold == warm
+        np.testing.assert_array_equal(
+            decode_symbols_trans(warm, tables, contexts,
+                                 cache=TableCache()),
+            symbols)
+
+    def test_process_cache_reused_across_windows(self):
+        cache = get_table_cache()
+        symbols, tables, contexts = _case(13, 400)
+        cache.clear()
+        encode_symbols_trans(symbols, tables, contexts)
+        before = cache.stats()["hits"]
+        for _ in range(3):  # further "windows" sharing the table
+            encode_symbols_trans(symbols, tables, contexts)
+        assert cache.stats()["hits"] >= before + 3
+
+    def test_thread_safety_under_contention(self):
+        import threading
+
+        cache = TableCache(max_entries=2)
+        errors = []
+
+        def work(seed):
+            try:
+                rng = np.random.default_rng(seed % 3)  # 3 distinct keys
+                key = ("k", int(rng.integers(0, 3)))
+                for _ in range(200):
+                    v = cache.get(key, lambda: np.arange(10))
+                    if v.shape != (10,):
+                        errors.append("bad value")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TableCache(max_entries=0)

@@ -157,3 +157,28 @@ class TestVransCorruption:
         mutated[5] ^= 0xFF  # inside the lane-state header
         with pytest.raises(ValueError, match="corrupted vrans"):
             decode_symbols_vrans(bytes(mutated), tables, contexts)
+
+    def test_mixed_total_slot_out_of_table_range_raises(self):
+        """The mixed-total fallback must bounds-check the decoded slot
+        *before* fancy-indexing the cumulative rows.
+
+        A table whose rows do not start at zero leaves slots below
+        ``row[0]`` unclaimed; a state that lands there yields symbol
+        index -1, and ``cumulative[ctx, s + 1]`` would silently wrap
+        to a valid-looking row entry and decode garbage.  It must be
+        an EntropyDecodeError instead."""
+        import struct
+
+        from repro.entropy.coder import EntropyDecodeError
+
+        # mixed totals (4 vs 8) force the masked-row fallback; row 0
+        # leaves slot 0 unclaimed (cum starts at 1, violating the row
+        # contract the encoder normally guarantees)
+        tables = np.array([[1, 2, 4], [0, 3, 8]], dtype=np.int64)
+        contexts = np.zeros(1, dtype=np.int64)
+        # single lane whose state slot (x % 4 == 0) falls below row[0]
+        state = (1 << 31) | 0  # slot 0 under total 4
+        data = struct.pack("<B", 1) + struct.pack("<Q", state)
+        with pytest.raises(EntropyDecodeError,
+                           match="outside the cumulative table"):
+            decode_symbols_vrans(data, tables, contexts)
