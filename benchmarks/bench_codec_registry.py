@@ -450,6 +450,106 @@ def _print_entropy(entropy_row: dict, prior: dict) -> None:
           f"(floor x{TRANS_MIN_SPEEDUP:.0f})")
 
 
+# ----------------------------------------------------------------------
+# seekable archives: partial decode vs full decode + bytes-read contract
+# ----------------------------------------------------------------------
+#: archive workload: one E3SM variable, 8 time shards, sized so a full
+#: szlike decode takes a visible fraction of a second on one core
+ARCHIVE_SHARDS = 8
+ARCHIVE_OVERRIDES = {"t": 64, "h": 40, "w": 40, "seed": 11}
+ARCHIVE_REPS = 3
+#: acceptance criterion: decoding 1 of 8 shards through the footer
+#: index must beat a full decode by at least this factor (serial
+#: executor, so multi-core full decode cannot mask the win)
+ARCHIVE_MIN_SPEEDUP = 4.0
+#: acceptance criterion: the partial read must touch O(footer + one
+#: member) bytes — at most this fraction of the archive
+ARCHIVE_MAX_BYTES_RATIO = 0.35
+
+
+def _archive_partial_decode(tmp_path) -> dict:
+    """Seekable-archive trajectory: full vs 1-of-N-shard decode.
+
+    Writes an indexed shard archive to disk, then times a full decode
+    against a ``select=`` decode of a single shard, both through the
+    lazy ``Archive.open(path)`` path on a serial session.  A
+    :class:`~repro.pipeline.container.CountingReader` wraps the file
+    handle for one partial decode to measure the exact bytes touched —
+    the O(footer + selected member) I/O contract, asserted both as a
+    ratio and against the per-member byte budget.
+    """
+    from repro.api import Archive
+    from repro.pipeline.container import CountingReader
+
+    session = Session(codec="szlike", executor="serial")
+    archive = session.compress(
+        "e3sm", bound=Bound.nrmse(REL_BOUND), variables=[0],
+        shards=ARCHIVE_SHARDS, dataset_overrides=ARCHIVE_OVERRIDES,
+        keep_reconstruction=False)
+    path = tmp_path / "bench_archive.shrd"
+    archive.save(path)
+    size = path.stat().st_size
+
+    lazy = Archive.open(path)
+    members = lazy.index()
+    target = members[len(members) // 2]  # a mid-file shard
+
+    full = partial = float("inf")
+    session.decompress(lazy)  # untimed warmup (generation-free decode)
+    session.decompress(lazy, select=target.key)
+    for _ in range(ARCHIVE_REPS):
+        t0 = time.perf_counter()
+        stack = session.decompress(lazy)
+        full = min(full, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        window = session.decompress(lazy, select=target.key)
+        partial = min(partial, time.perf_counter() - t0)
+    np.testing.assert_array_equal(window, stack[target.t0:target.t1])
+
+    # bytes-read contract: head sniff + trailer/footer + one member
+    with open(path, "rb") as fh:
+        counter = CountingReader(fh)
+        counted = Archive.open(counter)
+        session.decompress(counted, select=target.key)
+        partial_bytes = counter.bytes_read
+    overhead = size - max(m.offset + m.length for m in members)
+    budget = 16 + overhead + target.length + 256
+    assert partial_bytes <= budget, (partial_bytes, budget)
+    session.close()
+
+    t, h, w = (ARCHIVE_OVERRIDES[k] for k in ("t", "h", "w"))
+    return {
+        "workload": (f"e3sm-{t}x{h}x{w}-x{ARCHIVE_SHARDS}shards-"
+                     f"szlike-serial"),
+        "archive_bytes": size,
+        "full_decode_seconds": round(full, 6),
+        "partial_decode_seconds": round(partial, 6),
+        "partial_speedup": round(full / max(partial, 1e-9), 2),
+        "partial_bytes_read": partial_bytes,
+        "bytes_read_ratio": round(partial_bytes / size, 4),
+    }
+
+
+def _print_archive(row: dict, prior: dict) -> None:
+    """Render the partial-decode row, diffed against the prior entry."""
+    print(f"\nseekable archive ({row['workload']}, min of "
+          f"{ARCHIVE_REPS}):")
+    if prior.get("partial_decode_seconds"):
+        delta = (f"  (vs prior "
+                 f"{row['partial_decode_seconds'] / max(prior['partial_decode_seconds'], 1e-9):.2f}x)")
+    else:
+        delta = "  (new)"
+    print(f"  full decode    {row['full_decode_seconds']:8.4f}s over "
+          f"{row['archive_bytes']} bytes")
+    print(f"  1-of-{ARCHIVE_SHARDS} decode  "
+          f"{row['partial_decode_seconds']:8.4f}s over "
+          f"{row['partial_bytes_read']} bytes{delta}")
+    print(f"  speedup x{row['partial_speedup']:.1f} "
+          f"(floor x{ARCHIVE_MIN_SPEEDUP:.0f}), bytes-read ratio "
+          f"{row['bytes_read_ratio']:.3f} "
+          f"(ceiling {ARCHIVE_MAX_BYTES_RATIO:.2f})")
+
+
 def _bound_for(codec, frames):
     if codec.capabilities.bound_kind == "l2":
         return None  # unbounded: untrained codecs have no corrector
@@ -457,7 +557,7 @@ def _bound_for(codec, frames):
     return REL_BOUND * rng_
 
 
-def test_codec_registry_smoke(benchmark):
+def test_codec_registry_smoke(benchmark, tmp_path):
     frames = _workload()
     rows = {}
     for name in list_codecs():
@@ -537,6 +637,11 @@ def test_codec_registry_smoke(benchmark):
     prior_nn = _prior_record("nn")
     nn_row = _nn_fastpath_block(frames)
 
+    # seekable archives: 1-of-N-shard partial decode through the
+    # footer index vs a full decode, plus the bytes-read contract
+    prior_archive = _prior_record("archive")
+    archive_row = _archive_partial_decode(tmp_path)
+
     print(f"\n{'codec':10s} {'enc s':>10s} {'dec s':>10s} "
           f"{'bytes':>8s} {'ratio':>8s}")
     for name, r in rows.items():
@@ -577,11 +682,20 @@ def test_codec_registry_smoke(benchmark):
     for name, row in nn_row["codecs"].items():
         assert row["speedup"] >= 1.0, (name, row)
 
+    _print_archive(archive_row, prior_archive)
+    # acceptance: the footer index must make a 1-of-8-shard read at
+    # least 4x faster than a full decode, touching O(footer + member)
+    # bytes rather than the whole file
+    assert (archive_row["partial_speedup"]
+            >= ARCHIVE_MIN_SPEEDUP), archive_row
+    assert (archive_row["bytes_read_ratio"]
+            <= ARCHIVE_MAX_BYTES_RATIO), archive_row
+
     record = {"workload": "e3sm-12x16x16-seed11",
               "rel_bound": REL_BOUND,
               "codecs": rows, "executors": engine_row,
               "facade": facade_row, "entropy": entropy_row,
-              "nn": nn_row}
+              "nn": nn_row, "archive": archive_row}
     save_json("codec_registry_smoke", record)
 
     # append to the trajectory file so PRs can diff perf over time

@@ -54,6 +54,7 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import os
+import struct
 from typing import (Any, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Union)
 
@@ -70,17 +71,23 @@ from .entropy.backend import using_backend
 from .pipeline.artifacts import (ArtifactStore, is_artifact,
                                  read_manifest, save_artifact)
 from .pipeline.blob import CompressedBlob
-from .pipeline.engine import CodecEngine
+from .pipeline.container import (MEMBER_ENVELOPE, ArchiveIndexError,
+                                 MemberIndex, as_source, verify_member)
+from .pipeline.engine import BatchResult, CodecEngine
 from .pipeline.executors import Executor, get_executor
-from .pipeline.multivar import MultiVarArchive, MultiVariableCompressor
+from .pipeline.multivar import (MultiVarArchive, MultiVariableCompressor,
+                                read_multivar_index)
 from .pipeline.plan import (ShardEntry, ShardPlan, assemble_shards,
-                            is_shard_archive, pack_shard_archive,
-                            plan_shards, time_slices,
+                            assemble_window, is_shard_archive,
+                            pack_shard_archive, plan_shards,
+                            read_shard_index, time_slices,
                             unpack_shard_archive)
+from .pipeline.sources import (ArrayStackSource, NpyStackSource,
+                               as_stack_source)
 from .pipeline.streaming import StreamArchive, StreamingCompressor
 
 __all__ = ["Session", "Archive", "Bound", "SessionError",
-           "ARCHIVE_KINDS", "sniff_kind"]
+           "ArchiveIndexError", "ARCHIVE_KINDS", "sniff_kind"]
 
 #: container kinds :meth:`Archive.open` recognizes, in sniff order
 ARCHIVE_KINDS = ("shard", "envelope", "multivar", "stream", "blob")
@@ -130,56 +137,125 @@ def sniff_kind(data: bytes) -> str:
 class Archive:
     """A compressed container of any supported format.
 
-    Holds the exact wire bytes plus the sniffed ``kind``; parsed views
-    are built lazily per kind, so opening an archive costs one magic
-    check and saving one costs one write.  Instances produced by
-    :meth:`Session.compress` additionally carry a ``stats`` dict
-    (ratio, worst NRMSE, wall-clock, executor) for reporting.
+    Holds the sniffed ``kind`` plus *either* the wire bytes or a byte
+    source (a path or seekable handle).  Source-backed archives are
+    fully lazy: :meth:`Archive.open` on a path reads only the magic
+    bytes, :meth:`index` answers from the footer in O(1) reads, and
+    the body is pulled in only when something actually needs it
+    (``.data``, full decode).  Parsed views are built per kind, so
+    opening an archive costs one magic check and saving one costs one
+    streamed copy.  Instances produced by :meth:`Session.compress`
+    additionally carry a ``stats`` dict (ratio, worst NRMSE,
+    wall-clock, executor) for reporting.
     """
 
-    def __init__(self, data: bytes, kind: Optional[str] = None,
-                 stats: Optional[dict] = None):
-        self.data = bytes(data)
-        self.kind = kind if kind is not None else sniff_kind(self.data)
+    def __init__(self, data: Optional[bytes] = None,
+                 kind: Optional[str] = None,
+                 stats: Optional[dict] = None, *, source=None):
+        if (data is None) == (source is None):
+            raise SessionError("give archive data or a source, not "
+                               "both (or neither)")
+        # bytes(b) on a bytes instance is a no-op in CPython, so the
+        # common Archive(result_bytes) path does not copy
+        self._data = None if data is None else bytes(data)
+        self._source = source
+        if kind is None:
+            head = (self._data[:16] if self._data is not None
+                    else source.read_at(0, 16))
+            kind = sniff_kind(head)
+        self.kind = kind
         if self.kind not in ARCHIVE_KINDS:
             raise SessionError(
                 f"{self.kind!r} is not an archive kind; a model "
                 f"artifact loads with Codec.load_artifact, not "
                 f"Archive.open")
         self.stats = stats or {}
+        self._index: Optional[List[MemberIndex]] = None
 
     # -- I/O ------------------------------------------------------------
     @classmethod
     def open(cls, source: Union[str, os.PathLike, bytes, "Archive"]
              ) -> "Archive":
-        """Open any supported container: a path, raw bytes, or an
-        already-open :class:`Archive` (returned as-is)."""
+        """Open any supported container: a path, a seekable binary
+        handle, raw bytes, or an already-open :class:`Archive`
+        (returned as-is).
+
+        Paths and handles open *lazily* — only the few magic bytes
+        sniffing needs are read here, and indexed containers keep all
+        subsequent member access seek-based.
+        """
         if isinstance(source, Archive):
             return source
         if isinstance(source, (bytes, bytearray, memoryview)):
             return cls(bytes(source))
-        with open(os.fspath(source), "rb") as fh:
-            return cls(fh.read())
+        return cls(source=as_source(source))
+
+    @property
+    def data(self) -> bytes:
+        """The full wire bytes (reads the body of a lazy archive)."""
+        if self._data is None:
+            self._data = self._source.read_all()
+        return self._data
+
+    def reader(self):
+        """Random-access byte source over this archive's container."""
+        if self._data is not None:
+            return as_source(self._data)
+        return self._source
 
     def save(self, path: Union[str, os.PathLike]) -> str:
-        """Write the archive's wire bytes to ``path``."""
+        """Write the archive's wire bytes to ``path`` (streamed from
+        the backing source when the body was never materialized)."""
         path = os.fspath(path)
         with open(path, "wb") as fh:
-            fh.write(self.data)
+            self.reader().copy_to(fh)
         return path
 
     def to_bytes(self) -> bytes:
         return self.data
 
     def __len__(self) -> int:
-        return len(self.data)
+        if self._data is not None:
+            return len(self._data)
+        return self._source.size()
 
     def __eq__(self, other) -> bool:
         return isinstance(other, Archive) and self.data == other.data
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"<Archive {self.kind} ({len(self.data)} bytes, "
-                f"codecs={self.codecs()})>")
+        return (f"<Archive {self.kind} ({len(self)} bytes)>")
+
+    # -- member index ---------------------------------------------------
+    def index(self) -> List[MemberIndex]:
+        """Per-member byte extents + checksums of a multi-part archive.
+
+        For indexed containers (SHRD v2, LDMV v3) this reads only the
+        footer — O(1) reads regardless of archive size; legacy
+        versions are scanned once and equivalent rows synthesized.
+        Raises :class:`SessionError` for single-payload kinds, and
+        :class:`ArchiveIndexError` when a footer is truncated or
+        corrupt.
+        """
+        if self._index is None:
+            if self.kind == "shard":
+                self._index = read_shard_index(self.reader())
+            elif self.kind == "multivar":
+                self._index = read_multivar_index(self.reader())
+            else:
+                raise SessionError(
+                    f"{self.kind!r} archives are single-payload and "
+                    f"carry no member index")
+        return self._index
+
+    def indexed(self) -> bool:
+        """Whether the container carries a seekable footer index."""
+        if self.kind == "shard":
+            version, = struct.unpack_from("<H",
+                                          self.reader().read_at(4, 2))
+            return version >= 2
+        if self.kind == "multivar":
+            return self.reader().read_at(4, 1)[0] >= 3
+        return False
 
     # -- parsed views ---------------------------------------------------
     def shard_entries(self) -> List[ShardEntry]:
@@ -218,43 +294,63 @@ class Archive:
             return [DEFAULT_CODEC]
         if self.kind == "envelope":
             return [self.envelope()[0]]
-        if self.kind == "shard":
-            return sorted({unpack_envelope(e.payload)[0]
-                           for e in self.shard_entries()})
-        if self.kind == "multivar":
-            mv = self.multivar()
-            names = {unpack_envelope(env)[0]
-                     for env in mv.envelopes.values()}
-            if mv.blobs:
-                names.add(DEFAULT_CODEC)
-            return sorted(names)
+        if self.kind in ("shard", "multivar"):
+            return sorted({m.codec or DEFAULT_CODEC
+                           for m in self.index()})
         st = self.stream()
         names = {unpack_envelope(env)[0] for _, env in st.envelopes}
         if st.blobs:
             names.add(DEFAULT_CODEC)
         return sorted(names)
 
+    @staticmethod
+    def _member_payload_bytes(m: MemberIndex) -> int:
+        """Inner payload size of a member (envelope header stripped)."""
+        if m.kind == MEMBER_ENVELOPE:
+            # envelope header: magic + name-length byte + name + u64
+            return max(0, m.length - (13 + len(m.codec.encode())))
+        return m.length
+
     def describe(self) -> dict:
-        """Structured summary (what ``repro info`` renders)."""
+        """Structured summary (what ``repro info`` renders).
+
+        Multi-part kinds answer from the member index — for indexed
+        containers that means header + footer reads only, so ``repro
+        info`` on a multi-GB archive stays instant — and report each
+        member's byte extent plus whether a seekable footer is
+        present.
+        """
         out: Dict[str, Any] = {"kind": self.kind,
-                               "total_bytes": len(self.data)}
+                               "total_bytes": len(self)}
         if self.kind == "shard":
-            entries = self.shard_entries()
+            members = self.index()
+            out["indexed"] = self.indexed()
             out["entries"] = [
-                {"shard_id": e.shard_id,
-                 "codec": unpack_envelope(e.payload)[0],
-                 "t0": e.t0, "t1": e.t1,
-                 "payload_bytes": len(unpack_envelope(e.payload)[1])}
-                for e in entries]
-            out["variables"] = sorted({e.variable for e in entries})
+                {"shard_id": m.key,
+                 "codec": m.codec or DEFAULT_CODEC,
+                 "t0": m.t0, "t1": m.t1,
+                 "payload_bytes": self._member_payload_bytes(m),
+                 "offset": m.offset, "length": m.length,
+                 "crc32": m.crc32}
+                for m in members]
+            out["variables"] = sorted({m.variable for m in members})
         elif self.kind == "envelope":
             name, payload = self.envelope()
             out["codec"] = name
             out["payload_bytes"] = len(payload)
         elif self.kind == "multivar":
-            mv = self.multivar()
-            out["variables"] = sorted(mv.blobs) + sorted(mv.envelopes)
+            members = self.index()
+            out["indexed"] = self.indexed()
+            blobs = sorted(m.key for m in members if not m.codec)
+            envs = sorted(m.key for m in members if m.codec)
+            out["variables"] = blobs + envs
             out["codecs"] = self.codecs()
+            out["entries"] = [
+                {"variable": m.key,
+                 "codec": m.codec or DEFAULT_CODEC,
+                 "offset": m.offset, "length": m.length,
+                 "crc32": m.crc32}
+                for m in members]
         elif self.kind == "stream":
             st = self.stream()
             out["chunks"] = st.num_chunks
@@ -467,6 +563,7 @@ class Session:
                  seed: Optional[int] = None,
                  label: Optional[str] = None,
                  chunk_windows: Optional[int] = None,
+                 chunk_shards: Optional[int] = None,
                  dataset_overrides: Optional[dict] = None,
                  keep_reconstruction: bool = True,
                  entropy_backend: Optional[str] = None) -> Archive:
@@ -479,6 +576,13 @@ class Session:
           ``shards=N`` the time axis splits into N slices executed on
           the session backend and packed as a shard archive
           (``label`` names the shards, default ``"stack"``);
+        * ``.npy`` path / ``np.memmap`` / stack source — *out-of-core*
+          sharded compression: frames stream through the engine in
+          bounded groups of ``chunk_shards`` shards (default: one per
+          worker), so peak RSS is O(chunk), not O(dataset), and the
+          archive is byte-identical to compressing the same array
+          in-memory with the same ``shards``/``label``/``seed``
+          (``shards`` defaults to one shard per 16 frames);
         * registered dataset name / :class:`DatasetSpec` / dataset
           instance — deterministic shard plan (``variables``,
           ``shards``, ``dataset_overrides``) fanned out on the session
@@ -508,6 +612,13 @@ class Session:
                 isinstance(source, np.ndarray) and source.ndim == 4):
             return self._compress_multivar(source, codec, target, names,
                                            seed, entropy)
+        if (isinstance(source, (NpyStackSource, ArrayStackSource,
+                                np.memmap, os.PathLike))
+                or (isinstance(source, str)
+                    and source.endswith(".npy"))):
+            return self._compress_out_of_core(
+                source, codec, target, shards, seed, label,
+                chunk_shards, entropy)
         if isinstance(source, (str, DatasetSpec, SpatiotemporalDataset)):
             return self._compress_plan(source, codec, target, variables,
                                        shards, seed, dataset_overrides,
@@ -581,6 +692,54 @@ class Session:
                                 keep_reconstruction=keep_reconstruction)
         return self._pack_shards(resolved, meta, batch)
 
+    def _compress_out_of_core(self, src, codec, target, shards, seed,
+                              label, chunk_shards,
+                              entropy: Optional[str]) -> Archive:
+        """Sharded compression streamed from an on-disk/mapped source.
+
+        The time axis splits exactly like the in-memory sharded path,
+        but shards materialize in bounded groups of ``chunk_shards``:
+        each group's frames are read, compressed (with the group's
+        global shard indexes driving the engine's seeding via
+        ``first_index``) and dropped before the next group loads, so
+        peak RSS tracks the group size.  Reconstructions are never
+        retained.  The packed archive is byte-for-byte what the
+        in-memory path would produce for the same array.
+        """
+        try:
+            source = as_stack_source(src)
+        except (ValueError, OSError, KeyError) as exc:
+            raise SessionError(
+                f"cannot open stack source "
+                f"{getattr(src, 'path', src)!r}: {exc}") from None
+        resolved = self.resolve_codec(codec)
+        if shards is None:
+            shards = max(1, -(-source.t // 16))
+        if chunk_shards is None:
+            chunk_shards = max(1, self.workers)
+        if chunk_shards < 1:
+            raise SessionError("chunk_shards must be >= 1")
+        slices = time_slices(source.t, shards=shards)
+        stem = label or "stack"
+        meta = [(f"{stem}/v0/t{a:04d}-{b:04d}", 0, a, b)
+                for a, b in slices]
+        engine = self._engine(resolved, seed, entropy)
+        reports = []
+        wall = 0.0
+        for g0 in range(0, len(slices), chunk_shards):
+            group = slices[g0:g0 + chunk_shards]
+            stacks = [source.read(a, b) for a, b in group]
+            part = engine.compress(stacks, bound=target,
+                                   keep_reconstruction=False,
+                                   first_index=g0)
+            reports.extend(part.reports)
+            wall += part.wall_seconds
+            del stacks, part
+        batch = BatchResult(reports=reports, wall_seconds=wall)
+        archive = self._pack_shards(resolved, meta, batch)
+        archive.stats["chunk_shards"] = chunk_shards
+        return archive
+
     def _compress_plan(self, dataset, codec, target, variables, shards,
                        seed, dataset_overrides, keep_reconstruction,
                        entropy: Optional[str]) -> Archive:
@@ -624,7 +783,8 @@ class Session:
 
     # -- decompress -----------------------------------------------------
     def decompress(self, source, *,
-                   expect_codec: Optional[str] = None):
+                   expect_codec: Optional[str] = None,
+                   select=None):
         """Reconstruct any :class:`Archive` (or path / bytes).
 
         Returns a ``(T, H, W)`` array for blob / envelope / stream
@@ -634,8 +794,34 @@ class Session:
         the streams themselves through the session (so trained state
         loaded via ``artifact``/``model`` is picked up); with
         ``expect_codec`` a mismatching stream raises instead.
+
+        ``select`` turns this into a *partial* decode that touches
+        only the selected members (via the archive's member index, so
+        an indexed archive opened from a path reads O(footer +
+        selected members) bytes, checksum-verified):
+
+        * for shard archives — a shard id (``"stack/v0/t0000-0008"``),
+          a variable number (``0``), a ``slice(t0, t1)`` time range
+          (frames outside selected shards are trimmed exactly), or a
+          sequence of shard ids / variables;
+        * for multi-variable archives — a variable name or sequence
+          of names (returns the ``{name: array}`` sub-dict).
+
+        Selected members decode in parallel on the session's executor
+        backend, byte-identical to a serial decode of the same
+        members.
         """
         archive = Archive.open(source)
+        if select is not None:
+            if archive.kind == "shard":
+                return self._decompress_shards(archive, expect_codec,
+                                               select=select)
+            if archive.kind == "multivar":
+                return self._decompress_multivar_select(
+                    archive, expect_codec, select)
+            raise SessionError(
+                f"select= needs a multi-part archive (shard or "
+                f"multivar); this archive is {archive.kind!r}")
         if archive.kind == "shard":
             return self._decompress_shards(archive, expect_codec)
         if archive.kind == "envelope":
@@ -672,18 +858,160 @@ class Session:
                     "(.npz)") from None
             raise
 
-    def _decompress_shards(self, archive: Archive,
-                           expect: Optional[str]) -> np.ndarray:
-        entries = archive.shard_entries()
-        arrays = []
-        for e in entries:
-            name, payload = unpack_envelope(e.payload)
+    # -- partial / parallel member decode -------------------------------
+    @staticmethod
+    def _select_members(members: List[MemberIndex], select):
+        """Resolve a shard selector into ``(members, (t0, t1) | None)``.
+
+        Accepts a shard id, a variable number, a ``slice`` time range,
+        or a sequence mixing ids and variables.  The returned window
+        is non-None only for time-range selects (callers trim shard
+        overhang to it exactly).
+        """
+        if isinstance(select, slice):
+            if select.step not in (None, 1):
+                raise SessionError("select= time ranges must have "
+                                   "step 1")
+            t_max = max(m.t1 for m in members)
+            t0 = 0 if select.start is None else int(select.start)
+            t1 = t_max if select.stop is None else int(select.stop)
+            if t0 < 0:
+                t0 += t_max
+            if t1 < 0:
+                t1 += t_max
+            t0, t1 = max(t0, 0), min(t1, t_max)
+            if t0 >= t1:
+                raise SessionError(
+                    f"empty time range [{t0}, {t1}) (archive spans "
+                    f"[0, {t_max}))")
+            hits = [m for m in members if m.t0 < t1 and m.t1 > t0]
+            return hits, (t0, t1)
+        if isinstance(select, (int, np.integer)):
+            hits = [m for m in members if m.variable == int(select)]
+            if not hits:
+                known = sorted({m.variable for m in members})
+                raise SessionError(
+                    f"no shards for variable {int(select)}; archive "
+                    f"holds variables {known}")
+            return hits, None
+        if isinstance(select, str):
+            hits = [m for m in members if m.key == select]
+            if not hits:
+                keys = [m.key for m in members]
+                raise SessionError(
+                    f"no shard {select!r}; archive holds "
+                    f"{keys}")
+            return hits, None
+        if isinstance(select, Sequence):
+            picked: Dict[str, MemberIndex] = {}
+            for sel in select:
+                hits, _ = Session._select_members(members, sel)
+                for m in hits:
+                    picked[m.key] = m
+            ordered = [m for m in members if m.key in picked]
+            return ordered, None
+        raise SessionError(
+            f"cannot select shards with {type(select).__name__}; pass "
+            f"a shard id, a variable number, a slice, or a sequence "
+            f"of those")
+
+    def _decode_member_payloads(self, named: List, expect: Optional[str],
+                                context: str) -> List[np.ndarray]:
+        """Decode ``(codec_name | None, payload)`` pairs, fanned out
+        per codec on the session executor.
+
+        ``None`` names a raw pipeline blob (decoded by the session's
+        ``"ours"`` codec).  Grouping preserves input order in the
+        returned arrays.  Backends that need spec-portable codecs
+        (process pools) fall back to in-process decode when the codec
+        cannot be shipped — the session's executor choice must never
+        make a readable archive unreadable.
+        """
+        groups: Dict[Optional[str], List[int]] = {}
+        for i, (name, _) in enumerate(named):
             self._check_expected(
-                name, expect,
-                f"shard {e.shard_id!r} was written by codec {name!r}, "
-                f"not {expect!r}")
-            arrays.append(self.resolve_codec(name).decompress(payload))
-        return assemble_shards(entries, arrays)
+                name or DEFAULT_CODEC, expect,
+                f"{context} was written by codec "
+                f"{(name or DEFAULT_CODEC)!r}, not {expect!r}")
+            groups.setdefault(name, []).append(i)
+        out: List[Optional[np.ndarray]] = [None] * len(named)
+        for name, idxs in groups.items():
+            codec = (self._ours_codec() if name is None
+                     else self.resolve_codec(name))
+            payloads = [named[i][1] for i in idxs]
+            if len(payloads) == 1:
+                arrays = [codec.decompress(payloads[0])]
+            else:
+                try:
+                    engine = CodecEngine(codec, executor=self.executor)
+                    arrays = engine.decompress(payloads)
+                except TypeError:
+                    arrays = [codec.decompress(p) for p in payloads]
+            for i, arr in zip(idxs, arrays):
+                out[i] = arr
+        return out
+
+    def _read_members(self, archive: Archive,
+                      members: List[MemberIndex]) -> List[bytes]:
+        """Fetch + checksum-verify each member's stored bytes."""
+        src = archive.reader()
+        return [verify_member(src.read_at(m.offset, m.length), m)
+                for m in members]
+
+    def _decompress_shards(self, archive: Archive,
+                           expect: Optional[str],
+                           select=None) -> np.ndarray:
+        members = archive.index()
+        if not members:
+            raise SessionError("empty shard archive")
+        window = None
+        if select is not None:
+            members, window = self._select_members(members, select)
+        named = []
+        for m, raw in zip(members, self._read_members(archive, members)):
+            if m.kind == MEMBER_ENVELOPE:
+                name, payload = unpack_envelope(raw)
+                named.append((name, payload))
+            else:
+                named.append((None, raw))
+        arrays = self._decode_member_payloads(
+            named, expect, context="shard")
+        entries = [ShardEntry(shard_id=m.key, variable=m.variable,
+                              t0=m.t0, t1=m.t1, payload=b"")
+                   for m in members]
+        if select is None:
+            return assemble_window(entries, arrays, t0=0,
+                                   t1=max(m.t1 for m in members))
+        t0, t1 = window if window is not None else (None, None)
+        return assemble_window(entries, arrays, t0=t0, t1=t1)
+
+    def _decompress_multivar_select(self, archive: Archive,
+                                    expect: Optional[str], select
+                                    ) -> Dict[str, np.ndarray]:
+        names = ([select] if isinstance(select, str)
+                 else list(select) if isinstance(select, Sequence)
+                 else None)
+        if not names or not all(isinstance(n, str) for n in names):
+            raise SessionError(
+                "multivar select= takes a variable name or a sequence "
+                "of names")
+        by_key = {m.key: m for m in archive.index()}
+        try:
+            members = [by_key[n] for n in names]
+        except KeyError as exc:
+            raise SessionError(
+                f"no variable {exc.args[0]!r}; archive holds "
+                f"{sorted(by_key)}") from None
+        named = []
+        for m, raw in zip(members, self._read_members(archive, members)):
+            if m.kind == MEMBER_ENVELOPE:
+                codec_name, payload = unpack_envelope(raw)
+                named.append((codec_name, payload))
+            else:
+                named.append((None, raw))
+        arrays = self._decode_member_payloads(
+            named, expect, context="variable")
+        return {m.key: arr for m, arr in zip(members, arrays)}
 
     def _decompress_multivar(self, archive: Archive,
                              expect: Optional[str]
@@ -859,9 +1187,11 @@ class Session:
         """
         path = os.fspath(path)
         with open(path, "rb") as fh:
-            data = fh.read()
-        if data[:4] != _NPZ_MAGIC:
-            return Archive(data).describe()
+            head = fh.read(4)
+        if head != _NPZ_MAGIC:
+            # lazy open: indexed archives describe themselves from
+            # header + footer reads without slurping the body
+            return Archive.open(path).describe()
         if is_artifact(path):
             return {"kind": "artifact", "manifest": read_manifest(path)}
         with np.load(path) as npz:

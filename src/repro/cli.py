@@ -80,6 +80,24 @@ def _parse_shape(text: str):
     return {"t": t, "h": h, "w": w}
 
 
+def _parse_select(text: str):
+    """One ``--select`` value -> the Session selector it means.
+
+    ``T0:T1`` (either end optional) is a time range, a bare integer is
+    a variable number, anything else is a shard id / variable name.
+    """
+    if ":" in text:
+        a, b = text.split(":", 1)
+        try:
+            return slice(int(a) if a else None, int(b) if b else None)
+        except ValueError:
+            raise ValueError(f"bad time range {text!r}; expected "
+                             f"T0:T1") from None
+    if text.lstrip("-").isdigit():
+        return int(text)
+    return text
+
+
 def _session(args: argparse.Namespace, **extra) -> Session:
     """Build the session an invocation configures."""
     return Session(codec=getattr(args, "codec", None),
@@ -228,13 +246,22 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                 dataset_overrides=overrides)
             output = args.output or f"{args.dataset}-{args.codec}.cdx"
         else:
-            frames = np.load(args.data)
             stem = args.data.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-            archive = session.compress(
-                frames, error_bound=args.error_bound,
-                nrmse_bound=args.nrmse_bound,
-                shards=args.shards if args.shards > 1 else None,
-                label=stem)
+            if args.chunk_shards is not None:
+                # out-of-core: hand the path to the session so frames
+                # stream through in bounded shard groups
+                archive = session.compress(
+                    args.data, error_bound=args.error_bound,
+                    nrmse_bound=args.nrmse_bound,
+                    shards=args.shards if args.shards > 1 else None,
+                    chunk_shards=args.chunk_shards, label=stem)
+            else:
+                frames = np.load(args.data)
+                archive = session.compress(
+                    frames, error_bound=args.error_bound,
+                    nrmse_bound=args.nrmse_bound,
+                    shards=args.shards if args.shards > 1 else None,
+                    label=stem)
             output = args.output
     except _USER_ERRORS as exc:
         return _fail(exc)
@@ -256,28 +283,33 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     try:
+        selects = [_parse_select(s) for s in (args.select or [])]
+        select = (None if not selects
+                  else selects[0] if len(selects) == 1 else selects)
         archive = Archive.open(args.data)
         session = _session(args)
         restored = session.decompress(archive,
-                                      expect_codec=args.codec)
+                                      expect_codec=args.codec,
+                                      select=select)
     except _USER_ERRORS as exc:
         return _fail(exc)
+    partial = " (partial)" if select is not None else ""
     if isinstance(restored, dict):
         # multi-variable archives reconstruct to one (V, T, H, W)
         # stack, variables in sorted-name order
         names = sorted(restored)
         frames = np.stack([restored[n] for n in names])
         np.save(args.output, frames)
-        print(f"wrote {frames.shape} ({', '.join(names)}) to "
+        print(f"wrote {frames.shape} ({', '.join(names)}){partial} to "
               f"{args.output}")
         return 0
     np.save(args.output, restored)
-    if archive.kind == "shard":
+    if archive.kind == "shard" and select is None:
         print(f"wrote {restored.shape} "
-              f"({len(archive.shard_entries())} shards) to "
+              f"({len(archive.index())} shards) to "
               f"{args.output}")
     else:
-        print(f"wrote {restored.shape} to {args.output}")
+        print(f"wrote {restored.shape}{partial} to {args.output}")
     return 0
 
 
@@ -309,13 +341,17 @@ def _render_info(info: dict) -> int:
         return 0
     if kind == "shard":
         entries = info["entries"]
+        seekable = ("seekable footer index"
+                    if info.get("indexed") else "no footer (v1 scan)")
         print(f"shard archive    : {len(entries)} shards, "
-              f"{len(info['variables'])} variable(s)")
+              f"{len(info['variables'])} variable(s), {seekable}")
         print(f"total bytes      : {info['total_bytes']}")
         for e in entries:
             print(f"  {e['shard_id']:28s} codec={e['codec']:10s} "
                   f"frames=[{e['t0']},{e['t1']}) "
-                  f"bytes={e['payload_bytes']}")
+                  f"bytes={e['payload_bytes']} "
+                  f"@{e['offset']}+{e['length']} "
+                  f"crc={e['crc32']:08x}")
         return 0
     if kind == "envelope":
         print(f"codec            : {info['codec']}")
@@ -323,10 +359,17 @@ def _render_info(info: dict) -> int:
         print(f"  payload        : {info['payload_bytes']}")
         return 0
     if kind == "multivar":
+        seekable = ("seekable footer index"
+                    if info.get("indexed") else "no footer (legacy)")
         print(f"multivar archive : {len(info['variables'])} "
-              f"variable(s), codecs {', '.join(info['codecs'])}")
+              f"variable(s), codecs {', '.join(info['codecs'])}, "
+              f"{seekable}")
         print(f"variables        : {', '.join(info['variables'])}")
         print(f"total bytes      : {info['total_bytes']}")
+        for e in info.get("entries", []):
+            print(f"  {e['variable']:16s} codec={e['codec']:10s} "
+                  f"@{e['offset']}+{e['length']} "
+                  f"crc={e['crc32']:08x}")
         return 0
     if kind == "stream":
         print(f"stream archive   : {info['chunks']} chunks, "
@@ -484,6 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--shards", type=int, default=1,
                    help="split the time axis into N shards and write "
                         "a shard archive")
+    c.add_argument("--chunk-shards", type=int, default=None,
+                   help="out-of-core mode: stream the .npy input "
+                        "through the engine N shards at a time, so "
+                        "peak memory is O(chunk) not O(dataset); the "
+                        "archive is byte-identical to in-memory "
+                        "compression (--shards defaults to one shard "
+                        "per 16 frames in this mode)")
     c.add_argument("--executor", default="thread",
                    choices=list_executors(),
                    help="execution backend for sharded compression")
@@ -515,6 +565,12 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--codec-artifact", default=None,
                    help="load trained codec state from a model "
                         "artifact (.npz written by 'repro train')")
+    d.add_argument("--select", action="append", default=None,
+                   metavar="SEL",
+                   help="partial decode: a shard id, a variable "
+                        "number/name, or a T0:T1 time range; repeat "
+                        "to select several members (indexed archives "
+                        "read only the touched bytes)")
     d.set_defaults(fn=_cmd_decompress)
 
     i = sub.add_parser("info", help="inspect a compressed stream or a "

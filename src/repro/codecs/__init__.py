@@ -19,7 +19,7 @@ over batches of windows/variables in parallel.
 """
 
 from .base import (Codec, CodecCapabilities, CodecResult, is_envelope,
-                   pack_envelope, unpack_envelope)
+                   pack_envelope, peek_envelope, unpack_envelope)
 from .registry import (CodecSpec, as_codec, codec_from_spec, codec_specs,
                        get_codec, list_codecs, register_codec)
 
@@ -38,7 +38,7 @@ __all__ = [
     "Codec", "CodecCapabilities", "CodecResult", "CodecSpec",
     "register_codec", "get_codec", "list_codecs", "codec_specs",
     "as_codec", "codec_from_spec",
-    "pack_envelope", "unpack_envelope", "is_envelope",
+    "pack_envelope", "unpack_envelope", "is_envelope", "peek_envelope",
     "RuleBasedCodec", "SZCodec", "ZFPCodec", "TTHRESHCodec", "MGARDCodec",
     "DPCMCodec", "FAZCodec",
     "LearnedCodec", "CDCEpsCodec", "CDCXCodec", "GCDCodec", "VAESRCodec",

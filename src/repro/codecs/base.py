@@ -310,6 +310,22 @@ def is_envelope(data: bytes) -> bool:
     return data[:4] == ENVELOPE_MAGIC
 
 
+def peek_envelope(data: bytes) -> Optional[str]:
+    """Codec name of an envelope without copying its payload.
+
+    Container indexers call this on every member at pack time, so it
+    must parse the header only — :func:`unpack_envelope` slices (and
+    therefore copies) the payload.  Returns ``None`` for non-envelope
+    bytes.
+    """
+    if not is_envelope(data) or len(data) < 5:
+        return None
+    tlen, = struct.unpack_from("<B", data, 4)
+    if len(data) < 5 + tlen:
+        return None
+    return data[5:5 + tlen].decode()
+
+
 def unpack_envelope(data: bytes) -> Tuple[str, bytes]:
     """Inverse of :func:`pack_envelope`; returns ``(name, payload)``."""
     if not is_envelope(data):

@@ -26,7 +26,12 @@
 * :mod:`repro.pipeline.streaming` — constant-memory chunked compression
   of frame iterators into a :class:`~repro.pipeline.streaming.StreamArchive`;
 * :mod:`repro.pipeline.multivar` — multi-variable (V, T, H, W) archives
-  with aggregate Eq. 11 accounting.
+  with aggregate Eq. 11 accounting;
+* :mod:`repro.pipeline.container` — the seekable footer index shared by
+  the multi-part containers (member byte extents + CRC-32 checksums,
+  byte sources, the counting reader used to assert partial-decode I/O);
+* :mod:`repro.pipeline.sources` — bounded-memory stack sources
+  (``.npy`` / array adapters) feeding chunked out-of-core ingestion.
 """
 
 from .artifacts import (ArtifactManifest, ArtifactStore, is_artifact,
@@ -34,14 +39,19 @@ from .artifacts import (ArtifactManifest, ArtifactStore, is_artifact,
 from .blob import CompressedBlob, WindowStreams
 from .bundle import load_bundle, save_bundle
 from .compressor import CompressionResult, LatentDiffusionCompressor
+from .container import (ArchiveIndexError, BufferSource, CountingReader,
+                        FileObjSource, FileSource, MemberIndex,
+                        as_source, read_index, verify_member)
 from .engine import BatchResult, CodecEngine, WindowReport
 from .executors import (Executor, ProcessExecutor, SerialExecutor,
                         ThreadExecutor, get_executor, list_executors)
 from .multivar import (MultiVarArchive, MultiVariableCompressor,
-                       MultiVarResult)
+                       MultiVarResult, read_multivar_index)
 from .plan import (ShardEntry, ShardPlan, ShardTask, assemble_shards,
-                   is_shard_archive, pack_shard_archive, plan_shards,
+                   assemble_window, is_shard_archive,
+                   pack_shard_archive, plan_shards, read_shard_index,
                    time_slices, unpack_shard_archive)
+from .sources import ArrayStackSource, NpyStackSource, as_stack_source
 from .streaming import ChunkResult, StreamArchive, StreamingCompressor
 from .training import TrainingConfig, TwoStageTrainer, train_compressor
 
@@ -56,7 +66,12 @@ __all__ = [
     "load_artifact", "read_manifest", "is_artifact",
     "ShardTask", "ShardPlan", "ShardEntry", "plan_shards",
     "time_slices", "pack_shard_archive", "unpack_shard_archive",
-    "is_shard_archive", "assemble_shards",
+    "is_shard_archive", "assemble_shards", "assemble_window",
+    "read_shard_index", "read_multivar_index",
+    "ArchiveIndexError", "MemberIndex", "BufferSource", "FileSource",
+    "FileObjSource", "CountingReader", "as_source", "read_index",
+    "verify_member",
+    "NpyStackSource", "ArrayStackSource", "as_stack_source",
     "StreamingCompressor", "StreamArchive", "ChunkResult",
     "MultiVariableCompressor", "MultiVarArchive", "MultiVarResult",
 ]

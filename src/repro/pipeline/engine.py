@@ -255,7 +255,8 @@ class CodecEngine:
                  bound: Union[None, float, Bound] = None,
                  error_bound: Optional[float] = None,
                  nrmse_bound: Optional[float] = None,
-                 keep_reconstruction: bool = True) -> BatchResult:
+                 keep_reconstruction: bool = True,
+                 first_index: int = 0) -> BatchResult:
         """Compress every stack; bounds apply per stack.
 
         ``bound`` is a :class:`~repro.bound.Bound` — or a raw float in
@@ -268,16 +269,23 @@ class CodecEngine:
         metrics are computed — essential for large sweeps and for
         process backends, where reconstructions would otherwise be
         pickled back to the parent for nothing.
+        ``first_index`` offsets window numbering (stack ``j`` of this
+        call is window ``first_index + j`` for seeding and report
+        indexes), which is how chunked ingestion feeds a long stack
+        sequence through several bounded calls while producing streams
+        byte-identical to one big call.
         """
         self._check_bounds(bound, error_bound, nrmse_bound)
         ref = self._codec_ref()
-        jobs = [_WindowJob(index=i, seed=self.seed_for(i), codec_ref=ref,
+        jobs = [_WindowJob(index=first_index + j,
+                           seed=self.seed_for(first_index + j),
+                           codec_ref=ref,
                            stack=np.asarray(stack), bound=bound,
                            error_bound=error_bound,
                            nrmse_bound=nrmse_bound,
                            keep_reconstruction=keep_reconstruction,
                            entropy_backend=self.entropy_backend)
-                for i, stack in enumerate(stacks)]
+                for j, stack in enumerate(stacks)]
         return self._execute(jobs)
 
     # ------------------------------------------------------------------

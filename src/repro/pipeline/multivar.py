@@ -25,6 +25,7 @@ results are bit-identical either way.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -34,13 +35,17 @@ from ..bound import Bound
 from ..metrics import CompressionAccounting
 from .blob import CompressedBlob
 from .compressor import LatentDiffusionCompressor
+from .container import (ArchiveIndexError, MemberIndex, as_source,
+                        index_blob, read_index)
 from .executors import ThreadExecutor
 
-__all__ = ["MultiVarResult", "MultiVarArchive", "MultiVariableCompressor"]
+__all__ = ["MultiVarResult", "MultiVarArchive", "MultiVariableCompressor",
+           "read_multivar_index"]
 
 _MAGIC = b"LDMV"
 _VERSION = 1
 _VERSION_CODEC = 2     # adds envelope (non-blob codec) entries
+_VERSION_INDEXED = 3   # v2 entry layout + footer index + trailer
 
 _ENTRY_BLOB = 0
 _ENTRY_ENVELOPE = 1
@@ -108,23 +113,49 @@ class MultiVarArchive:
     def __len__(self) -> int:
         return len(self.blobs) + len(self.envelopes)
 
-    def to_bytes(self) -> bytes:
-        version = _VERSION if not self.envelopes else _VERSION_CODEC
+    def to_bytes(self, version: Optional[int] = None) -> bytes:
+        """Serialize; ``version`` pins a legacy wire layout.
+
+        The default writes the indexed v3 container (entry region
+        byte-identical to v2, plus footer index + trailer).  ``1`` and
+        ``2`` reproduce the historical layouts byte-for-byte — v1 is
+        blob-only and rejects envelope entries.
+        """
+        if version is None:
+            version = _VERSION_INDEXED
+        if version not in (_VERSION, _VERSION_CODEC, _VERSION_INDEXED):
+            raise ValueError(f"unsupported archive version {version}")
+        if version == _VERSION and self.envelopes:
+            raise ValueError("envelope entries need archive version "
+                             ">= 2")
         parts = [_MAGIC, struct.pack("<BI", version, len(self))]
+        pos = 4 + struct.calcsize("<BI")
         entries = [(name, _ENTRY_BLOB, blob.to_bytes())
                    for name, blob in self.blobs.items()]
         entries += [(name, _ENTRY_ENVELOPE, env)
                     for name, env in self.envelopes.items()]
+        members = []
         for name, kind, payload in entries:
             tag = name.encode()
             if len(tag) > 255:
                 raise ValueError(f"variable name too long: {name!r}")
             parts.append(struct.pack("<B", len(tag)))
             parts.append(tag)
-            if version == _VERSION_CODEC:
+            pos += 1 + len(tag)
+            if version >= _VERSION_CODEC:
                 parts.append(struct.pack("<B", kind))
+                pos += 1
             parts.append(struct.pack("<I", len(payload)))
             parts.append(payload)
+            pos += 4
+            if version >= _VERSION_INDEXED:
+                members.append(MemberIndex(
+                    key=name, kind=kind, codec=_entry_codec(kind, payload),
+                    variable=-1, t0=0, t1=0, offset=pos,
+                    length=len(payload), crc32=zlib.crc32(payload)))
+            pos += len(payload)
+        if version >= _VERSION_INDEXED:
+            parts.append(index_blob(members, footer_offset=pos))
         return b"".join(parts)
 
     @classmethod
@@ -132,7 +163,7 @@ class MultiVarArchive:
         if data[:4] != _MAGIC:
             raise ValueError("not a multi-variable archive (bad magic)")
         version, count = struct.unpack_from("<BI", data, 4)
-        if version not in (_VERSION, _VERSION_CODEC):
+        if version not in (_VERSION, _VERSION_CODEC, _VERSION_INDEXED):
             raise ValueError(f"unsupported archive version {version}")
         pos = 4 + struct.calcsize("<BI")
         blobs: Dict[str, CompressedBlob] = {}
@@ -143,7 +174,7 @@ class MultiVarArchive:
             name = data[pos:pos + tlen].decode()
             pos += tlen
             kind = _ENTRY_BLOB
-            if version == _VERSION_CODEC:
+            if version >= _VERSION_CODEC:
                 kind, = struct.unpack_from("<B", data, pos)
                 pos += 1
             n, = struct.unpack_from("<I", data, pos)
@@ -159,6 +190,66 @@ class MultiVarArchive:
                 raise ValueError(f"unknown archive entry kind {kind}")
             pos += n
         return cls(blobs=blobs, envelopes=envelopes)
+
+
+def _entry_codec(kind: int, payload: bytes) -> str:
+    """Codec name for a footer row; blobs carry no registry name."""
+    if kind != _ENTRY_ENVELOPE:
+        return ""
+    from ..codecs import peek_envelope
+    return peek_envelope(payload) or ""
+
+
+def read_multivar_index(source) -> List[MemberIndex]:
+    """Member index of a multi-variable archive.
+
+    v3 archives answer from the footer in three small reads; legacy
+    v1/v2 archives are scanned once and equivalent rows synthesized.
+    ``variable``/``t0``/``t1`` carry no meaning for this container
+    (``-1``/``0``/``0``); members are keyed by variable name, with
+    ``kind`` separating blob and envelope entries.
+    """
+    source = as_source(source)
+    head = source.read_at(0, 4 + struct.calcsize("<BI"))
+    if head[:4] != _MAGIC:
+        raise ValueError("not a multi-variable archive (bad magic)")
+    version, count = struct.unpack_from("<BI", head, 4)
+    if version >= _VERSION_INDEXED:
+        members = read_index(source)
+        if members is None:
+            raise ArchiveIndexError(
+                f"multi-variable archive v{version} is missing its "
+                f"footer index (truncated file?)")
+        if len(members) != count:
+            raise ArchiveIndexError(
+                f"multi-variable archive header promises {count} "
+                f"members but the footer indexes {len(members)}")
+        return members
+    data = source.read_all()
+    if version not in (_VERSION, _VERSION_CODEC):
+        raise ValueError(f"unsupported archive version {version}")
+    members = []
+    pos = 4 + struct.calcsize("<BI")
+    for _ in range(count):
+        tlen, = struct.unpack_from("<B", data, pos)
+        pos += 1
+        name = data[pos:pos + tlen].decode()
+        pos += tlen
+        kind = _ENTRY_BLOB
+        if version >= _VERSION_CODEC:
+            kind, = struct.unpack_from("<B", data, pos)
+            pos += 1
+        n, = struct.unpack_from("<I", data, pos)
+        pos += 4
+        payload = data[pos:pos + n]
+        if len(payload) != n:
+            raise ValueError("truncated archive: entry incomplete")
+        members.append(MemberIndex(
+            key=name, kind=kind, codec=_entry_codec(kind, payload),
+            variable=-1, t0=0, t1=0, offset=pos, length=n,
+            crc32=zlib.crc32(payload)))
+        pos += n
+    return members
 
 
 CodecLike = Union[LatentDiffusionCompressor, str, "object"]

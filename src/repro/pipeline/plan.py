@@ -29,6 +29,7 @@ decompress.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple, Union
@@ -38,10 +39,13 @@ import numpy as np
 from ..data.base import SpatiotemporalDataset
 from ..data.registry import (DatasetSpec, dataset_from_spec,
                              get_dataset_spec, spec_of)
+from .container import (MEMBER_BLOB, MEMBER_ENVELOPE, ArchiveIndexError,
+                        MemberIndex, as_source, index_blob, read_index)
 
 __all__ = ["ShardTask", "ShardPlan", "plan_shards", "time_slices",
            "ShardEntry", "pack_shard_archive", "unpack_shard_archive",
-           "is_shard_archive", "assemble_shards", "SHARD_MAGIC"]
+           "is_shard_archive", "assemble_shards", "assemble_window",
+           "read_shard_index", "SHARD_MAGIC", "SHARD_VERSION"]
 
 #: Per-shard seed stride; must match
 #: :data:`repro.pipeline.engine.SEED_STRIDE` (kept literal here to
@@ -49,6 +53,14 @@ __all__ = ["ShardTask", "ShardPlan", "plan_shards", "time_slices",
 SEED_STRIDE = 7919
 
 SHARD_MAGIC = b"SHRD"
+#: current shard-archive wire version.  v2 appends a footer index
+#: (:mod:`repro.pipeline.container`) after the member region; the
+#: member region itself is byte-identical to v1, so v1 readers of the
+#: entry scan keep working and v1 archives stay fully decodable.
+SHARD_VERSION = 2
+
+_HEAD_FMT = "<HI"
+_ENTRY_GEOM = "<IIIQ"
 
 
 @dataclass(frozen=True)
@@ -206,18 +218,48 @@ class ShardEntry:
     payload: bytes
 
 
-def pack_shard_archive(entries: Sequence[ShardEntry]) -> bytes:
-    """Serialize shard entries into a self-contained archive."""
-    parts = [SHARD_MAGIC, struct.pack("<HI", 1, len(entries))]
+def _payload_codec(payload: bytes) -> Tuple[int, str]:
+    """Member kind + codec name for a footer row (header peek only)."""
+    from ..codecs import peek_envelope
+    name = peek_envelope(payload)
+    if name is None:
+        return MEMBER_BLOB, ""
+    return MEMBER_ENVELOPE, name
+
+
+def pack_shard_archive(entries: Sequence[ShardEntry], *,
+                       version: int = SHARD_VERSION) -> bytes:
+    """Serialize shard entries into a self-contained archive.
+
+    ``version=2`` (the default) appends a footer index mapping every
+    shard to its byte extent and CRC-32 so readers can seek straight
+    to one member; ``version=1`` reproduces the legacy layout
+    byte-for-byte.
+    """
+    if version not in (1, SHARD_VERSION):
+        raise ValueError(f"unsupported shard archive version {version}")
+    parts = [SHARD_MAGIC, struct.pack(_HEAD_FMT, version, len(entries))]
+    pos = 4 + struct.calcsize(_HEAD_FMT)
+    members = []
     for e in entries:
         sid = e.shard_id.encode()
         if not 0 < len(sid) <= 0xFFFF:
             raise ValueError(f"bad shard id {e.shard_id!r}")
         parts.append(struct.pack("<H", len(sid)))
         parts.append(sid)
-        parts.append(struct.pack("<IIIQ", e.variable, e.t0, e.t1,
+        parts.append(struct.pack(_ENTRY_GEOM, e.variable, e.t0, e.t1,
                                  len(e.payload)))
         parts.append(e.payload)
+        pos += 2 + len(sid) + struct.calcsize(_ENTRY_GEOM)
+        if version >= 2:
+            kind, codec = _payload_codec(e.payload)
+            members.append(MemberIndex(
+                key=e.shard_id, kind=kind, codec=codec,
+                variable=e.variable, t0=e.t0, t1=e.t1, offset=pos,
+                length=len(e.payload), crc32=zlib.crc32(e.payload)))
+        pos += len(e.payload)
+    if version >= 2:
+        parts.append(index_blob(members, footer_offset=pos))
     return b"".join(parts)
 
 
@@ -226,21 +268,26 @@ def is_shard_archive(data: bytes) -> bool:
 
 
 def unpack_shard_archive(data: bytes) -> List[ShardEntry]:
-    """Inverse of :func:`pack_shard_archive`."""
+    """Inverse of :func:`pack_shard_archive`.
+
+    The sequential entry scan is version-independent — v2's footer
+    sits after the ``count`` scanned entries and is simply not
+    visited, so this reader accepts both versions.
+    """
     if not is_shard_archive(data):
         raise ValueError("not a shard archive (bad magic)")
-    version, count = struct.unpack_from("<HI", data, 4)
-    if version != 1:
+    version, count = struct.unpack_from(_HEAD_FMT, data, 4)
+    if version not in (1, SHARD_VERSION):
         raise ValueError(f"unsupported shard archive version {version}")
-    pos = 4 + struct.calcsize("<HI")
+    pos = 4 + struct.calcsize(_HEAD_FMT)
     entries = []
     for _ in range(count):
         slen, = struct.unpack_from("<H", data, pos)
         pos += 2
         sid = data[pos:pos + slen].decode()
         pos += slen
-        variable, t0, t1, n = struct.unpack_from("<IIIQ", data, pos)
-        pos += struct.calcsize("<IIIQ")
+        variable, t0, t1, n = struct.unpack_from(_ENTRY_GEOM, data, pos)
+        pos += struct.calcsize(_ENTRY_GEOM)
         payload = data[pos:pos + n]
         if len(payload) != n:
             raise ValueError("truncated shard archive")
@@ -250,36 +297,105 @@ def unpack_shard_archive(data: bytes) -> List[ShardEntry]:
     return entries
 
 
+def read_shard_index(source) -> List[MemberIndex]:
+    """Member index of a shard archive, reading as little as possible.
+
+    For a v2 archive this costs three small reads (head + trailer +
+    footer).  For a legacy v1 archive there is no footer, so the
+    member region is scanned once (a full read) and equivalent index
+    rows are synthesized — same result, linear cost.
+    """
+    source = as_source(source)
+    head = source.read_at(0, 4 + struct.calcsize(_HEAD_FMT))
+    if head[:4] != SHARD_MAGIC:
+        raise ValueError("not a shard archive (bad magic)")
+    version, count = struct.unpack_from(_HEAD_FMT, head, 4)
+    if version >= 2:
+        members = read_index(source)
+        if members is None:
+            raise ArchiveIndexError(
+                f"shard archive v{version} is missing its footer "
+                f"index (truncated file?)")
+        if len(members) != count:
+            raise ArchiveIndexError(
+                f"shard archive header promises {count} members but "
+                f"the footer indexes {len(members)}")
+        return members
+    data = source.read_all()
+    members = []
+    pos = 4 + struct.calcsize(_HEAD_FMT)
+    for e in unpack_shard_archive(data):
+        sid = e.shard_id.encode()
+        pos += 2 + len(sid) + struct.calcsize(_ENTRY_GEOM)
+        kind, codec = _payload_codec(e.payload)
+        members.append(MemberIndex(
+            key=e.shard_id, kind=kind, codec=codec, variable=e.variable,
+            t0=e.t0, t1=e.t1, offset=pos, length=len(e.payload),
+            crc32=zlib.crc32(e.payload)))
+        pos += len(e.payload)
+    return members
+
+
 def assemble_shards(entries: Sequence[ShardEntry],
                     arrays: Sequence[np.ndarray]) -> np.ndarray:
     """Stitch decoded shard arrays back into one stack.
 
     Returns ``(T, H, W)`` for a single-variable archive and
     ``(V, T, H, W)`` otherwise (variables indexed in sorted order).
+    The full time axis ``[0, max t1)`` must be covered.
+    """
+    if not entries:
+        raise ValueError("empty shard archive")
+    return assemble_window(entries, arrays, t0=0,
+                           t1=max(e.t1 for e in entries))
+
+
+def assemble_window(entries: Sequence[ShardEntry],
+                    arrays: Sequence[np.ndarray],
+                    t0: Optional[int] = None,
+                    t1: Optional[int] = None) -> np.ndarray:
+    """Stitch decoded shards covering the time window ``[t0, t1)``.
+
+    The generalization behind partial decode: entries may overhang the
+    window (their overhang is trimmed), but together they must tile
+    ``[t0, t1)`` for every variable present, with no overlap inside
+    the window.  Defaults cover exactly the entries' own extent.
+    Returns ``(t1-t0, H, W)`` for one variable, ``(V, t1-t0, H, W)``
+    otherwise.
     """
     if len(entries) != len(arrays):
         raise ValueError("one decoded array per entry required")
     if not entries:
-        raise ValueError("empty shard archive")
+        raise ValueError("no shards selected")
+    if t0 is None:
+        t0 = min(e.t0 for e in entries)
+    if t1 is None:
+        t1 = max(e.t1 for e in entries)
+    if not 0 <= t0 < t1:
+        raise ValueError(f"bad time window [{t0}, {t1})")
+    span = t1 - t0
     variables = sorted({e.variable for e in entries})
     var_index = {v: i for i, v in enumerate(variables)}
-    t_total = max(e.t1 for e in entries)
     h, w = np.asarray(arrays[0]).shape[-2:]
-    out = np.zeros((len(variables), t_total, h, w),
+    out = np.zeros((len(variables), span, h, w),
                    dtype=np.asarray(arrays[0]).dtype)
-    seen = np.zeros((len(variables), t_total), dtype=bool)
+    seen = np.zeros((len(variables), span), dtype=bool)
     for e, arr in zip(entries, arrays):
         arr = np.asarray(arr)
         if arr.shape != (e.t1 - e.t0, h, w):
             raise ValueError(f"shard {e.shard_id!r} decoded to "
                              f"{arr.shape}, expected "
                              f"{(e.t1 - e.t0, h, w)}")
+        a, b = max(e.t0, t0), min(e.t1, t1)
+        if a >= b:
+            raise ValueError(f"shard {e.shard_id!r} lies outside the "
+                             f"window [{t0}, {t1})")
         vi = var_index[e.variable]
-        if seen[vi, e.t0:e.t1].any():
+        if seen[vi, a - t0:b - t0].any():
             raise ValueError(f"shard {e.shard_id!r} overlaps another "
                              f"shard")
-        out[vi, e.t0:e.t1] = arr
-        seen[vi, e.t0:e.t1] = True
+        out[vi, a - t0:b - t0] = arr[a - e.t0:b - e.t0]
+        seen[vi, a - t0:b - t0] = True
     if not seen.all():
-        raise ValueError("shard archive leaves gaps in the time axis")
+        raise ValueError("selected shards leave gaps in the time axis")
     return out[0] if len(variables) == 1 else out

@@ -1,0 +1,142 @@
+"""Bounded-memory frame sources for chunked ingestion.
+
+``Session.compress`` historically required the full ``(T, H, W)``
+stack in RAM.  A *stack source* is the out-of-core alternative: an
+object exposing the stack's geometry plus ``read(a, b)`` returning
+frames ``[a:b)`` as a fresh array, so the ingestion loop can pull one
+bounded group of shards at a time and peak RSS stays O(chunk) instead
+of O(dataset).
+
+:class:`NpyStackSource` serves ``.npy`` files.  It parses only the
+header up front, then reads each requested frame range with a plain
+``seek`` + ``readinto`` into a freshly allocated buffer — deliberately
+*not* ``np.load(mmap_mode="r")`` slices, because mapped pages stay
+resident and count toward the process high-water mark
+(``ru_maxrss``), which is exactly the metric bounded ingestion is
+asserted against.
+
+:class:`ArrayStackSource` adapts any in-RAM (or memory-mapped) array
+so the chunked write path and the in-memory path share one code path
+— the byte-identity tests compare them directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["NpyStackSource", "ArrayStackSource", "as_stack_source"]
+
+
+def _read_npy_header(fh) -> Tuple[Tuple[int, ...], bool, np.dtype, int]:
+    """Shape, F-order flag, dtype and data offset of an ``.npy`` file."""
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    else:  # (3, 0) adds utf8 field names; layout otherwise identical
+        shape, fortran, dtype = np.lib.format._read_array_header(
+            fh, version)
+    return shape, fortran, dtype, fh.tell()
+
+
+class NpyStackSource:
+    """Frame ranges of an on-disk ``.npy`` stack, read one chunk at a
+    time.
+
+    The file must hold a C-contiguous 3-dim ``(T, H, W)`` array.
+    Only the header is read at construction; each :meth:`read` costs
+    one seek plus one contiguous read of exactly the requested
+    frames.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        with open(self.path, "rb") as fh:
+            shape, fortran, dtype, offset = _read_npy_header(fh)
+        if len(shape) != 3:
+            raise ValueError(
+                f"{self.path!r} holds a {len(shape)}-dim array; "
+                f"out-of-core ingestion needs a (T, H, W) stack")
+        if fortran:
+            raise ValueError(
+                f"{self.path!r} is Fortran-ordered; out-of-core "
+                f"ingestion needs C-contiguous frames")
+        if dtype.hasobject:
+            raise ValueError(f"{self.path!r} holds object arrays")
+        self._shape = shape
+        self._dtype = dtype
+        self._offset = offset
+        self._frame_bytes = int(dtype.itemsize * shape[1] * shape[2])
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def t(self) -> int:
+        return self._shape[0]
+
+    def read(self, a: int, b: int) -> np.ndarray:
+        """Frames ``[a:b)`` as a fresh writable ``(b-a, H, W)`` array."""
+        if not 0 <= a < b <= self.t:
+            raise ValueError(f"frame range [{a}, {b}) outside "
+                             f"[0, {self.t})")
+        out = np.empty((b - a,) + self._shape[1:], dtype=self._dtype)
+        view = out.reshape(-1).view(np.uint8)
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset + a * self._frame_bytes)
+            got = fh.readinto(view)
+        if got != view.nbytes:
+            raise ValueError(
+                f"{self.path!r} is truncated: frame range [{a}, {b}) "
+                f"needs {view.nbytes} bytes, read {got}")
+        return out
+
+
+class ArrayStackSource:
+    """Stack source over an array already in addressable memory.
+
+    Accepts plain ndarrays and ``np.memmap``/``np.load(mmap_mode=...)``
+    arrays; ``read`` copies the requested frames out, so downstream
+    code always owns writable buffers.
+    """
+
+    def __init__(self, array: np.ndarray):
+        if array.ndim != 3:
+            raise ValueError(f"expected (T, H, W), got {array.shape}")
+        self._array = array
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return tuple(self._array.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def t(self) -> int:
+        return self._array.shape[0]
+
+    def read(self, a: int, b: int) -> np.ndarray:
+        if not 0 <= a < b <= self.t:
+            raise ValueError(f"frame range [{a}, {b}) outside "
+                             f"[0, {self.t})")
+        return np.array(self._array[a:b])
+
+
+def as_stack_source(obj) -> Union[NpyStackSource, ArrayStackSource]:
+    """Normalize a path / array into a stack source."""
+    if isinstance(obj, (NpyStackSource, ArrayStackSource)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return ArrayStackSource(obj)
+    return NpyStackSource(obj)

@@ -54,7 +54,8 @@ class TestSniffing:
 
     def test_multivar_v1_legacy(self, ours_blob):
         """Version-1 container: blob entries only, pre-codec-registry."""
-        data = MultiVarArchive(blobs={"var0": ours_blob}).to_bytes()
+        data = MultiVarArchive(blobs={"var0": ours_blob}).to_bytes(
+            version=1)
         # the v1 wire format has no entry-kind byte
         assert data[4] == 1
         archive = Archive.open(data)

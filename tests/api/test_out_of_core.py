@@ -1,0 +1,135 @@
+"""Chunked out-of-core ingestion: byte identity with the in-memory
+path, source dispatch, and the defaults the streaming loop applies."""
+
+import numpy as np
+import pytest
+
+from repro.api import Archive, Bound, Session, SessionError
+from repro.pipeline.sources import ArrayStackSource, NpyStackSource
+
+BOUND = Bound.nrmse(1e-3)
+T = 36
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(9)
+    return np.cumsum(rng.standard_normal((T, 8, 8)), axis=0)
+
+
+@pytest.fixture(scope="module")
+def npy_path(tmp_path_factory, frames):
+    path = tmp_path_factory.mktemp("ooc") / "stack.npy"
+    np.save(path, frames)
+    return path
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session(codec="szlike", executor="serial") as s:
+        yield s
+
+
+@pytest.fixture(scope="module")
+def in_memory(session, frames):
+    return session.compress(frames, bound=BOUND, shards=6)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("chunk_shards", [1, 2, 4, 6])
+    def test_chunked_equals_in_memory(self, session, frames, in_memory,
+                                      chunk_shards):
+        chunked = session.compress(ArrayStackSource(frames),
+                                   bound=BOUND, shards=6,
+                                   chunk_shards=chunk_shards)
+        assert chunked.data == in_memory.data
+        assert chunked.stats["chunk_shards"] == chunk_shards
+
+    def test_npy_path_equals_in_memory(self, session, npy_path,
+                                       in_memory):
+        for source in (str(npy_path), npy_path):
+            chunked = session.compress(source, bound=BOUND, shards=6,
+                                       chunk_shards=2)
+            assert chunked.data == in_memory.data
+
+    def test_memmap_equals_in_memory(self, session, npy_path,
+                                     in_memory):
+        mapped = np.load(npy_path, mmap_mode="r")
+        chunked = session.compress(mapped, bound=BOUND, shards=6,
+                                   chunk_shards=2)
+        assert chunked.data == in_memory.data
+
+    def test_thread_and_process_match_serial(self, npy_path, in_memory):
+        for executor in ("thread", "process"):
+            with Session(codec="szlike", executor=executor,
+                         workers=2) as par:
+                chunked = par.compress(str(npy_path), bound=BOUND,
+                                       shards=6, chunk_shards=2)
+                assert chunked.data == in_memory.data
+
+    def test_label_matches_sharded_stack(self, session, frames,
+                                         npy_path):
+        mem = session.compress(frames, bound=BOUND, shards=3,
+                               label="clim")
+        ooc = session.compress(str(npy_path), bound=BOUND, shards=3,
+                               chunk_shards=1, label="clim")
+        assert ooc.data == mem.data
+        assert all(m.key.startswith("clim/") for m in ooc.index())
+
+
+class TestRoundtrip:
+    def test_decode_matches_source_within_bound(self, session, frames,
+                                                npy_path):
+        archive = session.compress(str(npy_path), bound=BOUND, shards=6,
+                                   chunk_shards=2)
+        out = session.decompress(archive)
+        assert out.shape == frames.shape
+        rng_ = float(frames.max() - frames.min())
+        nrmse = float(np.sqrt(np.mean((out - frames) ** 2))) / rng_
+        assert nrmse <= 1e-3 * (1 + 1e-9)
+
+    def test_partial_read_back(self, session, frames, npy_path,
+                               tmp_path):
+        archive = session.compress(str(npy_path), bound=BOUND, shards=6,
+                                   chunk_shards=3)
+        path = tmp_path / "a.shrd"
+        archive.save(path)
+        full = session.decompress(archive)
+        window = session.decompress(Archive.open(path),
+                                    select=slice(10, 20))
+        np.testing.assert_array_equal(window, full[10:20])
+
+
+class TestDefaultsAndErrors:
+    def test_default_shards_one_per_16_frames(self, session, tmp_path):
+        path = tmp_path / "s48.npy"
+        np.save(path, np.cumsum(
+            np.random.default_rng(1).standard_normal((48, 6, 6)),
+            axis=0))
+        archive = session.compress(str(path), bound=BOUND,
+                                   chunk_shards=1)
+        assert archive.stats["shards"] == 3
+        assert [m.frames for m in archive.index()] == [16, 16, 16]
+
+    def test_default_chunk_shards_tracks_workers(self, npy_path,
+                                                 in_memory):
+        with Session(codec="szlike", executor="serial",
+                     workers=2) as ses:
+            archive = ses.compress(str(npy_path), bound=BOUND, shards=6)
+            assert archive.stats["chunk_shards"] == 2
+            assert archive.data == in_memory.data
+
+    def test_bad_chunk_shards(self, session, npy_path):
+        with pytest.raises(SessionError, match="chunk_shards"):
+            session.compress(str(npy_path), bound=BOUND, shards=2,
+                             chunk_shards=0)
+
+    def test_missing_file(self, session, tmp_path):
+        with pytest.raises(SessionError, match="cannot open"):
+            session.compress(str(tmp_path / "nope.npy"), bound=BOUND)
+
+    def test_wrong_rank_npy(self, session, tmp_path):
+        path = tmp_path / "flat.npy"
+        np.save(path, np.zeros((4, 4)))
+        with pytest.raises(SessionError, match="cannot open"):
+            session.compress(str(path), bound=BOUND)

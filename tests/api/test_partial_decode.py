@@ -1,0 +1,192 @@
+"""Partial decode through the footer index: ``select=`` semantics,
+executor parity, the bytes-read contract, legacy-version fallback and
+checksum enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.api import Archive, ArchiveIndexError, Bound, Session, \
+    SessionError
+from repro.pipeline.container import CountingReader
+from repro.pipeline.plan import pack_shard_archive, \
+    unpack_shard_archive
+
+BOUND = Bound.nrmse(1e-3)
+T = 24
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(5)
+    return np.cumsum(rng.standard_normal((T, 8, 8)), axis=0)
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session(codec="szlike", executor="serial") as s:
+        yield s
+
+
+@pytest.fixture(scope="module")
+def archive(session, frames):
+    return session.compress(frames, bound=BOUND, shards=4)
+
+
+@pytest.fixture(scope="module")
+def full(session, archive):
+    return session.decompress(archive)
+
+
+class TestSelectMatrix:
+    def test_shard_id_equals_slice_of_full(self, session, archive, full):
+        m = archive.index()[1]
+        window = session.decompress(archive, select=m.key)
+        np.testing.assert_array_equal(window, full[m.t0:m.t1])
+
+    def test_time_range(self, session, archive, full):
+        window = session.decompress(archive, select=slice(4, 17))
+        np.testing.assert_array_equal(window, full[4:17])
+
+    def test_range_not_aligned_to_shards_trims_exactly(self, session,
+                                                       archive, full):
+        # inside a single 6-frame shard: overhang on both sides
+        window = session.decompress(archive, select=slice(7, 9))
+        np.testing.assert_array_equal(window, full[7:9])
+
+    def test_open_and_negative_ranges(self, session, archive, full):
+        np.testing.assert_array_equal(
+            session.decompress(archive, select=slice(None, 6)), full[:6])
+        np.testing.assert_array_equal(
+            session.decompress(archive, select=slice(-6, None)),
+            full[-6:])
+
+    def test_variable_select(self, session, archive, full):
+        got = session.decompress(archive, select=0)
+        np.testing.assert_array_equal(got, full)
+
+    def test_sequence_union_keeps_file_order(self, session, archive,
+                                             full):
+        keys = [m.key for m in archive.index()]
+        got = session.decompress(archive, select=[keys[1], keys[0]])
+        np.testing.assert_array_equal(got, full[:12])
+
+    def test_lazy_path_open(self, session, archive, full, tmp_path):
+        path = tmp_path / "a.shrd"
+        archive.save(path)
+        lazy = Archive.open(path)
+        assert lazy.indexed()
+        assert lazy.index() == archive.index()
+        window = session.decompress(lazy, select=slice(6, 12))
+        np.testing.assert_array_equal(window, full[6:12])
+
+
+class TestSelectErrors:
+    def test_empty_range(self, session, archive):
+        with pytest.raises(SessionError, match="empty time range"):
+            session.decompress(archive, select=slice(9, 9))
+
+    def test_strided_range(self, session, archive):
+        with pytest.raises(SessionError, match="step 1"):
+            session.decompress(archive, select=slice(0, 8, 2))
+
+    def test_unknown_variable(self, session, archive):
+        with pytest.raises(SessionError, match="holds variables"):
+            session.decompress(archive, select=7)
+
+    def test_unknown_shard_id(self, session, archive):
+        with pytest.raises(SessionError, match="archive holds"):
+            session.decompress(archive, select="nope/v0/t0000-0006")
+
+    def test_bad_selector_type(self, session, archive):
+        with pytest.raises(SessionError, match="cannot select"):
+            session.decompress(archive, select=1.5)
+
+    def test_select_needs_multipart(self, session, frames):
+        envelope = session.compress(frames, bound=BOUND)
+        with pytest.raises(SessionError, match="multi-part"):
+            session.decompress(envelope, select=slice(0, 4))
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_partial_equals_serial(self, archive, full,
+                                            executor):
+        with Session(codec="szlike", executor=executor,
+                     workers=2) as par:
+            window = par.decompress(archive, select=slice(2, 20))
+            np.testing.assert_array_equal(window, full[2:20])
+            np.testing.assert_array_equal(par.decompress(archive), full)
+
+
+class TestBytesReadContract:
+    def test_partial_reads_footer_plus_member(self, session, archive,
+                                              tmp_path):
+        path = tmp_path / "a.shrd"
+        archive.save(path)
+        size = path.stat().st_size
+        members = archive.index()
+        target = members[2]
+        overhead = size - max(m.offset + m.length for m in members)
+        with open(path, "rb") as fh:
+            counter = CountingReader(fh)
+            session.decompress(Archive.open(counter), select=target.key)
+            # head sniff + container-header cross-checks +
+            # trailer/footer + exactly one member
+            assert counter.bytes_read <= 64 + overhead + target.length
+            assert counter.bytes_read < size
+
+
+class TestLegacyAndIntegrity:
+    def test_v1_archive_still_selects(self, session, archive, full):
+        entries = unpack_shard_archive(archive.data)
+        v1 = Archive.open(pack_shard_archive(entries, version=1))
+        assert not v1.indexed()
+        np.testing.assert_array_equal(session.decompress(v1), full)
+        window = session.decompress(v1, select=slice(6, 12))
+        np.testing.assert_array_equal(window, full[6:12])
+
+    def test_indexed_full_decode_matches_v1_decode(self, session,
+                                                   archive):
+        entries = unpack_shard_archive(archive.data)
+        v1 = Archive.open(pack_shard_archive(entries, version=1))
+        np.testing.assert_array_equal(session.decompress(archive),
+                                      session.decompress(v1))
+
+    def test_corrupt_member_fails_checksum(self, session, archive):
+        target = archive.index()[1]
+        bad = bytearray(archive.data)
+        bad[target.offset + target.length // 2] ^= 0xFF
+        with pytest.raises(ArchiveIndexError, match="checksum"):
+            session.decompress(Archive.open(bytes(bad)),
+                               select=target.key)
+
+    def test_expect_codec_enforced_on_partial(self, session, archive):
+        key = archive.index()[0].key
+        with pytest.raises(SessionError, match="written by codec"):
+            session.decompress(archive, select=key,
+                               expect_codec="zfplike")
+
+
+class TestMultivarSelect:
+    @pytest.fixture(scope="class")
+    def mv_archive(self, session, frames):
+        return session.compress({"u": frames, "v": frames * 2.0},
+                                bound=BOUND)
+
+    def test_name_select_matches_full(self, session, mv_archive):
+        assert mv_archive.indexed()
+        full = session.decompress(mv_archive)
+        one = session.decompress(mv_archive, select="u")
+        assert set(one) == {"u"}
+        np.testing.assert_array_equal(one["u"], full["u"])
+        both = session.decompress(mv_archive, select=["v", "u"])
+        assert set(both) == {"u", "v"}
+        np.testing.assert_array_equal(both["v"], full["v"])
+
+    def test_unknown_name(self, session, mv_archive):
+        with pytest.raises(SessionError, match="archive holds"):
+            session.decompress(mv_archive, select="w")
+
+    def test_bad_selector(self, session, mv_archive):
+        with pytest.raises(SessionError, match="variable name"):
+            session.decompress(mv_archive, select=3)

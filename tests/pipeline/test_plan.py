@@ -154,9 +154,18 @@ class TestShardArchive:
 
     def test_truncated_archive_detected(self):
         entries, _ = self._entries()
-        data = pack_shard_archive(entries)
+        # v1: clipping the tail truncates the last member
+        data = pack_shard_archive(entries, version=1)
         with pytest.raises(ValueError):
             unpack_shard_archive(data[:-3])
+        # v2: clipping the tail eats the footer (the member scan is
+        # unaffected); the index reader must notice
+        from repro.pipeline.container import ArchiveIndexError
+        from repro.pipeline.plan import read_shard_index
+        indexed = pack_shard_archive(entries)
+        assert unpack_shard_archive(indexed[:-3]) is not None
+        with pytest.raises(ArchiveIndexError):
+            read_shard_index(indexed[:-3])
 
     def test_not_an_archive(self):
         assert not is_shard_archive(b"CDX1whatever")
