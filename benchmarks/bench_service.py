@@ -1,0 +1,159 @@
+"""Service overhead benchmark: served vs in-process, cold vs warm.
+
+Stands a real :class:`CompressionService` behind a real HTTP socket,
+runs one compress workload three ways —
+
+* **in-process** — ``Session.compress`` called directly (the floor);
+* **served cold** — submit over HTTP, poll to completion, fetch the
+  result bytes (adds queue + worker handoff + JSON + socket I/O);
+* **served warm** — resubmit the identical request; the job is born
+  ``done`` from the content-addressed cache and the round trip is
+  admission + one file read.
+
+Asserts the two service-tentpole acceptance criteria: the served
+archive is **byte-identical** to the in-process one, and the warm
+round trip beats the cold one by at least ``WARM_SPEEDUP_FLOOR`` (a
+deliberately conservative 5x — measured warm hits are typically two
+to three orders of magnitude faster than a cold szlike encode).
+
+Appends a ``service`` record to the ``BENCH_codecs.json`` trajectory
+so future PRs that touch the queue, the cache or the HTTP layer have
+an overhead baseline to diff against.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+import urllib.request
+
+from repro.api import Bound, Session
+from repro.data import get_dataset_spec
+from repro.service import CompressionService, make_server
+
+from .bench_codec_registry import _append_trajectory, _prior_record
+from .conftest import save_json
+
+#: workload: one multi-shard E3SM-like compress, heavy enough that a
+#: cold szlike encode dwarfs the HTTP round trip
+SVC_T, SVC_H, SVC_W = 12, 32, 32
+SVC_SHARDS = 4
+SVC_SEED = 11
+REL_BOUND = 1e-2
+
+#: acceptance criterion: warm (cache-hit) round trip vs cold served
+WARM_SPEEDUP_FLOOR = 5.0
+
+REQUEST = {"type": "compress", "dataset": "e3sm",
+           "shape": {"t": SVC_T, "h": SVC_H, "w": SVC_W},
+           "codec": "szlike", "bound": f"nrmse:{REL_BOUND}",
+           "shards": SVC_SHARDS, "seed": SVC_SEED}
+
+
+def _post_job(base: str, body: dict) -> dict:
+    req = urllib.request.Request(
+        base + "/v1/jobs", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.load(resp)
+
+
+def _get_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return json.load(resp)
+
+
+def _get_bytes(base: str, path: str) -> bytes:
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.read()
+
+
+def _served_roundtrip(base: str) -> "tuple[float, bytes, bool]":
+    """One full submit -> terminal -> fetch cycle over the socket."""
+    t0 = time.perf_counter()
+    job = _post_job(base, REQUEST)
+    while job["state"] not in ("done", "failed", "cancelled"):
+        job = _get_json(base, f"/v1/jobs/{job['id']}")
+    assert job["state"] == "done", job
+    data = _get_bytes(base, f"/v1/jobs/{job['id']}/result")
+    return time.perf_counter() - t0, data, job["cache_hit"]
+
+
+def test_service_overhead_and_warm_cache(tmp_path):
+    # --- in-process floor -------------------------------------------
+    spec = get_dataset_spec("e3sm", t=SVC_T, h=SVC_H, w=SVC_W)
+    with Session(seed=SVC_SEED) as session:
+        t0 = time.perf_counter()
+        archive = session.compress(
+            spec, codec="szlike", bound=Bound.nrmse(REL_BOUND),
+            shards=SVC_SHARDS, seed=SVC_SEED)
+        in_process_wall = time.perf_counter() - t0
+        in_process_bytes = archive.to_bytes()
+
+    # --- the service, behind a real socket --------------------------
+    service = CompressionService(tmp_path / "cache", workers=2,
+                                 max_queue=16)
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.02},
+                              daemon=True)
+    thread.start()
+    base = "http://{}:{}".format(*httpd.server_address[:2])
+    try:
+        cold_wall, served_bytes, was_hit = _served_roundtrip(base)
+        assert not was_hit
+        assert served_bytes == in_process_bytes, \
+            "served archive must be byte-identical to in-process"
+
+        warm_walls = []
+        for _ in range(5):
+            wall, warm_bytes, was_hit = _served_roundtrip(base)
+            assert was_hit and warm_bytes == in_process_bytes
+            warm_walls.append(wall)
+        warm_wall = statistics.median(warm_walls)
+
+        metrics = _get_bytes(base, "/metrics").decode()
+        health = _get_json(base, "/health")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+
+    warm_speedup = cold_wall / max(warm_wall, 1e-9)
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm cache round trip only {warm_speedup:.1f}x faster than "
+        f"cold serve (floor {WARM_SPEEDUP_FLOOR}x; cold "
+        f"{cold_wall:.4f}s, warm {warm_wall:.4f}s)")
+    assert health["status"] == "ok"
+    assert "repro_cache_hits_total 5" in metrics
+
+    serve_overhead = cold_wall - in_process_wall
+    row = {
+        "workload": (f"e3sm-{SVC_T}x{SVC_H}x{SVC_W}-szlike-"
+                     f"x{SVC_SHARDS}shards-http"),
+        "in_process_seconds": round(in_process_wall, 6),
+        "served_cold_seconds": round(cold_wall, 6),
+        "served_warm_seconds": round(warm_wall, 6),
+        "serve_overhead_seconds": round(serve_overhead, 6),
+        "warm_speedup": round(warm_speedup, 2),
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+        "archive_bytes": len(in_process_bytes),
+        "byte_identical": True,
+    }
+    prior = _prior_record("service")
+    print(f"\nservice overhead ({row['workload']}):")
+    print(f"  in-process {in_process_wall:.3f}s, served cold "
+          f"{cold_wall:.3f}s (overhead {serve_overhead:+.3f}s), "
+          f"served warm {warm_wall * 1e3:.1f}ms")
+    print(f"  warm speedup x{warm_speedup:.0f} "
+          f"(floor x{WARM_SPEEDUP_FLOOR:.0f})")
+    if prior.get("served_cold_seconds"):
+        print(f"  vs prior: cold "
+              f"{cold_wall / max(prior['served_cold_seconds'], 1e-9):.2f}x, "
+              f"warm "
+              f"{warm_wall / max(prior['served_warm_seconds'], 1e-9):.2f}x")
+
+    save_json("service_overhead", row)
+    _append_trajectory({"service": row})

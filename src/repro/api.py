@@ -171,6 +171,11 @@ class Archive:
                 f"Archive.open")
         self.stats = stats or {}
         self._index: Optional[List[MemberIndex]] = None
+        # pin the container size at open time: a source-backed archive
+        # whose file is truncated under us must fail loudly with a
+        # typed error, never hand back silently-short bytes
+        self._expected_size = (None if source is None
+                               else source.size())
 
     # -- I/O ------------------------------------------------------------
     @classmethod
@@ -192,9 +197,21 @@ class Archive:
 
     @property
     def data(self) -> bytes:
-        """The full wire bytes (reads the body of a lazy archive)."""
+        """The full wire bytes (reads the body of a lazy archive).
+
+        Raises :class:`ArchiveIndexError` when the backing file no
+        longer holds the bytes it had at open time (truncated or
+        replaced mid-read).
+        """
         if self._data is None:
-            self._data = self._source.read_all()
+            data = self._source.read_all()
+            if (self._expected_size is not None
+                    and len(data) != self._expected_size):
+                raise ArchiveIndexError(
+                    f"archive source is {len(data)} bytes but was "
+                    f"{self._expected_size} at open time (truncated "
+                    f"or replaced mid-read)")
+            self._data = data
         return self._data
 
     def reader(self):
@@ -205,10 +222,23 @@ class Archive:
 
     def save(self, path: Union[str, os.PathLike]) -> str:
         """Write the archive's wire bytes to ``path`` (streamed from
-        the backing source when the body was never materialized)."""
+        the backing source when the body was never materialized).
+
+        A source-backed archive whose file shrank since open raises
+        :class:`ArchiveIndexError` instead of silently writing a
+        truncated copy.
+        """
         path = os.fspath(path)
         with open(path, "wb") as fh:
             self.reader().copy_to(fh)
+        if (self._data is None and self._expected_size is not None):
+            written = os.path.getsize(path)
+            if written != self._expected_size:
+                raise ArchiveIndexError(
+                    f"archive source yielded {written} bytes but was "
+                    f"{self._expected_size} at open time (truncated "
+                    f"or replaced mid-read); partial copy left at "
+                    f"{path!r}")
         return path
 
     def to_bytes(self) -> bytes:
@@ -248,13 +278,23 @@ class Archive:
         return self._index
 
     def indexed(self) -> bool:
-        """Whether the container carries a seekable footer index."""
-        if self.kind == "shard":
-            version, = struct.unpack_from("<H",
-                                          self.reader().read_at(4, 2))
-            return version >= 2
-        if self.kind == "multivar":
-            return self.reader().read_at(4, 1)[0] >= 3
+        """Whether the container carries a seekable footer index.
+
+        Raises :class:`ArchiveIndexError` (never a bare
+        ``struct.error``) when the header bytes cannot be read — a
+        container truncated below its fixed header.
+        """
+        try:
+            if self.kind == "shard":
+                version, = struct.unpack_from(
+                    "<H", self.reader().read_at(4, 2))
+                return version >= 2
+            if self.kind == "multivar":
+                return self.reader().read_at(4, 1)[0] >= 3
+        except (struct.error, IndexError):
+            raise ArchiveIndexError(
+                f"{self.kind} container is truncated below its fixed "
+                f"header; cannot read the version field") from None
         return False
 
     # -- parsed views ---------------------------------------------------
@@ -454,8 +494,23 @@ class Session:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Release pooled executor resources (idempotent)."""
-        self.executor.close()
+        """Release pooled executor resources.
+
+        Idempotent and exception-safe by contract: double-close is a
+        no-op, closing a partially-constructed session (``__init__``
+        validates codec and entropy arguments *before* the executor
+        exists) is a no-op, and a failing executor teardown never
+        propagates — long-running owners (the compression service's
+        shutdown path) call this from ``finally`` and must always
+        complete.
+        """
+        executor = getattr(self, "executor", None)
+        if executor is None:
+            return
+        try:
+            executor.close()
+        except Exception:  # pragma: no cover - backend-specific
+            pass
 
     def __enter__(self) -> "Session":
         return self

@@ -450,6 +450,36 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # lazy import: the service stack (HTTP server, telemetry) should
+    # cost nothing on the compress/decompress paths
+    import logging
+
+    from .service import CompressionService, serve
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        service = CompressionService(
+            args.cache_dir,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            rate_limit=args.rate_limit,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+            codec=args.codec,
+            executor=args.executor,
+            seed=args.seed,
+            entropy_backend=args.entropy_backend)
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    try:
+        return serve(service, host=args.host, port=args.port)
+    finally:
+        service.close()
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
@@ -591,6 +621,38 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--k-max", type=int, default=8,
                    help="highest wavenumber band to print")
     s.set_defaults(fn=_cmd_spectrum)
+
+    sv = sub.add_parser(
+        "serve", help="run the long-running compression service "
+                      "(HTTP JSON API with job queue, result cache "
+                      "and /health + /metrics endpoints)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: loopback only)")
+    sv.add_argument("--port", type=int, default=8090,
+                    help="bind port (0 picks a free one)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="job worker threads (each drives the "
+                         "session executor)")
+    sv.add_argument("--cache-dir", default=".repro-serve-cache",
+                    help="content-addressed result cache directory")
+    sv.add_argument("--max-queue", type=int, default=64,
+                    help="bounded queue capacity; overflow is "
+                         "rejected with HTTP 429")
+    sv.add_argument("--rate-limit", type=float, default=0.0,
+                    help="per-client requests/second (0 disables)")
+    sv.add_argument("--cache-entries", type=int, default=256,
+                    help="result cache LRU entry bound")
+    sv.add_argument("--cache-bytes", type=int, default=1 << 30,
+                    help="result cache LRU byte bound")
+    sv.add_argument("--codec", default=None,
+                    help="default codec for jobs that name none")
+    sv.add_argument("--executor", default="thread",
+                    help="session executor backend "
+                         "(serial/thread/process)")
+    sv.add_argument("--entropy-backend", default=None,
+                    help="session entropy-coder selection")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.set_defaults(fn=_cmd_serve)
     return p
 
 

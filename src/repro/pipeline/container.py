@@ -189,6 +189,12 @@ def read_index(source) -> Optional[List[MemberIndex]]:
     if size < TRAILER_SIZE:
         return None
     trailer = source.read_at(size - TRAILER_SIZE, TRAILER_SIZE)
+    if len(trailer) != TRAILER_SIZE:
+        # the file shrank between size() and the read (truncation
+        # racing the reader): typed error, never a bare struct.error
+        raise ArchiveIndexError(
+            f"container trailer read returned {len(trailer)} of "
+            f"{TRAILER_SIZE} bytes (file truncated mid-read)")
     footer_offset, footer_crc, magic = struct.unpack(_TRAILER_FMT,
                                                      trailer)
     if magic != TRAILER_MAGIC:

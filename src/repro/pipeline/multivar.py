@@ -210,9 +210,14 @@ def read_multivar_index(source) -> List[MemberIndex]:
     ``kind`` separating blob and envelope entries.
     """
     source = as_source(source)
-    head = source.read_at(0, 4 + struct.calcsize("<BI"))
+    head_size = 4 + struct.calcsize("<BI")
+    head = source.read_at(0, head_size)
     if head[:4] != _MAGIC:
         raise ValueError("not a multi-variable archive (bad magic)")
+    if len(head) < head_size:
+        raise ArchiveIndexError(
+            f"multi-variable archive is truncated below its "
+            f"{head_size}-byte fixed header ({len(head)} bytes)")
     version, count = struct.unpack_from("<BI", head, 4)
     if version >= _VERSION_INDEXED:
         members = read_index(source)

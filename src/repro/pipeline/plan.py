@@ -306,9 +306,14 @@ def read_shard_index(source) -> List[MemberIndex]:
     rows are synthesized — same result, linear cost.
     """
     source = as_source(source)
-    head = source.read_at(0, 4 + struct.calcsize(_HEAD_FMT))
+    head_size = 4 + struct.calcsize(_HEAD_FMT)
+    head = source.read_at(0, head_size)
     if head[:4] != SHARD_MAGIC:
         raise ValueError("not a shard archive (bad magic)")
+    if len(head) < head_size:
+        raise ArchiveIndexError(
+            f"shard archive is truncated below its {head_size}-byte "
+            f"fixed header ({len(head)} bytes)")
     version, count = struct.unpack_from(_HEAD_FMT, head, 4)
     if version >= 2:
         members = read_index(source)

@@ -1,0 +1,42 @@
+"""repro.service — the long-running compression service.
+
+Stands the :class:`~repro.api.Session` facade up as an autonomous
+subsystem behind ``repro serve``: a bounded job queue with per-client
+rate limiting (:mod:`~repro.service.queue`), typed job records with
+deterministic ids (:mod:`~repro.service.jobs`), a content-addressed
+result cache (:mod:`~repro.service.cache`), Prometheus-style
+observability (:mod:`~repro.service.telemetry`), the orchestrating
+:class:`CompressionService` + in-process :class:`ServiceClient`
+(:mod:`~repro.service.core`) and the stdlib HTTP front end
+(:mod:`~repro.service.server`).
+
+Served results are deterministic: a compress job's archive is
+byte-identical to the same ``Session.compress`` call made in-process,
+which is what makes content-addressed caching sound.
+"""
+
+from .cache import ResultCache
+from .core import (CompressionService, ServiceClient, ServiceClosedError,
+                   ServiceError, UnknownJobError)
+from .jobs import (JOB_STATES, JOB_TYPES, Job, JobError, TERMINAL_STATES,
+                   canonical_request, job_id, normalize_request,
+                   request_digest)
+from .queue import (ClientRateLimiter, JobQueue, QueueFullError,
+                    RateLimitedError, ServiceRejection, TokenBucket)
+from .server import ServiceHTTPServer, make_server, serve
+from .telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
+                        METRICS_CONTENT_TYPE)
+
+__all__ = [
+    "CompressionService", "ServiceClient", "ServiceError",
+    "ServiceClosedError", "UnknownJobError",
+    "Job", "JobError", "JOB_TYPES", "JOB_STATES", "TERMINAL_STATES",
+    "canonical_request", "request_digest", "job_id",
+    "normalize_request",
+    "JobQueue", "TokenBucket", "ClientRateLimiter", "ServiceRejection",
+    "QueueFullError", "RateLimitedError",
+    "ResultCache",
+    "ServiceHTTPServer", "make_server", "serve",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "METRICS_CONTENT_TYPE",
+]

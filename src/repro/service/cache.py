@@ -1,0 +1,196 @@
+"""Content-addressed result cache: repeated requests are O(read).
+
+The service's cache key is the canonical digest of everything that
+determines an archive's bytes — ``(DatasetSpec, codec spec, Bound,
+entropy backend, shards/variables/seed/select)``, exactly the
+spec-portability contract the platform layers established (see
+:func:`repro.service.jobs.request_digest`).  Because served results
+are deterministic and byte-identical to the in-process facade, a
+digest maps to *one* byte string forever: the cache never needs
+invalidation, only eviction.
+
+Entries are on-disk objects (``objects/<digest>.bin``, written with a
+temp-file + ``os.replace`` so readers never observe partial writes),
+mirroring the :class:`~repro.pipeline.artifacts.ArtifactStore` layout.
+Serving a warm request therefore costs a file open — and since
+archives are seekable containers (PR 8), job-result metadata reads
+only the footer.  The in-memory side is just the LRU index: digest →
+byte size, bounded by entry count *and* total bytes (the
+:class:`~repro.entropy.tablecoder.TableCache` shape), evicting
+least-recently-used object files.
+
+Thread-safe; hit/miss totals feed the ``repro_cache_*`` metrics and
+the bench's warm-vs-cold speedup floor.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+__all__ = ["ResultCache"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class ResultCache:
+    """Disk-backed LRU of result bytes keyed by content digest."""
+
+    def __init__(self, root: PathLike, max_entries: int = 256,
+                 max_bytes: int = 1 << 30):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = os.fspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self._bytes = 0
+        self._scan()
+
+    # -- persistence ----------------------------------------------------
+    def _scan(self) -> None:
+        """Adopt objects already on disk (service restart), oldest
+        modification first so eviction order survives the restart."""
+        found = []
+        for name in os.listdir(self.objects_dir):
+            if not name.endswith(".bin"):
+                continue
+            path = os.path.join(self.objects_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            found.append((st.st_mtime, name[:-4], st.st_size))
+        for _, digest, size in sorted(found):
+            self._entries[digest] = size
+            self._bytes += size
+        self._evict()
+
+    def _path(self, digest: str) -> str:
+        if not digest or any(c in digest for c in "/\\."):
+            raise ValueError(f"bad cache digest {digest!r}")
+        return os.path.join(self.objects_dir, f"{digest}.bin")
+
+    # -- core API -------------------------------------------------------
+    def get_path(self, digest: str) -> Optional[str]:
+        """Object path for ``digest`` (bumping its recency), or
+        ``None`` on a miss.  Counts a hit/miss either way."""
+        with self._lock:
+            if digest in self._entries:
+                path = self._path(digest)
+                if os.path.exists(path):
+                    self._entries.move_to_end(digest)
+                    self.hits += 1
+                    return path
+                # the object vanished under us (external cleanup);
+                # drop the index row and fall through to a miss
+                self._bytes -= self._entries.pop(digest)
+            self.misses += 1
+            return None
+
+    def peek_path(self, digest: str) -> Optional[str]:
+        """Object path without touching the hit/miss counters.
+
+        Result *streaming* uses this (bumping recency but not the
+        admission counters), so ``repro_cache_hits_total`` keeps its
+        meaning: submissions answered from cache.
+        """
+        with self._lock:
+            if digest in self._entries:
+                path = self._path(digest)
+                if os.path.exists(path):
+                    self._entries.move_to_end(digest)
+                    return path
+                self._bytes -= self._entries.pop(digest)
+            return None
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        path = self.get_path(digest)
+        if path is None:
+            return None
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def put(self, digest: str, data: bytes) -> str:
+        """Store ``data`` under ``digest`` (idempotent) and return the
+        object path.  Writes are atomic — a temp file in the objects
+        directory renamed into place — so a concurrent reader sees
+        either no object or the complete one."""
+        path = self._path(digest)
+        with self._lock:
+            if digest in self._entries and os.path.exists(path):
+                self._entries.move_to_end(digest)
+                return path
+            fd, tmp = tempfile.mkstemp(dir=self.objects_dir,
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            if digest in self._entries:
+                self._bytes -= self._entries.pop(digest)
+            self._entries[digest] = len(data)
+            self._bytes += len(data)
+            self._evict(keep=digest)
+            return path
+
+    def _evict(self, keep: Optional[str] = None) -> None:
+        """LRU-evict down to both bounds (caller holds the lock)."""
+        while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes):
+            oldest = next(iter(self._entries))
+            if oldest == keep and len(self._entries) == 1:
+                break  # never evict the entry being inserted
+            if oldest == keep:
+                self._entries.move_to_end(keep)
+                continue
+            size = self._entries.pop(oldest)
+            self._bytes -= size
+            try:
+                os.unlink(self._path(oldest))
+            except OSError:
+                pass
+
+    # -- introspection --------------------------------------------------
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def writable(self) -> bool:
+        """Whether the objects directory accepts writes (the health
+        endpoint's store-writability probe)."""
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.objects_dir,
+                                       suffix=".probe")
+            os.close(fd)
+            os.unlink(tmp)
+            return True
+        except OSError:
+            return False
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries),
+                    "bytes": self._bytes}

@@ -1,0 +1,199 @@
+"""Typed job records for the compression service.
+
+A *job* is one unit of queued work — a compress, decompress or train
+request — with a deterministic id, a state machine, and a
+JSON-serializable wire form (:meth:`Job.to_dict` is exactly what
+``GET /v1/jobs/<id>`` returns).
+
+**Deterministic ids.**  A job id is derived from the canonical digest
+of the request body plus a per-digest submission sequence number
+(``j<seq>-<digest12>``): replaying the same submission order against a
+fresh service reproduces the same ids, and the digest prefix makes
+"same request, resubmitted" visible at a glance.  The digest itself —
+:func:`request_digest` over :func:`canonical_request` — is the
+service's *cache key*: it covers exactly the fields that determine the
+result bytes (dataset spec, codec spec, bound, entropy backend,
+shards/variables/seed/select), so two requests that must produce
+byte-identical archives share one digest, and request fields that are
+purely operational (client name, priority) never poison the cache.
+
+**States.**  ``queued → running → done | failed``, plus ``cancelled``
+(reachable only from ``queued`` — running work is never killed
+mid-write).  Transitions are validated; an illegal transition is a
+programming error and raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Job", "JobError", "JOB_TYPES", "JOB_STATES",
+           "TERMINAL_STATES", "canonical_request", "request_digest",
+           "job_id", "normalize_request"]
+
+#: work kinds the service executes
+JOB_TYPES = ("compress", "decompress", "train")
+
+#: the job state machine's vocabulary
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states a job never leaves
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: legal state transitions
+_TRANSITIONS = {
+    "queued": {"running", "cancelled", "done", "failed"},
+    "running": {"done", "failed"},
+}
+
+#: request fields that determine the result bytes, per job type; the
+#: canonical form (and therefore the cache key and the job-id digest)
+#: is built from these and nothing else
+_CANONICAL_FIELDS = {
+    "compress": ("type", "dataset", "shape", "dataset_params", "codec",
+                 "bound", "entropy_backend", "variables", "shards",
+                 "seed"),
+    "decompress": ("type", "job", "digest", "select", "expect_codec"),
+    "train": ("type", "codec", "dataset", "shape", "dataset_params",
+              "variable", "train", "seed"),
+}
+
+
+class JobError(ValueError):
+    """A malformed job request or an illegal state transition."""
+
+
+def normalize_request(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a request body and strip it to its canonical fields.
+
+    Raises :class:`JobError` with a client-presentable message for an
+    unknown type or missing required fields; returns a new dict
+    holding only the fields that participate in the canonical digest.
+    """
+    if not isinstance(request, dict):
+        raise JobError("request body must be a JSON object")
+    job_type = request.get("type")
+    if job_type not in JOB_TYPES:
+        raise JobError(f"unknown job type {job_type!r}; expected one "
+                       f"of {', '.join(JOB_TYPES)}")
+    if job_type in ("compress", "train") and not request.get("dataset"):
+        raise JobError(f"{job_type} jobs need a 'dataset' field (a "
+                       f"registered dataset name)")
+    if job_type == "train" and not request.get("codec"):
+        raise JobError("train jobs need a 'codec' field (a trainable "
+                       "codec name)")
+    if job_type == "decompress" and not (request.get("job")
+                                         or request.get("digest")):
+        raise JobError("decompress jobs need a 'job' (source job id) "
+                       "or 'digest' (result digest) field")
+    out = {k: request[k] for k in _CANONICAL_FIELDS[job_type]
+           if request.get(k) is not None}
+    return out
+
+
+def canonical_request(request: Dict[str, Any]) -> str:
+    """Stable JSON of a (normalized) request — the digest preimage."""
+    return json.dumps(request, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def request_digest(request: Dict[str, Any],
+                   extra: Optional[Dict[str, Any]] = None) -> str:
+    """SHA-256 hex digest of the canonical request.
+
+    ``extra`` merges in *resolved* facts the raw request only implies
+    (the fully-resolved :class:`~repro.data.registry.DatasetSpec`
+    fields, the codec's spec dict, the session's effective entropy
+    backend), so two spellings of the same work share a digest and two
+    different sessions never collide.
+    """
+    merged = dict(request)
+    if extra:
+        merged.update(extra)
+    payload = canonical_request(merged)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def job_id(digest: str, seq: int) -> str:
+    """Deterministic job id: submission sequence + digest prefix."""
+    return f"j{seq:06d}-{digest[:12]}"
+
+
+@dataclass
+class Job:
+    """One queued/running/finished unit of service work.
+
+    ``request`` is the normalized (canonical-fields-only) body;
+    ``digest`` the content address of its result; ``result`` a small
+    JSON-safe dict describing the outcome (byte count, media type,
+    codec stats) — the result *bytes* live in the service cache, keyed
+    by ``digest``, never on the job record.
+    """
+
+    id: str
+    type: str
+    request: Dict[str, Any]
+    digest: str
+    client: str = "local"
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    cache_hit: bool = False
+
+    def __post_init__(self):
+        if self.type not in JOB_TYPES:
+            raise JobError(f"unknown job type {self.type!r}")
+        if self.state not in JOB_STATES:
+            raise JobError(f"unknown job state {self.state!r}")
+        self._lock = threading.Lock()
+
+    # -- state machine --------------------------------------------------
+    def transition(self, state: str) -> None:
+        """Move to ``state``, validating the edge (thread-safe)."""
+        if state not in JOB_STATES:
+            raise JobError(f"unknown job state {state!r}")
+        with self._lock:
+            allowed = _TRANSITIONS.get(self.state, set())
+            if state not in allowed:
+                raise JobError(f"job {self.id} cannot move "
+                               f"{self.state!r} -> {state!r}")
+            self.state = state
+            now = time.time()
+            if state == "running":
+                self.started = now
+            elif state in TERMINAL_STATES:
+                self.finished = now
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wall_seconds(self) -> Optional[float]:
+        """Queue-to-finish wall clock (None while in flight)."""
+        if self.finished is None:
+            return None
+        return self.finished - self.created
+
+    # -- wire form ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe record (the ``GET /v1/jobs/<id>`` body)."""
+        out: Dict[str, Any] = {
+            "id": self.id, "type": self.type, "state": self.state,
+            "digest": self.digest, "client": self.client,
+            "created": self.created, "started": self.started,
+            "finished": self.finished, "cache_hit": self.cache_hit,
+            "request": dict(self.request),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = dict(self.result)
+        return out

@@ -1,0 +1,207 @@
+"""Bounded work queue + per-client token-bucket rate limiting.
+
+The service never lets work pile up unboundedly: :class:`JobQueue`
+holds at most ``maxsize`` queued jobs and *rejects* the overflow
+(:class:`QueueFullError` → HTTP 429) instead of growing — backpressure
+is the contract, matching the autonomous-subsystem designs this
+service is modeled on.  Admission additionally passes through a
+per-client :class:`TokenBucket` (:class:`RateLimitedError` → HTTP 429
+with ``Retry-After``), so one chatty client cannot starve the rest.
+
+Both rejection types subclass :class:`ServiceRejection`, which carries
+the HTTP status and retry hint the server layer forwards verbatim.
+
+The queue is a plain FIFO over ``deque`` + ``Condition``: worker
+threads block in :meth:`JobQueue.get` and are woken by puts or by
+:meth:`JobQueue.close` (which makes every present and future ``get``
+return ``None`` — the worker shutdown signal).  Queued-but-unstarted
+jobs can be removed by id (:meth:`JobQueue.remove`), which is what
+job cancellation uses; running jobs are not the queue's problem.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Dict, Optional
+
+from .jobs import Job
+
+__all__ = ["JobQueue", "TokenBucket", "ClientRateLimiter",
+           "ServiceRejection", "QueueFullError", "RateLimitedError"]
+
+
+class ServiceRejection(RuntimeError):
+    """Admission-control rejection; carries the HTTP mapping."""
+
+    http_status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class QueueFullError(ServiceRejection):
+    """The bounded queue is at capacity — shed load, don't grow."""
+
+
+class RateLimitedError(ServiceRejection):
+    """A client exceeded its token-bucket request rate."""
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` deep.
+
+    ``try_acquire`` is non-blocking — admission control wants an
+    immediate yes/no plus a retry hint, never a stalled handler
+    thread.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive (tokens/second)")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None
+                           else max(1.0, rate))
+        if self.burst < 1.0:
+            raise ValueError("burst must allow at least one request")
+        self._tokens = self.burst
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst,
+                           self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, now: Optional[float] = None) -> bool:
+        """Take one token if available; never blocks."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def retry_after(self, now: Optional[float] = None) -> float:
+        """Seconds until one token will be available."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._refill(now)
+            missing = max(0.0, 1.0 - self._tokens)
+            return missing / self.rate
+
+
+class ClientRateLimiter:
+    """Per-client-key token buckets with bounded client tracking.
+
+    ``rate <= 0`` disables limiting (every ``allow`` passes).  Client
+    buckets are kept in an LRU so an open service scraping arbitrary
+    client names cannot grow memory without bound.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 max_clients: int = 1024):
+        self.rate = float(rate)
+        self.burst = burst
+        self.max_clients = int(max_clients)
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> None:
+        """Admit one request for ``client`` or raise
+        :class:`RateLimitedError`."""
+        if not self.enabled:
+            return
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+        if not bucket.try_acquire():
+            raise RateLimitedError(
+                f"client {client!r} exceeded {self.rate:g} "
+                f"requests/second",
+                retry_after=bucket.retry_after())
+
+
+class JobQueue:
+    """Bounded FIFO of queued :class:`Job` records.
+
+    ``put`` is non-blocking and raises :class:`QueueFullError` at
+    capacity; ``get`` blocks (optionally with a timeout) until a job,
+    close, or timeout.  ``depth`` is the live queue length the health
+    endpoint and the ``repro_queue_depth`` gauge report.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._items: "deque[Job]" = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, job: Job) -> None:
+        with self._cond:
+            if self._closed:
+                raise QueueFullError("service is shutting down",
+                                     retry_after=30.0)
+            if len(self._items) >= self.maxsize:
+                raise QueueFullError(
+                    f"queue is full ({self.maxsize} jobs); retry "
+                    f"later", retry_after=1.0)
+            self._items.append(job)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next job, or ``None`` on close/timeout."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._items.popleft()
+
+    def remove(self, job_id: str) -> Optional[Job]:
+        """Pull a queued job out by id (cancellation); ``None`` if it
+        is not waiting (already running, finished, or unknown)."""
+        with self._cond:
+            for i, job in enumerate(self._items):
+                if job.id == job_id:
+                    del self._items[i]
+                    return job
+        return None
+
+    def close(self) -> None:
+        """Reject future puts and wake every blocked getter."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

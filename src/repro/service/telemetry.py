@@ -1,0 +1,269 @@
+"""Operational metrics for the compression service.
+
+The queue, the result cache and the HTTP handlers all write through
+one :class:`MetricsRegistry` — a tiny, dependency-free implementation
+of the three Prometheus instrument kinds the service needs:
+
+:class:`Counter`
+    Monotonic totals (jobs submitted, cache hits, bytes in/out).
+:class:`Gauge`
+    Point-in-time levels (queue depth, jobs by state).  Gauges may be
+    set directly or bound to a callback that is sampled at render
+    time, so values like queue depth are always fresh in a scrape.
+:class:`Histogram`
+    Cumulative-bucket latency distributions (per-codec job seconds)
+    in the standard ``_bucket``/``_sum``/``_count`` layout.
+
+All instruments accept label key/value pairs and are thread-safe (one
+lock per instrument; the service's worker threads, HTTP handler
+threads and the scraper all hit them concurrently).
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format (``text/plain; version=0.0.4``) that ``GET /metrics`` serves.
+
+Deliberately *not* a Prometheus client library: no runtime deps is a
+hard constraint of this repo, and the service only needs the text
+format, not push gateways or exemplars.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "METRICS_CONTENT_TYPE", "DEFAULT_BUCKETS"]
+
+#: content type of the exposition format :meth:`MetricsRegistry.render`
+#: produces
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: default latency buckets (seconds): spans sub-millisecond cache hits
+#: through multi-minute training jobs
+DEFAULT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0,
+                   60.0, 300.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()
+                   ) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    f = float(value)
+    return repr(int(f)) if f == int(f) and abs(f) < 1e15 else repr(f)
+
+
+class _Instrument:
+    """Shared label-keyed storage + locking."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def render(self) -> List[str]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            items = [((), 0.0)]
+        return [f"{self.name}{_render_labels(k)} {_fmt(v)}"
+                for k, v in items]
+
+
+class Gauge(_Instrument):
+    """Point-in-time level; settable or sampled from a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str,
+                 callback: Optional[Callable[[], float]] = None):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+        self._callback = callback
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        if self._callback is not None and not labels:
+            return float(self._callback())
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        if self._callback is not None:
+            return [f"{self.name} {_fmt(float(self._callback()))}"]
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            items = [((), 0.0)]
+        return [f"{self.name}{_render_labels(k)} {_fmt(v)}"
+                for k, v in items]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket distribution (Prometheus histogram layout)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.bounds = bounds
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        value = float(value)
+        with self._lock:
+            counts = self._counts.setdefault(
+                key, [0] * len(self.bounds))
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[i] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            return self._totals.get(_label_key(labels), 0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            keys = sorted(self._totals)
+            counts = {k: list(self._counts[k]) for k in keys}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
+        lines: List[str] = []
+        for key in keys or [()]:
+            row = counts.get(key, [0] * len(self.bounds))
+            for bound, cum in zip(self.bounds, row):
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, [('le', _fmt(bound))])} "
+                    f"{cum}")
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_render_labels(key, [('le', '+Inf')])} "
+                f"{totals.get(key, 0)}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} "
+                         f"{_fmt(sums.get(key, 0.0))}")
+            lines.append(f"{self.name}_count{_render_labels(key)} "
+                         f"{totals.get(key, 0)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments + the text-format renderer.
+
+    ``counter``/``gauge``/``histogram`` create-or-return by name, so
+    the queue, cache and handlers can each ask for the instrument they
+    write without threading references through constructors.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: "Dict[str, _Instrument]" = {}
+
+    def _get(self, name: str, factory: Callable[[], _Instrument]
+             ) -> _Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = factory()
+            return inst
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        inst = self._get(name, lambda: Counter(name, help_text))
+        if not isinstance(inst, Counter):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{inst.kind}")
+        return inst
+
+    def gauge(self, name: str, help_text: str = "",
+              callback: Optional[Callable[[], float]] = None) -> Gauge:
+        inst = self._get(name, lambda: Gauge(name, help_text, callback))
+        if not isinstance(inst, Gauge):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{inst.kind}")
+        return inst
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        inst = self._get(name, lambda: Histogram(name, help_text,
+                                                 buckets))
+        if not isinstance(inst, Histogram):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{inst.kind}")
+        return inst
+
+    def render(self) -> str:
+        with self._lock:
+            instruments = [self._instruments[n]
+                           for n in sorted(self._instruments)]
+        lines: List[str] = []
+        for inst in instruments:
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            lines.extend(inst.render())
+        return "\n".join(lines) + "\n"

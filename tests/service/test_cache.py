@@ -1,0 +1,124 @@
+"""Content-addressed result cache: LRU bounds, atomicity, restart
+adoption, and the hit/miss counter contract."""
+
+import os
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+def _digest(i):
+    return f"{i:064x}"
+
+
+class TestBasics:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_path(_digest(1)) is None
+        path = cache.put(_digest(1), b"payload")
+        assert cache.get_path(_digest(1)) == path
+        assert cache.get_bytes(_digest(1)) == b"payload"
+        assert cache.stats() == {"hits": 2, "misses": 1,
+                                 "entries": 1, "bytes": 7}
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = cache.put(_digest(1), b"data")
+        b = cache.put(_digest(1), b"data")
+        assert a == b and len(cache) == 1
+
+    def test_objects_live_under_objects_dir(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(_digest(1), b"x")
+        assert os.path.dirname(path) == str(tmp_path / "objects")
+        assert path.endswith(".bin")
+
+    def test_peek_does_not_count(self, tmp_path):
+        """Result streaming must not inflate the admission hit/miss
+        counters (they feed the cache-efficiency metrics)."""
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), b"x")
+        assert cache.peek_path(_digest(1)) is not None
+        assert cache.peek_path(_digest(2)) is None
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_bad_digest_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bad in ("", "../escape", "a/b", "a.b"):
+            with pytest.raises(ValueError, match="bad cache digest"):
+                cache.put(bad, b"x")
+
+    def test_writable_probe(self, tmp_path):
+        assert ResultCache(tmp_path).writable()
+
+
+class TestEviction:
+    def test_entry_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i in range(4):
+            cache.put(_digest(i), bytes([i]))
+        assert len(cache) == 2
+        assert _digest(0) not in cache and _digest(1) not in cache
+        assert _digest(2) in cache and _digest(3) in cache
+
+    def test_byte_bound(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=100)
+        cache.put(_digest(0), b"a" * 60)
+        cache.put(_digest(1), b"b" * 60)
+        assert _digest(0) not in cache
+        assert cache.stats()["bytes"] == 60
+
+    def test_eviction_unlinks_objects(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        first = cache.put(_digest(0), b"x")
+        cache.put(_digest(1), b"y")
+        assert not os.path.exists(first)
+
+    def test_get_bumps_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        cache.put(_digest(0), b"x")
+        cache.put(_digest(1), b"y")
+        cache.get_path(_digest(0))  # 0 is now most recent
+        cache.put(_digest(2), b"z")
+        assert _digest(0) in cache and _digest(1) not in cache
+
+    def test_oversized_entry_survives_its_own_insert(self, tmp_path):
+        """An entry larger than max_bytes still lands (and is the only
+        survivor) — inserting must never evict itself."""
+        cache = ResultCache(tmp_path, max_bytes=10)
+        cache.put(_digest(0), b"small")
+        cache.put(_digest(1), b"much too large for the bound")
+        assert _digest(1) in cache and len(cache) == 1
+
+
+class TestPersistence:
+    def test_restart_adopts_existing_objects(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put(_digest(1), b"persisted")
+        second = ResultCache(tmp_path)
+        assert _digest(1) in second
+        assert second.get_bytes(_digest(1)) == b"persisted"
+        assert second.stats()["bytes"] == len(b"persisted")
+
+    def test_restart_respects_bounds(self, tmp_path):
+        first = ResultCache(tmp_path)
+        for i in range(6):
+            first.put(_digest(i), bytes(4))
+        second = ResultCache(tmp_path, max_entries=3)
+        assert len(second) == 3
+
+    def test_vanished_object_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(_digest(1), b"x")
+        os.unlink(path)  # external cleanup under a live cache
+        assert cache.get_path(_digest(1)) is None
+        assert len(cache) == 0
+
+    def test_no_partial_objects_on_failed_write(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_digest(1), b"ok")
+        leftovers = [n for n in os.listdir(cache.objects_dir)
+                     if n.endswith(".tmp")]
+        assert leftovers == []

@@ -1,0 +1,137 @@
+"""Job records: validation, canonical digests, deterministic ids and
+the state machine."""
+
+import threading
+
+import pytest
+
+from repro.service.jobs import (Job, JobError, TERMINAL_STATES,
+                                canonical_request, job_id,
+                                normalize_request, request_digest)
+
+
+class TestNormalize:
+    def test_compress_keeps_canonical_fields_only(self):
+        out = normalize_request({
+            "type": "compress", "dataset": "e3sm", "codec": "szlike",
+            "bound": "nrmse:0.05", "priority": "high",
+            "client": "alice"})
+        assert out == {"type": "compress", "dataset": "e3sm",
+                       "codec": "szlike", "bound": "nrmse:0.05"}
+
+    def test_none_valued_fields_are_dropped(self):
+        out = normalize_request({"type": "compress", "dataset": "e3sm",
+                                 "codec": None, "seed": None})
+        assert "codec" not in out and "seed" not in out
+
+    @pytest.mark.parametrize("request_body,needle", [
+        ({"type": "nope"}, "unknown job type"),
+        ({}, "unknown job type"),
+        ({"type": "compress"}, "dataset"),
+        ({"type": "train", "dataset": "e3sm"}, "codec"),
+        ({"type": "decompress"}, "job"),
+        ("not a dict", "JSON object"),
+    ])
+    def test_invalid_requests_raise_jobexror(self, request_body, needle):
+        with pytest.raises(JobError, match=needle):
+            normalize_request(request_body)
+
+    def test_decompress_accepts_job_or_digest(self):
+        assert normalize_request(
+            {"type": "decompress", "job": "j1"})["job"] == "j1"
+        assert normalize_request(
+            {"type": "decompress", "digest": "abc"})["digest"] == "abc"
+
+
+class TestDigest:
+    def test_digest_is_field_order_independent(self):
+        a = {"type": "compress", "dataset": "e3sm", "codec": "szlike"}
+        b = {"codec": "szlike", "type": "compress", "dataset": "e3sm"}
+        assert request_digest(a) == request_digest(b)
+
+    def test_digest_changes_with_content(self):
+        a = {"type": "compress", "dataset": "e3sm", "seed": 0}
+        b = {"type": "compress", "dataset": "e3sm", "seed": 1}
+        assert request_digest(a) != request_digest(b)
+
+    def test_extra_facts_participate(self):
+        req = {"type": "compress", "dataset": "e3sm"}
+        assert (request_digest(req, {"entropy": "rans"})
+                != request_digest(req, {"entropy": "trans"}))
+
+    def test_canonical_request_is_compact_sorted_json(self):
+        text = canonical_request({"b": 1, "a": 2})
+        assert text == '{"a":2,"b":1}'
+
+    def test_job_id_is_deterministic(self):
+        digest = request_digest({"type": "compress", "dataset": "e3sm"})
+        assert job_id(digest, 3) == job_id(digest, 3)
+        assert job_id(digest, 3) != job_id(digest, 4)
+        assert job_id(digest, 3).endswith(digest[:12])
+
+
+def _job(state="queued"):
+    return Job(id="j000001-abc", type="compress",
+               request={"type": "compress", "dataset": "e3sm"},
+               digest="d" * 64, state=state)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = _job()
+        job.transition("running")
+        assert job.started is not None
+        job.transition("done")
+        assert job.terminal and job.finished is not None
+        assert job.wall_seconds() >= 0
+
+    def test_cancel_only_from_queued(self):
+        job = _job()
+        job.transition("cancelled")
+        assert job.state == "cancelled"
+        running = _job()
+        running.transition("running")
+        with pytest.raises(JobError, match="cannot move"):
+            running.transition("cancelled")
+
+    def test_terminal_states_are_sticky(self):
+        for state in TERMINAL_STATES:
+            job = _job()
+            if state in ("done", "failed"):
+                job.transition("running")
+            job.transition(state)
+            with pytest.raises(JobError):
+                job.transition("running")
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(JobError, match="unknown job state"):
+            _job().transition("paused")
+
+    def test_transition_is_thread_safe(self):
+        """Exactly one of N racing cancellation attempts wins."""
+        job = _job()
+        wins, errors = [], []
+
+        def cancel():
+            try:
+                job.transition("cancelled")
+                wins.append(1)
+            except JobError:
+                errors.append(1)
+
+        threads = [threading.Thread(target=cancel) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1 and len(errors) == 7
+
+    def test_to_dict_is_json_safe(self):
+        import json
+        job = _job()
+        job.transition("running")
+        job.transition("failed")
+        job.error = "boom"
+        out = json.loads(json.dumps(job.to_dict()))
+        assert out["state"] == "failed" and out["error"] == "boom"
+        assert out["request"]["dataset"] == "e3sm"

@@ -1,0 +1,127 @@
+"""Bounded queue backpressure and token-bucket rate limiting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import Job
+from repro.service.queue import (ClientRateLimiter, JobQueue,
+                                 QueueFullError, RateLimitedError,
+                                 ServiceRejection, TokenBucket)
+
+
+def _job(i):
+    return Job(id=f"j{i:06d}-deadbeef0000", type="compress",
+               request={"type": "compress", "dataset": "e3sm"},
+               digest=f"{i:064d}")
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        q = JobQueue(maxsize=4)
+        for i in range(3):
+            q.put(_job(i))
+        assert [q.get(timeout=0.1).id for _ in range(3)] == [
+            _job(i).id for i in range(3)]
+
+    def test_put_rejects_at_capacity(self):
+        q = JobQueue(maxsize=2)
+        q.put(_job(0))
+        q.put(_job(1))
+        with pytest.raises(QueueFullError) as exc:
+            q.put(_job(2))
+        assert exc.value.http_status == 429
+        assert exc.value.retry_after > 0
+        assert q.depth == 2  # the rejected job never entered
+
+    def test_get_timeout_returns_none(self):
+        q = JobQueue(maxsize=1)
+        t0 = time.monotonic()
+        assert q.get(timeout=0.05) is None
+        assert time.monotonic() - t0 < 1.0
+
+    def test_close_wakes_blocked_getter(self):
+        q = JobQueue(maxsize=1)
+        results = []
+
+        def getter():
+            results.append(q.get(timeout=5.0))
+
+        t = threading.Thread(target=getter)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2.0)
+        assert results == [None]
+
+    def test_close_rejects_put_but_drains_remaining(self):
+        q = JobQueue(maxsize=4)
+        q.put(_job(0))
+        q.close()
+        with pytest.raises(QueueFullError, match="shutting down"):
+            q.put(_job(1))
+        assert q.get(timeout=0.1).id == _job(0).id
+        assert q.get(timeout=0.1) is None
+
+    def test_remove_pulls_queued_job(self):
+        q = JobQueue(maxsize=4)
+        q.put(_job(0))
+        q.put(_job(1))
+        removed = q.remove(_job(0).id)
+        assert removed is not None and removed.id == _job(0).id
+        assert q.remove("j999999-nope") is None
+        assert q.depth == 1
+
+    def test_rejections_are_service_rejections(self):
+        assert issubclass(QueueFullError, ServiceRejection)
+        assert issubclass(RateLimitedError, ServiceRejection)
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        now = 100.0
+        assert all(bucket.try_acquire(now) for _ in range(3))
+        assert not bucket.try_acquire(now)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+        assert bucket.try_acquire(100.2)  # 0.2s * 10/s = 2 tokens
+
+    def test_retry_after_estimates_wait(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        bucket.try_acquire(100.0)
+        wait = bucket.retry_after(100.0)
+        assert 0.4 < wait <= 0.5  # one token at 2/s = 0.5s away
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestClientRateLimiter:
+    def test_disabled_when_rate_nonpositive(self):
+        limiter = ClientRateLimiter(0.0)
+        assert not limiter.enabled
+        for _ in range(100):
+            limiter.allow("anyone")  # never raises
+
+    def test_limits_per_client_independently(self):
+        limiter = ClientRateLimiter(rate=0.001, burst=2)
+        limiter.allow("a")
+        limiter.allow("a")
+        with pytest.raises(RateLimitedError) as exc:
+            limiter.allow("a")
+        assert exc.value.retry_after > 0
+        limiter.allow("b")  # a fresh client has its own bucket
+
+    def test_client_tracking_is_bounded(self):
+        limiter = ClientRateLimiter(rate=1000.0, max_clients=4)
+        for i in range(20):
+            limiter.allow(f"client-{i}")
+        assert len(limiter._buckets) <= 4

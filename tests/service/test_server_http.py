@@ -1,0 +1,306 @@
+"""HTTP layer e2e over a real socket: the wire-level acceptance
+criteria — submit/poll/fetch byte-compared against the in-process
+facade, 4xx mappings, concurrent clients, and graceful drain."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Bound, Session
+from repro.data.registry import get_dataset_spec
+from repro.service import CompressionService, make_server
+from repro.service.telemetry import METRICS_CONTENT_TYPE
+
+REQUEST = {"type": "compress", "dataset": "e3sm",
+           "shape": {"t": 6, "h": 8, "w": 8}, "codec": "szlike",
+           "bound": "nrmse:0.05", "shards": 2, "seed": 7}
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A CompressionService behind a real listening HTTP server."""
+    service = CompressionService(tmp_path / "cache", workers=2,
+                                 max_queue=4, rate_limit=0.0)
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield service, f"http://{host}:{port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+
+
+def _request(base, path, method="GET", body=None, headers=()):
+    req = urllib.request.Request(
+        base + path, method=method,
+        data=None if body is None else json.dumps(body).encode())
+    req.add_header("Content-Type", "application/json")
+    for name, value in headers:
+        req.add_header(name, value)
+    return urllib.request.urlopen(req, timeout=10)
+
+
+def _json(base, path, **kwargs):
+    with _request(base, path, **kwargs) as resp:
+        return resp.status, json.load(resp)
+
+
+def _submit_and_wait(base, body, timeout=30.0):
+    import time
+    _, job = _json(base, "/v1/jobs", method="POST", body=body)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, job = _json(base, f"/v1/jobs/{job['id']}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.02)
+    raise TimeoutError(job)
+
+
+class TestJobRoundtrip:
+    def test_submit_poll_fetch_bytes_match_in_process(self, served):
+        _, base = served
+        status, job = _json(base, "/v1/jobs", method="POST",
+                            body=REQUEST)
+        assert status == 202
+        assert job["state"] in ("queued", "running")
+        done = _submit_and_wait(base, REQUEST)
+        assert done["state"] == "done"
+        with _request(base, f"/v1/jobs/{done['id']}/result") as resp:
+            assert resp.headers["Content-Type"] == \
+                "application/octet-stream"
+            assert resp.headers["X-Repro-Digest"] == done["digest"]
+            served_bytes = resp.read()
+        with Session(seed=7) as session:
+            spec = get_dataset_spec("e3sm", t=6, h=8, w=8)
+            archive = session.compress(
+                spec, codec="szlike", bound=Bound.parse("nrmse:0.05"),
+                shards=2, seed=7)
+        assert served_bytes == archive.to_bytes()
+
+    def test_cache_hit_returns_200_born_done(self, served):
+        service, base = served
+        _submit_and_wait(base, REQUEST)
+        status, job = _json(base, "/v1/jobs", method="POST",
+                            body=REQUEST)
+        assert status == 200
+        assert job["state"] == "done" and job["cache_hit"] is True
+        assert service.cache.stats()["hits"] >= 1
+
+    def test_job_listing(self, served):
+        _, base = served
+        _submit_and_wait(base, REQUEST)
+        _, listing = _json(base, "/v1/jobs")
+        assert len(listing["jobs"]) == 1
+
+    def test_delete_cancels_queued_job(self, served):
+        service, base = served
+        # fill workers + queue so one job stays queued long enough
+        slow = dict(REQUEST, shape={"t": 10, "h": 16, "w": 16})
+        for seed in range(4):
+            _json(base, "/v1/jobs", method="POST",
+                  body=dict(slow, seed=100 + seed))
+        _, victim = _json(base, "/v1/jobs", method="POST",
+                          body=dict(slow, seed=999))
+        try:
+            status, out = _json(base, f"/v1/jobs/{victim['id']}",
+                                method="DELETE")
+        except urllib.error.HTTPError as exc:
+            # the job raced into execution before DELETE landed;
+            # refusing with 400 is the documented behavior
+            assert exc.code == 400
+            pytest.skip("job started before DELETE landed")
+        assert status == 200 and out["state"] == "cancelled"
+
+
+class TestErrorMapping:
+    def _status(self, base, path, **kwargs):
+        try:
+            with _request(base, path, **kwargs) as resp:
+                return resp.status, json.load(resp)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc)
+
+    def test_unknown_job_is_404(self, served):
+        _, base = served
+        status, body = self._status(base, "/v1/jobs/j000099-missing")
+        assert status == 404 and "error" in body
+
+    def test_unknown_route_is_404(self, served):
+        _, base = served
+        assert self._status(base, "/nope")[0] == 404
+
+    def test_malformed_json_is_400(self, served):
+        _, base = served
+        req = urllib.request.Request(
+            base + "/v1/jobs", method="POST", data=b"{not json")
+        try:
+            urllib.request.urlopen(req, timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert "JSON" in json.load(exc)["error"]
+        else:
+            raise AssertionError("expected 400")
+
+    def test_bad_request_is_400(self, served):
+        _, base = served
+        status, body = self._status(
+            base, "/v1/jobs", method="POST",
+            body={"type": "compress", "dataset": "nope"})
+        assert status == 400 and "unknown dataset" in body["error"]
+
+    def test_queue_full_is_429_with_retry_after(self, served):
+        service, base = served
+        big = dict(REQUEST, shape={"t": 12, "h": 16, "w": 16})
+        saw_429 = None
+        for seed in range(12):  # 2 workers + queue of 4 < 12 submits
+            try:
+                _json(base, "/v1/jobs", method="POST",
+                      body=dict(big, seed=seed))
+            except urllib.error.HTTPError as exc:
+                saw_429 = exc
+                break
+        assert saw_429 is not None and saw_429.code == 429
+        assert int(saw_429.headers["Retry-After"]) >= 1
+        assert "queue is full" in json.load(saw_429)["error"]
+
+    def test_rate_limit_is_429(self, tmp_path):
+        service = CompressionService(tmp_path / "cache", workers=1,
+                                     max_queue=32, rate_limit=0.001,
+                                     rate_burst=1, start=False)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        base = "http://{}:{}".format(*httpd.server_address[:2])
+        try:
+            headers = (("X-Client", "hammer"),)
+            _json(base, "/v1/jobs", method="POST", body=REQUEST,
+                  headers=headers)
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _json(base, "/v1/jobs", method="POST",
+                      body=dict(REQUEST, seed=1), headers=headers)
+            assert exc.value.code == 429
+            assert "Retry-After" in exc.value.headers
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close(drain=False)
+
+
+class TestObservabilityEndpoints:
+    def test_health_under_load(self, served):
+        _, base = served
+        for seed in range(3):
+            _json(base, "/v1/jobs", method="POST",
+                  body=dict(REQUEST, seed=seed))
+        status, health = _json(base, "/health")
+        assert status == 200 and health["status"] == "ok"
+        assert health["workers_alive"] == 2
+        assert health["store_writable"] is True
+
+    def test_metrics_exposition(self, served):
+        _, base = served
+        _submit_and_wait(base, REQUEST)
+        with _request(base, "/metrics") as resp:
+            assert resp.headers["Content-Type"] == \
+                METRICS_CONTENT_TYPE
+            text = resp.read().decode()
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        assert "# TYPE repro_job_seconds histogram" in text
+        assert "repro_job_seconds_bucket" in text
+
+    def test_concurrent_clients_hammer(self, served):
+        """Many clients submitting and scraping at once: every request
+        gets a coherent response (2xx or a mapped 4xx), nothing hangs,
+        and the server stays healthy."""
+        _, base = served
+        outcomes = []
+        lock = threading.Lock()
+
+        def hammer(i):
+            try:
+                body = dict(REQUEST, seed=i % 3)
+                status, job = _json(base, "/v1/jobs", method="POST",
+                                    body=body)
+                _json(base, f"/v1/jobs/{job['id']}")
+                _json(base, "/health")
+                with lock:
+                    outcomes.append(status)
+            except urllib.error.HTTPError as exc:
+                with lock:
+                    outcomes.append(exc.code)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(outcomes) == 12
+        assert set(outcomes) <= {200, 202, 429}
+        status, health = _json(base, "/health")
+        assert status == 200
+
+
+class TestGracefulShutdown:
+    def test_drain_completes_accepted_work(self, tmp_path):
+        service = CompressionService(tmp_path / "cache", workers=1,
+                                     max_queue=8)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        base = "http://{}:{}".format(*httpd.server_address[:2])
+        jobs = []
+        try:
+            for seed in range(3):
+                _, job = _json(base, "/v1/jobs", method="POST",
+                               body=dict(REQUEST, seed=seed))
+                jobs.append(job["id"])
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close(drain=True)
+        # every accepted job finished; the cache holds every result
+        for job_id in jobs:
+            job = service.job(job_id)
+            assert job.state == "done"
+            assert service.cache.peek_path(job.digest) is not None
+
+    def test_draining_health_is_503(self, tmp_path):
+        service = CompressionService(tmp_path / "cache", workers=1)
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        base = "http://{}:{}".format(*httpd.server_address[:2])
+        try:
+            service.close(drain=True)
+            try:
+                _json(base, "/health")
+                raise AssertionError("expected 503")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                assert json.load(exc)["status"] == "draining"
+            # submissions are refused with 503 too
+            try:
+                _json(base, "/v1/jobs", method="POST", body=REQUEST)
+                raise AssertionError("expected 503")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()

@@ -1,0 +1,125 @@
+"""Metrics instruments and the Prometheus text exposition format."""
+
+import threading
+
+import pytest
+
+from repro.service.telemetry import (Counter, Gauge, Histogram,
+                                     METRICS_CONTENT_TYPE,
+                                     MetricsRegistry)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(2, type="compress")
+        assert c.value() == 1
+        assert c.value(type="compress") == 2
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("x", "").inc(-1)
+
+    def test_render_sorts_label_sets(self):
+        c = Counter("jobs_total", "jobs")
+        c.inc(type="b")
+        c.inc(type="a")
+        lines = c.render()
+        assert lines == ['jobs_total{type="a"} 1',
+                         'jobs_total{type="b"} 1']
+
+    def test_concurrent_increments_are_lossless(self):
+        c = Counter("hits", "")
+        threads = [threading.Thread(
+            target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_callback_gauge_samples_at_render(self):
+        level = {"n": 1}
+        g = Gauge("depth", "", callback=lambda: level["n"])
+        assert g.render() == ["depth 1"]
+        level["n"] = 7
+        assert g.render() == ["depth 7"]
+        assert g.value() == 7
+
+    def test_labelled_gauge(self):
+        g = Gauge("jobs", "")
+        g.set(3, state="queued")
+        assert 'jobs{state="queued"} 3' in g.render()
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("seconds", "", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        lines = h.render()
+        assert 'seconds_bucket{le="0.1"} 1' in lines
+        assert 'seconds_bucket{le="1"} 3' in lines
+        assert 'seconds_bucket{le="10"} 4' in lines
+        assert 'seconds_bucket{le="+Inf"} 4' in lines
+        assert "seconds_count 4" in lines
+        assert any(line.startswith("seconds_sum") for line in lines)
+
+    def test_labelled_series_are_independent(self):
+        h = Histogram("seconds", "", buckets=(1.0,))
+        h.observe(0.5, codec="a")
+        h.observe(0.5, codec="b")
+        assert h.count(codec="a") == 1
+        assert h.count(codec="b") == 1
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", "", buckets=())
+
+
+class TestRegistry:
+    def test_create_or_return_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", "help") is reg.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a", "")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a", "")
+
+    def test_render_emits_help_type_and_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "b things").inc()
+        reg.gauge("a_level", "a level").set(2)
+        text = reg.render()
+        lines = text.splitlines()
+        # instruments render name-sorted, each with HELP + TYPE
+        assert lines[0] == "# HELP a_level a level"
+        assert lines[1] == "# TYPE a_level gauge"
+        assert lines[2] == "a_level 2"
+        assert "# TYPE b_total counter" in lines
+        assert "b_total 1" in lines
+        assert text.endswith("\n")
+
+    def test_content_type_is_prometheus_text(self):
+        assert METRICS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in METRICS_CONTENT_TYPE
+
+    def test_escaping_in_label_values(self):
+        c = Counter("x", "")
+        c.inc(path='a"b\\c\nd')
+        rendered = c.render()[0]
+        assert '\\"' in rendered and "\\\\" in rendered \
+            and "\\n" in rendered
