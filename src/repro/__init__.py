@@ -57,7 +57,7 @@ from .codecs import (Codec, CodecResult, as_codec, get_codec, list_codecs,
                      register_codec)
 from .api import Archive, Bound, Session, SessionError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: top-level names now served through Session; importing them from
 #: ``repro`` still works but emits a DeprecationWarning

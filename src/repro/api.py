@@ -75,6 +75,7 @@ from .pipeline.container import (MEMBER_ENVELOPE, ArchiveIndexError,
                                  MemberIndex, as_source, verify_member)
 from .pipeline.engine import BatchResult, CodecEngine
 from .pipeline.executors import Executor, get_executor
+from .runtime import JournalError, SweepJournal, facts_fingerprint
 from .pipeline.multivar import (MultiVarArchive, MultiVariableCompressor,
                                 read_multivar_index)
 from .pipeline.plan import (ShardEntry, ShardPlan, assemble_shards,
@@ -807,6 +808,108 @@ class Session:
                                      keep_reconstruction=keep_reconstruction)
         meta = [(t.shard_id, t.variable, t.t0, t.t1) for t in plan]
         return self._pack_shards(resolved, meta, batch)
+
+    # -- resumable sweeps ------------------------------------------------
+    def sweep(self, dataset, *,
+              codec: Union[str, Codec, object, None] = None,
+              bound: Optional[Bound] = None,
+              error_bound: Optional[float] = None,
+              nrmse_bound: Optional[float] = None,
+              variables: Optional[Sequence[int]] = None,
+              shards: Optional[int] = None,
+              window: Optional[int] = None,
+              seed: Optional[int] = None,
+              journal: Union[str, os.PathLike, None] = None,
+              resume: bool = True,
+              dataset_overrides: Optional[dict] = None,
+              entropy_backend: Optional[str] = None,
+              on_event=None) -> Archive:
+        """Journaled, resumable shard sweep over a registered dataset.
+
+        Semantically ``compress(dataset, ...)`` for the plan-backed
+        path, with one addition: ``journal=path`` makes the sweep
+        **crash-safe** — every completed shard is durably recorded
+        (fsynced JSONL line + content-addressed payload object under
+        ``<journal>.objects/``) the moment it finishes, and a rerun
+        pointed at the same journal replays completed shards and
+        recomputes only the missing ones.  The resumed archive is
+        byte-identical to an uninterrupted run.
+
+        The journal is fingerprinted over the sweep's canonical facts
+        (dataset spec, codec spec, bound, entropy backend, seed and
+        the shard grid); reusing a journal with different parameters
+        raises :class:`SessionError` instead of silently mixing
+        results.  ``resume=False`` refuses a journal that already has
+        completed shards (the CLI's default until ``--resume``).
+
+        ``window=W`` slices the time axis into fixed-width windows
+        (last one short) instead of ``shards=N`` near-equal parts;
+        give one or the other.  ``on_event`` observes runtime
+        :class:`~repro.runtime.TaskEvent`s (progress reporting, fault
+        injection in tests).
+        """
+        target = Bound.coalesce(bound=bound, error_bound=error_bound,
+                                nrmse_bound=nrmse_bound)
+        seed = self.seed if seed is None else seed
+        try:
+            entropy = (self.entropy_backend if entropy_backend is None
+                       else get_entropy_backend(entropy_backend).name)
+        except KeyError as exc:
+            raise SessionError(exc.args[0]) from None
+        resolved = self.resolve_codec(codec)
+        spec = self._dataset_spec(dataset, dataset_overrides)
+        if window is None and shards is None:
+            shards = 1
+        try:
+            plan: ShardPlan = plan_shards(spec, variables=variables,
+                                          shards=shards, window=window,
+                                          base_seed=seed)
+        except ValueError as exc:
+            raise SessionError(str(exc)) from None
+
+        jr = None
+        if journal is not None:
+            try:
+                codec_spec = resolved.to_spec()
+            except TypeError:
+                codec_spec = {"codec": resolved.name}
+            facts = {"dataset": dataclasses.asdict(spec),
+                     "codec": codec_spec,
+                     "bound": (None if target is None
+                               else [target.kind, target.value]),
+                     "entropy_backend": entropy or "arithmetic",
+                     "seed": seed, "shards": shards, "window": window,
+                     "variables": (None if variables is None
+                                   else list(variables))}
+            try:
+                jr = SweepJournal(journal,
+                                  fingerprint=facts_fingerprint(facts))
+            except JournalError as exc:
+                raise SessionError(str(exc)) from None
+            if len(jr) and not resume:
+                done = len(jr)
+                jr.close()
+                raise SessionError(
+                    f"journal {os.fspath(journal)} already records "
+                    f"{done} completed shard(s); resume it "
+                    f"(resume=True / --resume) or point the sweep at "
+                    f"a fresh journal path")
+
+        engine = self._engine(resolved, seed, entropy)
+        try:
+            batch = engine.compress_plan(plan, bound=target,
+                                         keep_reconstruction=False,
+                                         journal=jr, on_event=on_event)
+        finally:
+            if jr is not None:
+                jr.close()
+        meta = [(t.shard_id, t.variable, t.t0, t.t1) for t in plan]
+        archive = self._pack_shards(resolved, meta, batch)
+        archive.stats["resumed_shards"] = batch.replayed
+        archive.stats["computed_shards"] = len(meta) - batch.replayed
+        if journal is not None:
+            archive.stats["journal"] = os.fspath(journal)
+        return archive
 
     def _compress_multivar(self, data, codec, target, names, seed,
                            entropy: Optional[str]) -> Archive:

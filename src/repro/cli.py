@@ -281,6 +281,45 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        session = _session(args, executor=args.executor,
+                           workers=args.workers)
+        codec = session.resolve_codec()
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    args.codec = codec.name
+    if (codec.capabilities.requires_bound and args.error_bound is None
+            and args.nrmse_bound is None):
+        # dataset sweeps default to the benchmarks' relative bound
+        args.nrmse_bound = 1e-2
+        print(f"note: codec {args.codec!r} requires a bound; "
+              f"defaulting to --nrmse-bound 0.01")
+    try:
+        overrides = _parse_shape(args.shape) if args.shape else None
+        archive = session.sweep(
+            args.dataset, error_bound=args.error_bound,
+            nrmse_bound=args.nrmse_bound,
+            variables=args.variable or None,
+            shards=args.shards, window=args.window,
+            journal=args.journal, resume=args.resume,
+            dataset_overrides=overrides)
+    except _USER_ERRORS as exc:
+        return _fail(exc)
+    finally:
+        session.close()
+
+    archive.save(args.output)
+    s = archive.stats
+    print(f"ratio={s['ratio']:.2f}x nrmse={s['nrmse']:.6f} "
+          f"bytes={s['bytes']} shards={s['shards']} "
+          f"computed={s['computed_shards']} "
+          f"resumed={s['resumed_shards']} "
+          f"executor={s['executor']} "
+          f"wall={s['wall_seconds']:.3f}s -> {args.output}")
+    return 0
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
     try:
         selects = [_parse_select(s) for s in (args.select or [])]
@@ -584,6 +623,61 @@ def build_parser() -> argparse.ArgumentParser:
                         "the stream)")
     c.add_argument("--seed", type=int, default=0)
     c.set_defaults(fn=_cmd_compress)
+
+    w = sub.add_parser(
+        "sweep",
+        help="journaled, resumable shard sweep over a registered "
+             "dataset",
+        description="Compress a registered dataset as a shard sweep "
+                    "with an optional crash-safe journal: every "
+                    "completed shard is durably recorded, and "
+                    "re-running with --journal PATH --resume replays "
+                    "completed shards and recomputes only the missing "
+                    "ones, producing an archive byte-identical to an "
+                    "uninterrupted run.")
+    w.add_argument("dataset",
+                   help="registered dataset name (see 'repro datasets')")
+    w.add_argument("output", help="output shard archive path")
+    w.add_argument("--codec", default=_DEFAULT_CODEC,
+                   help="registered codec name (see 'repro codecs')")
+    w.add_argument("--codec-artifact", default=None,
+                   help="load trained codec state from a model "
+                        "artifact (.npz written by 'repro train')")
+    w.add_argument("--variable", type=int, action="append",
+                   default=None, metavar="V",
+                   help="dataset variable index; repeat for several "
+                        "(default: every variable)")
+    w.add_argument("--shape", default=None,
+                   help="dataset shape override TxHxW")
+    w.add_argument("--shards", type=int, default=None,
+                   help="split each variable's time axis into N "
+                        "near-equal shards")
+    w.add_argument("--window", type=int, default=None,
+                   help="fixed shard width in frames (last shard "
+                        "short) instead of --shards")
+    w.add_argument("--journal", default=None, metavar="PATH",
+                   help="crash-safe sweep journal (JSONL + "
+                        "content-addressed payloads in PATH.objects/)")
+    w.add_argument("--resume", action="store_true",
+                   help="allow resuming a journal that already has "
+                        "completed shards (without this flag a "
+                        "non-empty journal is refused)")
+    w.add_argument("--executor", default="thread",
+                   choices=list_executors(),
+                   help="execution backend for the sweep")
+    w.add_argument("--workers", type=int, default=None,
+                   help="pool width (default: one per CPU, clamped to "
+                        "the shard count)")
+    w.add_argument("--nrmse-bound", type=float, default=None)
+    w.add_argument("--error-bound", type=float, default=None,
+                   help="absolute L2 bound tau (normalized onto the "
+                        "codec's native bound metric)")
+    w.add_argument("--entropy-backend", default=None,
+                   choices=list_entropy_backends(),
+                   help="entropy coder for every written stream "
+                        "(decoding auto-detects from the stream)")
+    w.add_argument("--seed", type=int, default=0)
+    w.set_defaults(fn=_cmd_sweep)
 
     d = sub.add_parser("decompress", help="reconstruct a stream")
     d.add_argument("model", help="model bundle (.npz); '-' for "

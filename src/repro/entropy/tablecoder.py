@@ -49,12 +49,11 @@ from __future__ import annotations
 
 import hashlib
 import struct
-import threading
-from collections import OrderedDict
 from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from ..util import LRUCache
 from .coder import EntropyDecodeError, check_contexts
 from .rangecoder import MAX_TOTAL
 from .rans import RANS_L
@@ -88,11 +87,6 @@ def lane_count(n: int) -> int:
 # ----------------------------------------------------------------------
 # Process-wide cache of derived coding tables
 # ----------------------------------------------------------------------
-class _Entry(NamedTuple):
-    value: Any
-    nbytes: int
-
-
 def _value_nbytes(value: Any) -> int:
     """Total ndarray bytes held by a cached value (arrays, tuples of
     arrays, or NamedTuples thereof)."""
@@ -120,20 +114,16 @@ class TableCache:
     16-bit-precision tables run tens of MiB); eviction is
     least-recently-used.  Thread-safe: the engine's window pools hit
     one shared table concurrently, and the first job's build blocks the
-    rest instead of duplicating it.
+    rest instead of duplicating it.  A thin wrapper over the shared
+    :class:`repro.util.LRUCache` (byte sizes come from
+    :func:`_value_nbytes`).
     """
 
     def __init__(self, max_entries: int = 32,
                  max_bytes: int = 768 << 20):
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.max_entries = int(max_entries)
-        self.max_bytes = int(max_bytes)
-        self.hits = 0
-        self.misses = 0
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
-        self._bytes = 0
+        self._lru = LRUCache(max_entries=max_entries, max_bytes=max_bytes)
+        self.max_entries = self._lru.max_entries
+        self.max_bytes = self._lru.max_bytes
 
     @staticmethod
     def digest(*parts) -> bytes:
@@ -148,43 +138,30 @@ class TableCache:
                 h.update(repr(part).encode())
         return h.digest()
 
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
     def get(self, key: Tuple, build: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building (and caching)
         it on a miss.  Builds run under the cache lock so concurrent
         windows sharing one table wait for a single build instead of
         duplicating it."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return entry.value
-            self.misses += 1
-            value = build()
-            nbytes = _value_nbytes(value)
-            self._entries[key] = _Entry(value, nbytes)
-            self._bytes += nbytes
-            while self._entries and (len(self._entries) > self.max_entries
-                                     or self._bytes > self.max_bytes):
-                if len(self._entries) == 1:
-                    break  # never evict the entry being returned
-                _, old = self._entries.popitem(last=False)
-                self._bytes -= old.nbytes
-            return value
+        return self._lru.get_or_build(key, build, nbytes=_value_nbytes)
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counters survive for tests)."""
-        with self._lock:
-            self._entries.clear()
-            self._bytes = 0
+        self._lru.clear()
 
     def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return {"hits": self.hits, "misses": self.misses,
-                    "entries": len(self._entries), "bytes": self._bytes}
+        return self._lru.stats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._lru)
 
 
 #: the process-wide cache every endpoint defaults to

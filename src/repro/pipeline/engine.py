@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..bound import Bound
 from ..entropy.backend import get_backend, using_backend
 from ..metrics import CompressionAccounting
+from ..runtime import Task
 from .executors import Executor, get_executor
 
 __all__ = ["CodecEngine", "BatchResult", "WindowReport"]
@@ -60,6 +61,8 @@ class BatchResult:
 
     reports: List[WindowReport] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: windows restored from a sweep journal instead of recomputed
+    replayed: int = 0
 
     @property
     def results(self) -> List["object"]:
@@ -178,6 +181,55 @@ def _run_decode_job(job: _DecodeJob) -> np.ndarray:
     return _resolve_codec(job.codec_ref).decompress(job.payload)
 
 
+# ----------------------------------------------------------------------
+# Sweep-journal support: recording completed windows and rebuilding
+# reports from journaled payloads on resume.
+# ----------------------------------------------------------------------
+@dataclass
+class _ReplayedResult:
+    """CodecResult stand-in rebuilt from a journal entry.
+
+    Carries exactly what downstream consumers (archive packing, batch
+    accounting) read from a fresh result: the payload bytes, Eq. 11
+    accounting, and the achieved NRMSE.  Reconstructions are never
+    journaled, so replay implies ``keep_reconstruction=False``.
+    """
+
+    payload: bytes
+    accounting: CompressionAccounting
+    achieved_nrmse: float
+    reconstruction: Any = None
+    detail: Any = None
+
+
+def _journal_task_id(job: _WindowJob) -> str:
+    return job.shard_id or f"window/{job.index}"
+
+
+def _journal_meta(report: WindowReport) -> Dict[str, Any]:
+    acc = report.result.accounting
+    return {"index": report.index,
+            "seed": report.seed,
+            "seconds": report.seconds,
+            "original_bytes": int(acc.original_bytes),
+            "latent_bytes": int(acc.latent_bytes),
+            "guarantee_bytes": int(acc.guarantee_bytes),
+            "nrmse": float(report.result.achieved_nrmse)}
+
+
+def _replayed_report(job: _WindowJob, meta: Dict[str, Any],
+                     payload: bytes) -> WindowReport:
+    acc = CompressionAccounting(
+        original_bytes=int(meta.get("original_bytes", 0)),
+        latent_bytes=int(meta.get("latent_bytes", len(payload))),
+        guarantee_bytes=int(meta.get("guarantee_bytes", 0)))
+    result = _ReplayedResult(payload=payload, accounting=acc,
+                             achieved_nrmse=float(meta.get("nrmse", 0.0)))
+    return WindowReport(index=job.index, seed=job.seed,
+                        seconds=float(meta.get("seconds", 0.0)),
+                        result=result, shard_id=job.shard_id)
+
+
 class CodecEngine:
     """Run one codec over batches of independent frame stacks.
 
@@ -244,11 +296,47 @@ class CodecEngine:
             raise ValueError("give bound or error_bound/nrmse_bound, "
                              "not both")
 
-    def _execute(self, jobs: List[_WindowJob]) -> BatchResult:
+    def _execute(self, jobs: List[_WindowJob], journal=None,
+                 on_event=None) -> BatchResult:
         t0 = time.perf_counter()
-        reports = self.executor.map(_run_window_job, jobs)
+        if journal is None and on_event is None:
+            # fast path: plain ordered map, zero bookkeeping overhead
+            reports = self.executor.map(_run_window_job, jobs)
+            return BatchResult(reports=reports,
+                               wall_seconds=time.perf_counter() - t0)
+
+        by_index: Dict[int, WindowReport] = {}
+        replayed = 0
+        remaining: List[Task] = []
+        completed = journal.completed() if journal is not None else {}
+        for job in jobs:
+            task_id = _journal_task_id(job)
+            entry = completed.get(task_id)
+            if entry is not None and int(entry.meta.get("seed", -1)) == job.seed:
+                payload = journal.payload(entry)
+                if payload is not None:
+                    by_index[job.index] = _replayed_report(
+                        job, entry.meta, payload)
+                    replayed += 1
+                    continue
+            # damaged object / seed drift / never completed: recompute
+            remaining.append(Task(task_id=task_id, fn=_run_window_job,
+                                  payload=job, index=job.index,
+                                  seed=job.seed))
+
+        def _record(outcome) -> None:
+            report: WindowReport = outcome.value
+            if journal is not None:
+                journal.record(outcome.task_id, report.result.payload,
+                               _journal_meta(report))
+            by_index[report.index] = report
+
+        self.executor.run_tasks(remaining, on_result=_record,
+                                on_event=on_event)
+        reports = [by_index[job.index] for job in jobs]
         return BatchResult(reports=reports,
-                           wall_seconds=time.perf_counter() - t0)
+                           wall_seconds=time.perf_counter() - t0,
+                           replayed=replayed)
 
     # ------------------------------------------------------------------
     def compress(self, stacks: Sequence[np.ndarray],
@@ -256,7 +344,8 @@ class CodecEngine:
                  error_bound: Optional[float] = None,
                  nrmse_bound: Optional[float] = None,
                  keep_reconstruction: bool = True,
-                 first_index: int = 0) -> BatchResult:
+                 first_index: int = 0,
+                 journal=None, on_event=None) -> BatchResult:
         """Compress every stack; bounds apply per stack.
 
         ``bound`` is a :class:`~repro.bound.Bound` — or a raw float in
@@ -274,6 +363,11 @@ class CodecEngine:
         indexes), which is how chunked ingestion feeds a long stack
         sequence through several bounded calls while producing streams
         byte-identical to one big call.
+        ``journal`` (a :class:`~repro.runtime.SweepJournal`) makes the
+        batch resumable: windows whose journal entry verifies are
+        replayed instead of recomputed, fresh completions are recorded
+        durably before their ``completed`` event fires.  ``on_event``
+        observes runtime :class:`~repro.runtime.TaskEvent`s.
         """
         self._check_bounds(bound, error_bound, nrmse_bound)
         ref = self._codec_ref()
@@ -286,14 +380,15 @@ class CodecEngine:
                            keep_reconstruction=keep_reconstruction,
                            entropy_backend=self.entropy_backend)
                 for j, stack in enumerate(stacks)]
-        return self._execute(jobs)
+        return self._execute(jobs, journal=journal, on_event=on_event)
 
     # ------------------------------------------------------------------
     def compress_plan(self, plan: Iterable,
                       bound: Union[None, float, Bound] = None,
                       error_bound: Optional[float] = None,
                       nrmse_bound: Optional[float] = None,
-                      keep_reconstruction: bool = True) -> BatchResult:
+                      keep_reconstruction: bool = True,
+                      journal=None, on_event=None) -> BatchResult:
         """Compress every shard of a :class:`ShardPlan`.
 
         Shards are *recipes*: workers materialize the frames from the
@@ -301,6 +396,12 @@ class CodecEngine:
         bytes per shard instead of the frames themselves.  Seeds come
         from the planner (``base_seed + 7919 * i`` in plan order), not
         from this engine's ``base_seed``.
+
+        With a ``journal``, shard ids become durable task ids: shards
+        already journaled (same id *and* seed, payload hash verified)
+        are replayed, the rest recomputed and recorded — the substrate
+        under ``Session.sweep(..., journal=...)`` / ``repro sweep
+        --resume``.
         """
         self._check_bounds(bound, error_bound, nrmse_bound)
         ref = self._codec_ref()
@@ -311,7 +412,7 @@ class CodecEngine:
                            keep_reconstruction=keep_reconstruction,
                            entropy_backend=self.entropy_backend)
                 for i, task in enumerate(plan)]
-        return self._execute(jobs)
+        return self._execute(jobs, journal=journal, on_event=on_event)
 
     # ------------------------------------------------------------------
     def decompress(self, payloads: Sequence[bytes]) -> List[np.ndarray]:

@@ -1,12 +1,17 @@
 """Pluggable execution backends for the :class:`CodecEngine`.
 
-The engine used to hardwire one ``ThreadPoolExecutor``.  Execution is
-now a strategy — an :class:`Executor` maps a function over work items
-in order — with three interchangeable backends:
+Executors are thin adapters over :class:`repro.runtime.TaskRuntime` —
+one dispatcher supplies the serial/thread/process backends, per-task
+retry, and completion events, while this module keeps the public
+surface the pipeline has always had: the ordered :meth:`Executor.map`
+contract, the ``EXECUTORS`` registry, and :func:`get_executor`.
+Journal-aware callers (the engine's resumable sweeps) use
+:meth:`Executor.run_tasks` to dispatch explicit
+:class:`~repro.runtime.Task` records with completion callbacks.
 
 ``serial``
-    Plain list comprehension.  The reference semantics every other
-    backend must reproduce byte-for-byte.
+    Inline execution in the calling thread.  The reference semantics
+    every other backend must reproduce byte-for-byte.
 ``thread``
     :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy kernels
     release the GIL, so threads scale the matrix-heavy codecs without
@@ -22,15 +27,21 @@ in order — with three interchangeable backends:
 All three produce **ordered** results and propagate worker exceptions
 to the caller, so swapping backends never changes observable behavior
 — only wall-clock.
+
+``close()`` is idempotent and exception-safe on every backend, and is
+*not* terminal — a later ``map`` lazily rebuilds the pool.  There is
+deliberately no ``__del__`` anywhere: GC-timing-dependent finalizers
+race interpreter shutdown, so lifecycle is explicit (``with`` or
+``close()``).
 """
 
 from __future__ import annotations
 
-import abc
-import multiprocessing as mp
-import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar, Union
+from typing import (Callable, Dict, List, Optional, Sequence, Type, TypeVar,
+                    Union)
+
+from ..runtime import Task, TaskOutcome, TaskRuntime, default_workers
+from ..runtime.runtime import EventFn, ResultFn
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -40,15 +51,10 @@ __all__ = ["Executor", "SerialExecutor", "ThreadExecutor",
            "default_workers", "EXECUTORS"]
 
 
-def default_workers() -> int:
-    """Default pool width: one worker per available CPU."""
-    return os.cpu_count() or 4
-
-
-class Executor(abc.ABC):
+class Executor:
     """Ordered-map strategy over a batch of independent work items.
 
-    ``max_workers`` is an upper bound; every backend clamps the actual
+    ``max_workers`` is an upper bound; the runtime clamps the actual
     pool width to the number of items (no idle workers for small
     batches).
     """
@@ -65,17 +71,41 @@ class Executor(abc.ABC):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self._runtime = self._build_runtime()
 
-    @abc.abstractmethod
+    def _build_runtime(self) -> TaskRuntime:
+        return TaskRuntime(mode=self.name, max_workers=self.max_workers,
+                           name=f"repro-{self.name}")
+
+    @property
+    def runtime(self) -> TaskRuntime:
+        """The underlying shared task runtime."""
+        return self._runtime
+
     def map(self, fn: Callable[[T], U], items: Sequence[T]) -> List[U]:
         """Apply ``fn`` to every item, preserving order.
 
         Exceptions raised by ``fn`` propagate to the caller exactly as
         in the serial path.
         """
+        return self._runtime.map(fn, items)
+
+    def run_tasks(self, tasks: Sequence[Task],
+                  on_result: Optional[ResultFn] = None,
+                  on_event: Optional[EventFn] = None) -> List[TaskOutcome]:
+        """Dispatch explicit task records with completion callbacks.
+
+        ``on_result`` fires per task in completion order (before that
+        task's ``completed`` event) — the seam the sweep journal hooks.
+        """
+        return self._runtime.run(tasks, on_result=on_result,
+                                 on_event=on_event)
 
     def close(self) -> None:
-        """Release any pooled resources (idempotent)."""
+        """Release pooled resources; idempotent and exception-safe."""
+        runtime = getattr(self, "_runtime", None)
+        if runtime is not None:
+            runtime.close()
 
     def __enter__(self) -> "Executor":
         return self
@@ -93,22 +123,11 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def map(self, fn, items):
-        return [fn(it) for it in items]
-
 
 class ThreadExecutor(Executor):
     """Thread-pool execution; zero serialization, GIL-sharing."""
 
     name = "thread"
-
-    def map(self, fn, items):
-        items = list(items)
-        workers = min(self.max_workers, len(items))
-        if workers <= 1:
-            return [fn(it) for it in items]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
 
 
 class ProcessExecutor(Executor):
@@ -116,10 +135,10 @@ class ProcessExecutor(Executor):
 
     The underlying pool is created on first use and reused across
     :meth:`map` calls (fork cost is paid once per sweep, not per
-    batch); :meth:`close` shuts it down.  Unlike threads — which may
-    oversubscribe usefully while peers block in GIL-releasing kernels
-    — process workers are fully CPU-bound, so the pool width is
-    additionally clamped to the core count.
+    batch).  Unlike threads — which may oversubscribe usefully while
+    peers block in GIL-releasing kernels — process workers are fully
+    CPU-bound, so the runtime additionally clamps the pool width to
+    the core count.
     """
 
     name = "process"
@@ -127,44 +146,14 @@ class ProcessExecutor(Executor):
 
     def __init__(self, max_workers: Optional[int] = None,
                  mp_context: Optional[str] = None):
+        self._mp_context = mp_context
         super().__init__(max_workers)
-        if mp_context is None:
-            methods = mp.get_all_start_methods()
-            mp_context = "fork" if "fork" in methods else methods[0]
-        self.mp_context = mp_context
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_workers = 0
+        self.mp_context = self._runtime.mp_context
 
-    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
-        if self._pool is not None and self._pool_workers < workers:
-            self.close()  # grow the pool to the new width
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=mp.get_context(self.mp_context))
-            self._pool_workers = workers
-        return self._pool
-
-    def map(self, fn, items):
-        items = list(items)
-        if not items:
-            return []
-        workers = min(self.max_workers, len(items), default_workers())
-        pool = self._get_pool(workers)
-        chunksize = max(1, len(items) // (workers * 4))
-        return list(pool.map(fn, items, chunksize=chunksize))
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_workers = 0
-
-    def __del__(self):  # pragma: no cover - GC-timing dependent
-        try:
-            self.close()
-        except Exception:
-            pass
+    def _build_runtime(self) -> TaskRuntime:
+        return TaskRuntime(mode="process", max_workers=self.max_workers,
+                           mp_context=self._mp_context,
+                           name="repro-process")
 
 
 EXECUTORS: Dict[str, Type[Executor]] = {

@@ -1,0 +1,223 @@
+"""SweepJournal — crash-safe, append-only record of completed tasks.
+
+The journal is a JSONL file: one header line pinning a fingerprint of
+the sweep's canonical facts, then one line per completed task mapping
+``task_id`` to the SHA-256 of its result payload.  Payload bytes are
+staged content-addressed next to the journal
+(``<journal>.objects/<sha256>.bin``) with an idempotent
+write-temp-then-rename put, and each object is fsynced *before* its
+journal line — so any line that survives a crash points at durable,
+verifiable bytes.
+
+Replay is defensive everywhere: corrupted or truncated lines are
+skipped and counted (never raised), duplicate task lines are
+last-wins, and :meth:`payload` re-hashes the object file, returning
+``None`` on any mismatch so the caller simply recomputes that shard.
+The only hard error is a *fingerprint* mismatch — resuming a sweep
+with different parameters silently corrupting an archive is exactly
+the failure mode the journal exists to prevent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["JournalEntry", "JournalError", "SweepJournal",
+           "canonical_json", "facts_fingerprint"]
+
+FORMAT = "repro-sweep-journal"
+VERSION = 1
+
+
+class JournalError(ValueError):
+    """The journal cannot be used for this sweep (fingerprint clash)."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic compact JSON (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def facts_fingerprint(facts: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of a sweep's resolved facts."""
+    return hashlib.sha256(canonical_json(facts).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed task: payload digest/size plus provenance meta."""
+
+    task_id: str
+    sha256: str
+    nbytes: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class SweepJournal:
+    """Append-only JSONL journal with content-addressed payloads.
+
+    Opening an existing journal replays it (tolerating damage);
+    opening a fresh path writes the header.  ``fingerprint`` pins the
+    sweep's identity: a non-empty journal whose header disagrees
+    raises :class:`JournalError`.
+    """
+
+    def __init__(self, path: os.PathLike, fingerprint: Optional[str] = None):
+        self.path = Path(path)
+        self.objects_dir = Path(str(self.path) + ".objects")
+        self.fingerprint = fingerprint
+        self.skipped_lines = 0
+        self._entries: Dict[str, JournalEntry] = {}
+        self._fh = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        header_found = False
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            header_found = self._load()
+            # a crash can leave a half-written final line with no
+            # newline; terminate it so the next append starts clean
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if needs_newline:
+            self._fh.write("\n")
+        if not header_found:
+            self._append({"kind": "sweep", "format": FORMAT,
+                          "version": VERSION,
+                          "fingerprint": self.fingerprint})
+
+    # -- replay ---------------------------------------------------------
+    def _load(self) -> bool:
+        header_found = False
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except (ValueError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                if not isinstance(record, dict):
+                    self.skipped_lines += 1
+                    continue
+                kind = record.get("kind")
+                if kind == "sweep":
+                    header_found = True
+                    theirs = record.get("fingerprint")
+                    if (self.fingerprint is not None and theirs is not None
+                            and theirs != self.fingerprint):
+                        raise JournalError(
+                            f"journal {self.path} was written by a sweep "
+                            f"with different parameters (fingerprint "
+                            f"{theirs[:12]}.. != {self.fingerprint[:12]}..); "
+                            "use a fresh journal path")
+                elif kind == "task":
+                    try:
+                        entry = JournalEntry(
+                            task_id=str(record["task_id"]),
+                            sha256=str(record["sha256"]),
+                            nbytes=int(record["bytes"]),
+                            meta=dict(record.get("meta") or {}))
+                    except (KeyError, TypeError, ValueError):
+                        self.skipped_lines += 1
+                        continue
+                    self._entries[entry.task_id] = entry  # last wins
+                else:
+                    self.skipped_lines += 1
+        return header_found
+
+    # -- writing --------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._fh.write(canonical_json(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _object_path(self, digest: str) -> Path:
+        return self.objects_dir / f"{digest}.bin"
+
+    def _put_object(self, digest: str, data: bytes) -> None:
+        path = self._object_path(digest)
+        if path.exists() and path.stat().st_size == len(data):
+            return  # idempotent: content-addressed, already durable
+        fd, tmp = tempfile.mkstemp(dir=str(self.objects_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def record(self, task_id: str, payload: bytes,
+               meta: Optional[Dict[str, Any]] = None) -> JournalEntry:
+        """Durably record ``task_id -> payload``; idempotent."""
+        data = bytes(payload)
+        digest = hashlib.sha256(data).hexdigest()
+        self._put_object(digest, data)  # object durable before its line
+        entry = JournalEntry(task_id=task_id, sha256=digest,
+                             nbytes=len(data), meta=dict(meta or {}))
+        self._append({"kind": "task", "task_id": task_id,
+                      "sha256": digest, "bytes": len(data),
+                      "meta": entry.meta})
+        self._entries[task_id] = entry
+        return entry
+
+    # -- replaying results ----------------------------------------------
+    def completed(self) -> Dict[str, JournalEntry]:
+        """Snapshot of replayable entries, keyed by task id."""
+        return dict(self._entries)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def payload(self, entry: JournalEntry) -> Optional[bytes]:
+        """Verified payload bytes for ``entry``, or ``None`` if damaged."""
+        path = self._object_path(entry.sha256)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if len(data) != entry.nbytes:
+            return None
+        if hashlib.sha256(data).hexdigest() != entry.sha256:
+            return None
+        return data
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SweepJournal path={str(self.path)!r} "
+                f"entries={len(self._entries)} "
+                f"skipped={self.skipped_lines}>")

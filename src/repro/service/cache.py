@@ -14,10 +14,11 @@ temp-file + ``os.replace`` so readers never observe partial writes),
 mirroring the :class:`~repro.pipeline.artifacts.ArtifactStore` layout.
 Serving a warm request therefore costs a file open — and since
 archives are seekable containers (PR 8), job-result metadata reads
-only the footer.  The in-memory side is just the LRU index: digest →
-byte size, bounded by entry count *and* total bytes (the
-:class:`~repro.entropy.tablecoder.TableCache` shape), evicting
-least-recently-used object files.
+only the footer.  The in-memory side is the shared
+:class:`repro.util.LRUCache` (digest → byte size, bounded by entry
+count *and* total bytes); its eviction callback unlinks the evicted
+object file, and compound check-disk-then-bump operations run under
+the cache's public lock.
 
 Thread-safe; hit/miss totals feed the ``repro_cache_*`` metrics and
 the bench's warm-vs-cold speedup floor.
@@ -27,9 +28,9 @@ from __future__ import annotations
 
 import os
 import tempfile
-import threading
-from collections import OrderedDict
 from typing import Dict, Optional, Union
+
+from ..util import LRUCache
 
 __all__ = ["ResultCache"]
 
@@ -41,21 +42,22 @@ class ResultCache:
 
     def __init__(self, root: PathLike, max_entries: int = 256,
                  max_bytes: int = 1 << 30):
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        if max_bytes < 1:
-            raise ValueError("max_bytes must be >= 1")
         self.root = os.fspath(root)
         self.objects_dir = os.path.join(self.root, "objects")
         os.makedirs(self.objects_dir, exist_ok=True)
-        self.max_entries = int(max_entries)
-        self.max_bytes = int(max_bytes)
-        self.hits = 0
-        self.misses = 0
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[str, int]" = OrderedDict()
-        self._bytes = 0
+        self._lru = LRUCache(max_entries=max_entries, max_bytes=max_bytes,
+                             on_evict=self._unlink_evicted)
+        self.max_entries = self._lru.max_entries
+        self.max_bytes = self._lru.max_bytes
         self._scan()
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
 
     # -- persistence ----------------------------------------------------
     def _scan(self) -> None:
@@ -72,30 +74,34 @@ class ResultCache:
                 continue
             found.append((st.st_mtime, name[:-4], st.st_size))
         for _, digest, size in sorted(found):
-            self._entries[digest] = size
-            self._bytes += size
-        self._evict()
+            self._lru.put(digest, size, nbytes=size)
 
     def _path(self, digest: str) -> str:
         if not digest or any(c in digest for c in "/\\."):
             raise ValueError(f"bad cache digest {digest!r}")
         return os.path.join(self.objects_dir, f"{digest}.bin")
 
+    def _unlink_evicted(self, digest, size, nbytes) -> None:
+        try:
+            os.unlink(self._path(digest))
+        except OSError:
+            pass
+
     # -- core API -------------------------------------------------------
     def get_path(self, digest: str) -> Optional[str]:
         """Object path for ``digest`` (bumping its recency), or
         ``None`` on a miss.  Counts a hit/miss either way."""
-        with self._lock:
-            if digest in self._entries:
+        with self._lru.lock:
+            if digest in self._lru:
                 path = self._path(digest)
                 if os.path.exists(path):
-                    self._entries.move_to_end(digest)
-                    self.hits += 1
+                    self._lru.touch(digest)
+                    self._lru.hits += 1
                     return path
                 # the object vanished under us (external cleanup);
                 # drop the index row and fall through to a miss
-                self._bytes -= self._entries.pop(digest)
-            self.misses += 1
+                self._lru.pop(digest)
+            self._lru.misses += 1
             return None
 
     def peek_path(self, digest: str) -> Optional[str]:
@@ -105,13 +111,13 @@ class ResultCache:
         admission counters), so ``repro_cache_hits_total`` keeps its
         meaning: submissions answered from cache.
         """
-        with self._lock:
-            if digest in self._entries:
+        with self._lru.lock:
+            if digest in self._lru:
                 path = self._path(digest)
                 if os.path.exists(path):
-                    self._entries.move_to_end(digest)
+                    self._lru.touch(digest)
                     return path
-                self._bytes -= self._entries.pop(digest)
+                self._lru.pop(digest)
             return None
 
     def get_bytes(self, digest: str) -> Optional[bytes]:
@@ -127,9 +133,9 @@ class ResultCache:
         directory renamed into place — so a concurrent reader sees
         either no object or the complete one."""
         path = self._path(digest)
-        with self._lock:
-            if digest in self._entries and os.path.exists(path):
-                self._entries.move_to_end(digest)
+        with self._lru.lock:
+            if digest in self._lru and os.path.exists(path):
+                self._lru.touch(digest)
                 return path
             fd, tmp = tempfile.mkstemp(dir=self.objects_dir,
                                        suffix=".tmp")
@@ -143,39 +149,15 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
-            if digest in self._entries:
-                self._bytes -= self._entries.pop(digest)
-            self._entries[digest] = len(data)
-            self._bytes += len(data)
-            self._evict(keep=digest)
+            self._lru.put(digest, len(data), nbytes=len(data))
             return path
-
-    def _evict(self, keep: Optional[str] = None) -> None:
-        """LRU-evict down to both bounds (caller holds the lock)."""
-        while self._entries and (
-                len(self._entries) > self.max_entries
-                or self._bytes > self.max_bytes):
-            oldest = next(iter(self._entries))
-            if oldest == keep and len(self._entries) == 1:
-                break  # never evict the entry being inserted
-            if oldest == keep:
-                self._entries.move_to_end(keep)
-                continue
-            size = self._entries.pop(oldest)
-            self._bytes -= size
-            try:
-                os.unlink(self._path(oldest))
-            except OSError:
-                pass
 
     # -- introspection --------------------------------------------------
     def __contains__(self, digest: str) -> bool:
-        with self._lock:
-            return digest in self._entries
+        return digest in self._lru
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self._lru)
 
     def writable(self) -> bool:
         """Whether the objects directory accepts writes (the health
@@ -190,7 +172,4 @@ class ResultCache:
             return False
 
     def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return {"hits": self.hits, "misses": self.misses,
-                    "entries": len(self._entries),
-                    "bytes": self._bytes}
+        return self._lru.stats()

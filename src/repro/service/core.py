@@ -9,10 +9,11 @@
   bounded queue (429-style rejections, never unbounded growth), and
   returns a :class:`~repro.service.jobs.Job` record with a
   deterministic id;
-* **execution** — a small pool of worker threads drains the queue
-  into the session (which owns the executor backend, codec cache and
-  seeds), so a served compress is *byte-identical* to the same
-  ``Session.compress`` call in-process;
+* **execution** — the shared :class:`repro.runtime.TaskRuntime` (the
+  same substrate the pipeline executors dispatch through) pumps the
+  queue into the session (which owns the executor backend, codec
+  cache and seeds), so a served compress is *byte-identical* to the
+  same ``Session.compress`` call in-process;
 * **caching** — results land in the content-addressed
   :class:`~repro.service.cache.ResultCache`; a repeated identical
   request is answered at submission time from the cache (the job is
@@ -46,6 +47,7 @@ import numpy as np
 
 from ..api import Archive, Bound, Session, SessionError
 from ..data.registry import get_dataset_spec
+from ..runtime import TaskRuntime
 from .cache import ResultCache
 from .jobs import (Job, JobError, TERMINAL_STATES, job_id,
                    normalize_request, request_digest)
@@ -167,11 +169,14 @@ class CompressionService:
         self._jobs: Dict[str, Job] = {}
         self._seq = 0
         self._result_meta: Dict[str, Dict[str, Any]] = {}
-        self._inflight = 0
         self._draining = threading.Event()
         self._closed = False
-        self._workers: List[threading.Thread] = []
         self._num_workers = int(workers)
+        # the shared task runtime pumps the JobQueue into _execute —
+        # the same substrate the pipeline executors dispatch through
+        self._runtime = TaskRuntime(mode="thread",
+                                    max_workers=self._num_workers,
+                                    name="repro-serve")
 
         m = self.metrics
         self._c_submitted = m.counter(
@@ -203,7 +208,7 @@ class CompressionService:
                 callback=lambda: self.queue.depth)
         m.gauge("repro_jobs_inflight",
                 "Jobs currently executing.",
-                callback=lambda: self._inflight)
+                callback=lambda: self._runtime.inflight)
         m.gauge("repro_cache_entries",
                 "Result-cache entries resident.",
                 callback=lambda: len(self.cache))
@@ -223,14 +228,9 @@ class CompressionService:
     def start(self) -> None:
         """Start the worker pool (idempotent)."""
         with self._lock:
-            if self._workers or self._closed:
+            if self._closed:
                 return
-            for i in range(self._num_workers):
-                t = threading.Thread(target=self._worker_loop,
-                                     name=f"repro-serve-worker-{i}",
-                                     daemon=True)
-                t.start()
-                self._workers.append(t)
+            self._runtime.start_workers(self.queue, self._execute)
 
     @property
     def draining(self) -> bool:
@@ -259,13 +259,13 @@ class CompressionService:
                 self._finish(job, "cancelled")
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
-        while self.queue.depth or self._inflight:
+        while self.queue.depth or self._runtime.inflight:
             if deadline is not None and time.monotonic() > deadline:
                 break
             time.sleep(0.01)
         self.queue.close()
-        for t in self._workers:
-            t.join(timeout=10.0)
+        self._runtime.stop_workers(wait=True, timeout=10.0)
+        self._runtime.close()
         if self._owns_session:
             self.session.close()
 
@@ -414,21 +414,8 @@ class CompressionService:
         return source.digest
 
     # -- execution ------------------------------------------------------
-    def _worker_loop(self) -> None:
-        while True:
-            job = self.queue.get(timeout=0.25)
-            if job is None:
-                if self.queue.closed:
-                    return
-                continue
-            with self._lock:
-                self._inflight += 1
-            try:
-                self._execute(job)
-            finally:
-                with self._lock:
-                    self._inflight -= 1
-
+    # (the runtime's pump workers drain self.queue into _execute;
+    #  there is no bespoke _worker_loop anymore)
     def _execute(self, job: Job) -> None:
         try:
             job.transition("running")
@@ -573,10 +560,10 @@ class CompressionService:
 
     def health(self) -> Dict[str, Any]:
         """Liveness summary (the ``GET /health`` body)."""
-        alive = sum(t.is_alive() for t in self._workers)
+        alive = self._runtime.workers_alive
         store_ok = self.cache.writable()
         status = "draining" if self.draining else (
-            "ok" if store_ok and (alive or not self._workers)
+            "ok" if store_ok and (alive or not self._runtime.started)
             else "degraded")
         return {
             "status": status,
@@ -585,7 +572,7 @@ class CompressionService:
             "queue_capacity": self.queue.maxsize,
             "workers": self._num_workers,
             "workers_alive": alive,
-            "inflight": self._inflight,
+            "inflight": self._runtime.inflight,
             "executor": self.session.executor.name,
             "store_writable": store_ok,
             "jobs": self._jobs_by_state(),

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict, deque
-from typing import Dict, Optional
+from collections import deque
+from typing import Optional
 
+from ..util import LRUCache
 from .jobs import Job
 
 __all__ = ["JobQueue", "TokenBucket", "ClientRateLimiter",
@@ -99,8 +100,9 @@ class ClientRateLimiter:
     """Per-client-key token buckets with bounded client tracking.
 
     ``rate <= 0`` disables limiting (every ``allow`` passes).  Client
-    buckets are kept in an LRU so an open service scraping arbitrary
-    client names cannot grow memory without bound.
+    buckets are kept in the shared :class:`repro.util.LRUCache`
+    (entry-bounded) so an open service scraping arbitrary client names
+    cannot grow memory without bound.
     """
 
     def __init__(self, rate: float, burst: Optional[float] = None,
@@ -108,8 +110,7 @@ class ClientRateLimiter:
         self.rate = float(rate)
         self.burst = burst
         self.max_clients = int(max_clients)
-        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._buckets = LRUCache(max_entries=max(1, self.max_clients))
 
     @property
     def enabled(self) -> bool:
@@ -120,15 +121,14 @@ class ClientRateLimiter:
         :class:`RateLimitedError`."""
         if not self.enabled:
             return
-        with self._lock:
-            bucket = self._buckets.get(client)
+        with self._buckets.lock:
+            bucket = self._buckets.peek(client)
             if bucket is None:
                 bucket = TokenBucket(self.rate, self.burst)
-                self._buckets[client] = bucket
-                while len(self._buckets) > self.max_clients:
-                    self._buckets.popitem(last=False)
+                self._buckets.put(client, bucket)
             else:
-                self._buckets.move_to_end(client)
+                self._buckets.touch(client)
+        # acquire outside the registry lock: bucket has its own
         if not bucket.try_acquire():
             raise RateLimitedError(
                 f"client {client!r} exceeded {self.rate:g} "

@@ -1,0 +1,5 @@
+"""Small shared utilities used across otherwise-independent layers."""
+
+from .lru import LRUCache
+
+__all__ = ["LRUCache"]

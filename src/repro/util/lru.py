@@ -1,0 +1,188 @@
+"""One thread-safe LRU to rule the caches.
+
+Three subsystems independently grew the same ``OrderedDict`` + lock
+LRU: the entropy layer's :class:`~repro.entropy.tablecoder.TableCache`
+(coding-table memoization), the service's
+:class:`~repro.service.cache.ResultCache` (content-addressed result
+objects) and its :class:`~repro.service.queue.ClientRateLimiter`
+(per-client token buckets).  :class:`LRUCache` is the shared core they
+now wrap: recency-ordered entries bounded by **entry count** and by
+**total byte size**, with hit/miss counters and an eviction callback.
+
+Design points the wrappers rely on:
+
+* the lock is a *public* ``RLock`` (``cache.lock``) so callers can
+  compose several primitive operations atomically (check disk state
+  between membership test and recency bump, build-a-value-under-lock,
+  ...) without a second layer of locking;
+* :meth:`put` never evicts the entry being inserted — an oversized
+  newcomer pushes everything else out and then survives alone, the
+  semantics the table cache and result cache both shipped with;
+* the eviction callback fires only for *bound-driven* eviction, not
+  for explicit :meth:`pop`/:meth:`clear` — removing an entry you
+  already know about is the caller's cleanup, eviction is the
+  cache's;
+* counters survive :meth:`clear` (warm-vs-cold assertions in the
+  entropy suite depend on it).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache"]
+
+#: eviction callback signature: ``(key, value, nbytes)``
+EvictFn = Callable[[Hashable, Any, int], None]
+
+
+class LRUCache:
+    """Thread-safe LRU bounded by entry count and total bytes.
+
+    ``max_entries`` / ``max_bytes`` of ``None`` leave that bound off;
+    when given they must admit at least one entry.  ``on_evict`` is
+    called (under the lock) for every entry dropped by bound-driven
+    eviction.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 on_evict: Optional[EvictFn] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+        #: public reentrant lock for compound operations
+        self.lock = threading.RLock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._nbytes: Dict[Hashable, int] = {}
+        self._bytes = 0
+
+    # -- primitive operations -------------------------------------------
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Value for ``key`` without touching recency or counters."""
+        with self.lock:
+            return self._entries.get(key, default)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value for ``key``, bumping recency and counting hit/miss."""
+        with self.lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return default
+
+    def touch(self, key: Hashable) -> None:
+        """Bump ``key`` to most-recently-used (no counters)."""
+        with self.lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+
+    def put(self, key: Hashable, value: Any, nbytes: int = 0) -> None:
+        """Insert/replace ``key`` as MRU, then evict down to bounds.
+
+        The entry being inserted is never the one evicted, even when
+        it alone exceeds ``max_bytes``.
+        """
+        with self.lock:
+            if key in self._entries:
+                self._bytes -= self._nbytes.pop(key)
+                del self._entries[key]
+            self._entries[key] = value
+            self._nbytes[key] = int(nbytes)
+            self._bytes += int(nbytes)
+            self._evict_locked(keep=key)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key`` (no eviction callback)."""
+        with self.lock:
+            if key not in self._entries:
+                return default
+            self._bytes -= self._nbytes.pop(key)
+            return self._entries.pop(key)
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any],
+                     nbytes: Callable[[Any], int] = lambda v: 0) -> Any:
+        """Cached value for ``key``, building (and caching) on a miss.
+
+        The build runs *under the lock*: concurrent callers sharing a
+        key wait for one build instead of duplicating it (the table
+        cache's contract — builds are expensive, values immutable).
+        """
+        with self.lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            value = build()
+            self.put(key, value, nbytes=nbytes(value))
+            return value
+
+    # -- eviction -------------------------------------------------------
+    def _evict_locked(self, keep: Optional[Hashable] = None) -> None:
+        while self._entries and (
+                (self.max_entries is not None
+                 and len(self._entries) > self.max_entries)
+                or (self.max_bytes is not None
+                    and self._bytes > self.max_bytes)):
+            oldest = next(iter(self._entries))
+            if oldest == keep:
+                if len(self._entries) == 1:
+                    break  # never evict the entry being kept
+                self._entries.move_to_end(oldest)
+                continue
+            value = self._entries.pop(oldest)
+            size = self._nbytes.pop(oldest)
+            self._bytes -= size
+            if self.on_evict is not None:
+                self.on_evict(oldest, value, size)
+
+    def evict(self, keep: Optional[Hashable] = None) -> None:
+        """Evict down to bounds now (normally automatic on put)."""
+        with self.lock:
+            self._evict_locked(keep=keep)
+
+    def clear(self) -> None:
+        """Drop every entry; hit/miss counters survive."""
+        with self.lock:
+            self._entries.clear()
+            self._nbytes.clear()
+            self._bytes = 0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def bytes(self) -> int:
+        with self.lock:
+            return self._bytes
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self.lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[Hashable]:
+        """Snapshot of keys, LRU-first."""
+        with self.lock:
+            return iter(list(self._entries))
+
+    def stats(self) -> Dict[str, int]:
+        with self.lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries), "bytes": self._bytes}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<LRUCache entries={len(self._entries)} "
+                f"bytes={self._bytes} max_entries={self.max_entries} "
+                f"max_bytes={self.max_bytes}>")

@@ -1,0 +1,85 @@
+"""Executor lifecycle: no finalizers, idempotent exception-safe close."""
+
+import pytest
+
+from repro.pipeline.executors import (Executor, ProcessExecutor,
+                                      SerialExecutor, ThreadExecutor)
+from repro.runtime import Task
+
+
+def _double(x):
+    return 2 * x
+
+
+BACKENDS = [SerialExecutor, ThreadExecutor, ProcessExecutor]
+
+
+def test_no_finalizer_anywhere():
+    """GC-timing-dependent __del__ is banned (same purge as Session)."""
+    for cls in (Executor, SerialExecutor, ThreadExecutor,
+                ProcessExecutor):
+        assert "__del__" not in cls.__dict__
+        assert not hasattr(cls, "__del__")
+
+
+@pytest.mark.parametrize("cls", BACKENDS)
+def test_close_is_idempotent(cls):
+    ex = cls(max_workers=2)
+    assert ex.map(_double, [1, 2, 3]) == [2, 4, 6]
+    ex.close()
+    ex.close()
+    ex.close()
+
+
+@pytest.mark.parametrize("cls", BACKENDS)
+def test_map_after_close_rebuilds(cls):
+    """close() is not terminal — the historical executor contract."""
+    ex = cls(max_workers=2)
+    ex.close()
+    assert ex.map(_double, [1, 2, 3]) == [2, 4, 6]
+    ex.close()
+
+
+@pytest.mark.parametrize("cls", BACKENDS)
+def test_context_manager_closes(cls):
+    with cls(max_workers=2) as ex:
+        assert ex.map(_double, [5]) == [10]
+    ex.close()  # extra close after __exit__ stays safe
+
+
+def test_close_swallows_pool_shutdown_errors(monkeypatch):
+    ex = ThreadExecutor(max_workers=2)
+    ex.map(_double, [1, 2, 3, 4])
+    pool = ex.runtime._thread_pool
+    assert pool is not None
+
+    def bad_shutdown(wait=True):
+        raise OSError("pool refused to die")
+
+    monkeypatch.setattr(pool, "shutdown", bad_shutdown)
+    ex.close()  # must not raise
+    assert ex.runtime._thread_pool is None
+    # and a later map still works
+    assert ex.map(_double, [7]) == [14]
+    ex.close()
+
+
+def test_close_without_runtime_attribute():
+    """Half-constructed executors (failed __init__) must close safely."""
+    ex = SerialExecutor.__new__(SerialExecutor)
+    ex.close()  # no _runtime attribute yet: getattr-guarded
+
+
+@pytest.mark.parametrize("cls", BACKENDS)
+def test_run_tasks_surface(cls):
+    ex = cls(max_workers=2)
+    try:
+        tasks = [Task(task_id=f"t{i}", fn=_double, payload=i, index=i)
+                 for i in range(5)]
+        seen = []
+        outcomes = ex.run_tasks(tasks, on_result=lambda o: seen.append(
+            o.task_id))
+        assert [o.value for o in outcomes] == [0, 2, 4, 6, 8]
+        assert sorted(seen) == sorted(t.task_id for t in tasks)
+    finally:
+        ex.close()

@@ -1,0 +1,153 @@
+"""The shared LRU helper every cache wrapper stands on."""
+
+import threading
+
+import pytest
+
+from repro.util import LRUCache
+
+
+class TestBounds:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError, match="max_entries must be >= 1"):
+            LRUCache(max_entries=0)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError, match="max_bytes must be >= 1"):
+            LRUCache(max_bytes=0)
+
+    def test_unbounded_by_default(self):
+        cache = LRUCache()
+        for i in range(1000):
+            cache.put(i, i, nbytes=10)
+        assert len(cache) == 1000
+        assert cache.bytes == 10_000
+
+    def test_entry_bound_evicts_lru(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)           # evicts b
+        assert "b" not in cache
+        assert cache.peek("a") == 1 and cache.peek("c") == 3
+
+    def test_byte_bound_evicts_lru(self):
+        cache = LRUCache(max_bytes=100)
+        cache.put("a", "x", nbytes=60)
+        cache.put("b", "y", nbytes=60)  # 120 > 100: a goes
+        assert "a" not in cache and "b" in cache
+        assert cache.bytes == 60
+
+    def test_oversized_insert_survives_alone(self):
+        cache = LRUCache(max_bytes=100)
+        cache.put("a", "x", nbytes=10)
+        cache.put("big", "y", nbytes=400)
+        assert len(cache) == 1 and "big" in cache
+        assert cache.stats()["bytes"] == 400
+
+    def test_replace_updates_bytes(self):
+        cache = LRUCache(max_bytes=1000)
+        cache.put("a", "x", nbytes=100)
+        cache.put("a", "y", nbytes=30)
+        assert cache.bytes == 30 and len(cache) == 1
+
+
+class TestCounters:
+    def test_get_counts_peek_does_not(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.peek("a") == 1
+        assert cache.peek("missing", "dflt") == "dflt"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_counters_survive_clear(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["bytes"] == 0
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_hits(self):
+        cache = LRUCache(max_entries=4)
+        built = []
+
+        def build():
+            built.append(1)
+            return object()
+
+        a = cache.get_or_build("k", build)
+        b = cache.get_or_build("k", build)
+        assert a is b
+        assert built == [1]
+        assert cache.stats() == {"hits": 1, "misses": 1,
+                                 "entries": 1, "bytes": 0}
+
+    def test_nbytes_callable(self):
+        cache = LRUCache(max_bytes=1000)
+        cache.get_or_build("k", lambda: b"xxxx", nbytes=len)
+        assert cache.stats()["bytes"] == 4
+
+
+class TestEvictionCallback:
+    def test_fires_only_on_bound_eviction(self):
+        evicted = []
+        cache = LRUCache(max_entries=1,
+                         on_evict=lambda k, v, n: evicted.append((k, v, n)))
+        cache.put("a", "A", nbytes=5)
+        cache.put("b", "B", nbytes=7)   # bound-evicts a
+        assert evicted == [("a", "A", 5)]
+        assert cache.pop("b") == "B"    # explicit pop: no callback
+        assert evicted == [("a", "A", 5)]
+        cache.put("c", "C")
+        cache.clear()                   # clear: no callback
+        assert evicted == [("a", "A", 5)]
+
+    def test_pop_missing_returns_default(self):
+        cache = LRUCache()
+        assert cache.pop("nope", 42) == 42
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_ops(self):
+        cache = LRUCache(max_entries=8, max_bytes=10_000)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(300):
+                    key = (tid + i) % 12
+                    cache.get_or_build(key, lambda: key, nbytes=lambda v: 10)
+                    cache.get(key)
+                    if i % 50 == 0:
+                        cache.pop(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+        assert cache.bytes <= 10_000
+
+    def test_public_lock_compound_op(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        with cache.lock:
+            assert "a" in cache
+            cache.touch("a")
+            cache.hits += 1
+        assert cache.stats()["hits"] == 1
